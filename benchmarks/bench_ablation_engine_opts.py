@@ -1,0 +1,128 @@
+"""Ablation — the two §VIII-B "New > MVAPICH" engine optimizations.
+
+The paper explains why even its *blocking* series beats the MVAPICH
+baseline: (1) per-target eager issue ("we issue right away the RMA
+transfers of any target that becomes available", vs all-targets-ready
+gating) and (2) intranode/internode transfer overlap inside epochs.
+This ablation isolates both effects with controlled scenarios on the
+same fabric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.bench.calibration import default_model
+from repro.mpi.runtime import MPIRuntime
+
+from .conftest import once
+
+MB = 1 << 20
+
+
+def eager_issue_scenario(engine: str) -> float:
+    """One origin, two targets; T1 posts late.  Eager per-target issue
+    lets T0's transfer flow immediately; all-ready gating delays both."""
+    rt = MPIRuntime(3, cores_per_node=1, engine=engine, model=default_model())
+    out = {}
+
+    def origin(proc):
+        win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        t0 = proc.wtime()
+        yield from win.start([1, 2])
+        win.put(np.zeros(MB, dtype=np.uint8), 1, 0)
+        win.put(np.zeros(MB, dtype=np.uint8), 2, 0)
+        yield from win.complete()
+        out["epoch"] = proc.wtime() - t0
+        yield from proc.barrier()
+
+    def t_ready(proc):
+        win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        yield from win.post([0])
+        yield from win.wait_epoch()
+        yield from proc.barrier()
+
+    def t_late(proc):
+        win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        yield from proc.compute(500.0)
+        yield from win.post([0])
+        yield from win.wait_epoch()
+        yield from proc.barrier()
+
+    rt.run_mixed({0: origin, 1: t_ready, 2: t_late})
+    return out["epoch"]
+
+
+def mixed_path_scenario(engine: str) -> float:
+    """One origin, one intranode target and one internode target.  The
+    new engine overlaps the shared-memory copy with the wire transfer;
+    the baseline issues everything at the closing call, but still
+    overlaps paths — the gap comes from issuing *during* the epoch."""
+    rt = MPIRuntime(4, cores_per_node=2, engine=engine, model=default_model())
+    out = {}
+
+    def origin(proc):  # rank 0; rank 1 shares the node, rank 2 is remote
+        win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        t0 = proc.wtime()
+        yield from win.start([1, 2])
+        win.put(np.zeros(MB, dtype=np.uint8), 1, 0)
+        win.put(np.zeros(MB, dtype=np.uint8), 2, 0)
+        yield from proc.compute(200.0)  # work inside the epoch
+        yield from win.complete()
+        out["epoch"] = proc.wtime() - t0
+        yield from proc.barrier()
+
+    def target(proc):
+        win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        yield from win.post([0])
+        yield from win.wait_epoch()
+        yield from proc.barrier()
+
+    def bystander(proc):
+        _win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        yield from proc.barrier()
+
+    rt.run_mixed({0: origin, 1: target, 2: target, 3: bystander})
+    return out["epoch"]
+
+
+def test_ablation_eager_issue(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["MVAPICH (all-ready gating)"] = {"epoch": eager_issue_scenario("mvapich")}
+        rows["New (eager per-target)"] = {"epoch": eager_issue_scenario("nonblocking")}
+
+    once(benchmark, run)
+    show(format_table("Ablation: per-target eager issue vs all-targets-ready",
+                      ("epoch",), rows))
+
+    gated = rows["MVAPICH (all-ready gating)"]["epoch"]
+    eager = rows["New (eager per-target)"]["epoch"]
+    # Gated: delay(500) then two serialized 1 MB transfers (~677 more).
+    # Eager: T0's transfer overlaps the 500 µs delay entirely.
+    assert eager < gated - 250.0
+
+
+def test_ablation_issue_during_epoch(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["MVAPICH (issue at close)"] = {"epoch": mixed_path_scenario("mvapich")}
+        rows["New (issue during epoch)"] = {"epoch": mixed_path_scenario("nonblocking")}
+
+    once(benchmark, run)
+    show(format_table("Ablation: transfers issued during vs at close of the epoch",
+                      ("epoch",), rows))
+
+    at_close = rows["MVAPICH (issue at close)"]["epoch"]
+    during = rows["New (issue during epoch)"]["epoch"]
+    # The in-epoch work (200 µs) hides transfer time only when transfers
+    # start during the epoch.
+    assert during < at_close - 150.0

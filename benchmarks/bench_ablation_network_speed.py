@@ -1,0 +1,100 @@
+"""Ablation — how the nonblocking advantage scales with network speed.
+
+The benefit of nonblocking epochs is the blocking time they remove; the
+amount of removable blocking depends on how long transfers take relative
+to the overlappable work.  This ablation sweeps fabric bandwidth around
+the calibrated QDR point and measures the Late Complete scenario
+(Fig. 3) and the LU kernel: on an infinitely fast network the advantage
+comes only from synchronization latency; on a slow one it approaches
+the full transfer time.
+"""
+
+import pytest
+
+from repro.apps import LUConfig, run_lu
+from repro.bench import SERIES, format_table
+from repro.bench.figures import MB, fig03_late_complete
+from repro.network import NetworkModel
+
+from .conftest import once
+
+NEW, NB = SERIES[1], SERIES[2]
+
+BANDWIDTHS = {
+    "4x slower": 775.0,
+    "QDR (calibrated)": 3100.0,
+    "4x faster": 12400.0,
+}
+
+
+def test_ablation_network_speed_late_complete(benchmark, show, monkeypatch):
+    rows = {label: {} for label in BANDWIDTHS}
+
+    def run():
+        import repro.bench.figures as figures_mod
+
+        for label, bw in BANDWIDTHS.items():
+            model = NetworkModel(internode_bw=bw)
+            monkeypatch.setattr(figures_mod, "default_model", lambda m=model: m)
+            blocking = fig03_late_complete(NEW, MB)["target_epoch"]
+            nonblocking = fig03_late_complete(NB, MB)["target_epoch"]
+            rows[label]["blocking"] = blocking
+            rows[label]["nonblocking"] = nonblocking
+            rows[label]["saved"] = blocking - nonblocking
+
+    once(benchmark, run)
+    show(
+        format_table(
+            "Ablation: Late Complete fix vs network speed (1 MB, 1000 µs work)",
+            ("blocking", "nonblocking", "saved"),
+            rows,
+        )
+    )
+
+    # The target's wait under nonblocking synchronization tracks the
+    # transfer time: faster network, shorter nonblocking epoch.
+    assert rows["4x faster"]["nonblocking"] < rows["QDR (calibrated)"]["nonblocking"]
+    assert rows["QDR (calibrated)"]["nonblocking"] < rows["4x slower"]["nonblocking"]
+    for label in BANDWIDTHS:
+        assert rows[label]["blocking"] > 950.0
+        assert rows[label]["saved"] >= 0
+    # Late Complete only exists while the transfer is shorter than the
+    # overlapped work: at 4x slower the 1 MB transfer (~1353 µs) outlasts
+    # the 1000 µs of work and there is nothing to save — correct physics.
+    assert rows["QDR (calibrated)"]["saved"] > 500.0
+    assert rows["4x faster"]["saved"] > rows["QDR (calibrated)"]["saved"]
+    assert rows["4x slower"]["saved"] < 50.0
+
+
+def test_ablation_network_speed_lu(benchmark, show):
+    rows = {label: {} for label in BANDWIDTHS}
+
+    def run():
+        for label, bw in BANDWIDTHS.items():
+            model = NetworkModel(internode_bw=bw / 20.0, intranode_bw=bw / 10.0)
+            kw = dict(nranks=8, m=96, work_per_cell_us=0.08, cores_per_node=1, model=model)
+            blocking = run_lu(LUConfig(**kw, nonblocking=False)).elapsed_us / 1e3
+            nonblocking = run_lu(LUConfig(**kw, nonblocking=True)).elapsed_us / 1e3
+            rows[label]["blocking"] = blocking
+            rows[label]["nonblocking"] = nonblocking
+            rows[label]["speedup"] = blocking / nonblocking
+
+    once(benchmark, run)
+    show(
+        format_table(
+            "Ablation: LU nonblocking speedup vs network speed",
+            ("blocking", "nonblocking", "speedup"),
+            rows,
+            unit="ms / x",
+            precision=2,
+        )
+    )
+
+    # Nonblocking never hurts (1% tolerance for protocol noise), and the
+    # advantage is largest where compute can hide communication: it
+    # shrinks toward 1.0 as the network slows into comm domination —
+    # the same mechanism behind Fig. 13's shrinking advantage.
+    for label in BANDWIDTHS:
+        assert rows[label]["speedup"] >= 0.99
+    assert rows["QDR (calibrated)"]["speedup"] > 1.1
+    assert rows["4x faster"]["speedup"] >= rows["4x slower"]["speedup"]

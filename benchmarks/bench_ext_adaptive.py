@@ -1,0 +1,88 @@
+"""Extension — the adaptive lazy/eager strategy (paper reference [12])
+against the paper's three series, on the repeated lock-overlap pattern.
+
+An origin repeatedly puts 1 MB and overlaps 500 µs of work inside a
+lock epoch.  Per-epoch duration:
+
+- MVAPICH (lazy): never overlaps — every epoch pays work + transfer;
+- New / New nonblocking (eager): every epoch overlaps — ~max(work, transfer);
+- adaptive: the first epoch is lazy, then the engine learns and matches
+  the eager engines — the learning curve is the table's story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.mpi.runtime import MPIRuntime
+
+from .conftest import once
+
+MB = 1 << 20
+WORK = 500.0
+REPEATS = 4
+
+
+def epoch_times(engine: str, nonblocking: bool) -> list[float]:
+    rt = MPIRuntime(2, cores_per_node=1, engine=engine)
+    times: list[float] = []
+
+    def origin(proc):
+        win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        for _ in range(REPEATS):
+            t0 = proc.wtime()
+            if nonblocking:
+                win.ilock(1)
+                win.put(np.zeros(MB, dtype=np.uint8), 1, 0)
+                req = win.iunlock(1)
+                yield from proc.compute(WORK)
+                yield from req.wait()
+            else:
+                yield from win.lock(1)
+                win.put(np.zeros(MB, dtype=np.uint8), 1, 0)
+                yield from proc.compute(WORK)
+                yield from win.unlock(1)
+            times.append(proc.wtime() - t0)
+        yield from proc.barrier()
+
+    def target(proc):
+        _win = yield from proc.win_allocate(2 * MB)
+        yield from proc.barrier()
+        yield from proc.barrier()
+
+    rt.run_mixed({0: origin, 1: target})
+    return times
+
+
+def test_ext_adaptive_learning_curve(benchmark, show):
+    rows = {}
+
+    def run():
+        for name, engine, nb in (
+            ("MVAPICH (lazy)", "mvapich", False),
+            ("adaptive [12]", "adaptive", False),
+            ("New (eager)", "nonblocking", False),
+            ("New nonblocking", "nonblocking", True),
+        ):
+            times = epoch_times(engine, nb)
+            rows[name] = {f"epoch {i + 1}": t for i, t in enumerate(times)}
+
+    once(benchmark, run)
+    show(
+        format_table(
+            "Extension [12]: adaptive lazy/eager locks — per-epoch duration",
+            [f"epoch {i + 1}" for i in range(REPEATS)],
+            rows,
+        )
+    )
+
+    lazy_like = WORK + 300.0
+    # MVAPICH never learns; eager engines overlap from epoch 1.
+    for i in range(REPEATS):
+        assert rows["MVAPICH (lazy)"][f"epoch {i + 1}"] > lazy_like
+        assert rows["New (eager)"][f"epoch {i + 1}"] < lazy_like
+    # Adaptive: lazy first epoch, eager afterwards.
+    assert rows["adaptive [12]"]["epoch 1"] > lazy_like
+    for i in range(1, REPEATS):
+        assert rows["adaptive [12]"][f"epoch {i + 1}"] < lazy_like

@@ -1,0 +1,53 @@
+"""Extension — the §X future-work application: distributed rule engine.
+
+Not a paper figure; the conclusion proposes applying nonblocking epochs
+to "large-scale distributed rule engines ... fast pattern matching and
+update of fact databases".  This bench runs that workload across the
+four configurations and checks the expected ordering, with the final
+fact table verified bit-for-bit against the sequential reference in
+every cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import FactDbConfig, run_factdb
+from repro.apps.factdb import reference_table
+from repro.bench import format_table
+
+from .conftest import once
+
+MODES = (
+    ("MVAPICH", dict(engine="mvapich")),
+    ("New", dict(engine="nonblocking")),
+    ("New nonblocking", dict(engine="nonblocking", nonblocking=True)),
+    ("New nonblocking + A_A_A_R", dict(engine="nonblocking", nonblocking=True, reorder=True)),
+)
+
+
+def test_ext_factdb(benchmark, show, bench_scale):
+    sizes = [4 * bench_scale, 8 * bench_scale, 16 * bench_scale]
+    rows = {name: {} for name, _ in MODES}
+
+    def run():
+        for name, kw in MODES:
+            for n in sizes:
+                cfg = FactDbConfig(nranks=n, firings_per_rank=25, **kw)
+                res = run_factdb(cfg)
+                np.testing.assert_array_equal(res.table, reference_table(cfg))
+                rows[name][str(n)] = res.total_firings / (res.elapsed_us / 1e6) / 1e3
+
+    once(benchmark, run)
+    show(
+        format_table(
+            "Extension (§X): distributed fact-database rule engine",
+            [str(n) for n in sizes],
+            rows,
+            unit="k firings/s",
+        )
+    )
+
+    for n in map(str, sizes):
+        assert rows["New nonblocking"][n] >= 0.95 * rows["New"][n]
+        assert rows["New nonblocking + A_A_A_R"][n] > rows["New nonblocking"][n]
+        assert rows["MVAPICH"][n] <= rows["New"][n] * 1.05

@@ -1,0 +1,33 @@
+"""Fig. 2 — Mitigating the Late Post inefficiency pattern.
+
+Paper: access epoch ≈1340 µs for all series; subsequent two-sided
+activity ≈1660 µs after a blocking epoch vs ≈340 µs overlapped with the
+nonblocking one; cumulative ≈ access epoch alone for "New nonblocking".
+"""
+
+import pytest
+
+from repro.bench import SERIES, fig02_late_post, format_table
+
+from .conftest import once
+
+COLUMNS = ("access_epoch", "two_sided", "cumulative")
+
+
+def test_fig02_late_post(benchmark, show):
+    rows = {}
+
+    def run():
+        for series in SERIES:
+            rows[series.name] = fig02_late_post(series)
+
+    once(benchmark, run)
+    show(format_table("Fig. 2: Late Post — delay propagation at the origin", COLUMNS, rows))
+
+    for name in ("MVAPICH", "New"):
+        assert rows[name]["cumulative"] == pytest.approx(
+            rows[name]["access_epoch"] + rows[name]["two_sided"], rel=0.02
+        )
+    nb = rows["New nonblocking"]
+    assert nb["cumulative"] == pytest.approx(nb["access_epoch"], rel=0.02)
+    assert nb["two_sided"] < 0.3 * rows["New"]["cumulative"]

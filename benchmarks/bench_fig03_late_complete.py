@@ -1,0 +1,43 @@
+"""Fig. 3 — Mitigating the Late Complete inefficiency pattern.
+
+Target-side epoch length vs message size (4 B – 1 MB) while the origin
+overlaps 1000 µs of work before the closing call.  Paper: both blocking
+series propagate ~the whole origin epoch; the nonblocking one leaves the
+target waiting only for the actual transfers.
+"""
+
+import pytest
+
+from repro.bench import SERIES, SIZES_4B_TO_1MB, fig03_late_complete, format_table
+
+from .conftest import once
+
+
+def _label(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}MB"
+    if nbytes >= 1024:
+        return f"{nbytes >> 10}KB"
+    return f"{nbytes}B"
+
+
+def test_fig03_late_complete(benchmark, show):
+    rows = {s.name: {} for s in SERIES}
+
+    def run():
+        for series in SERIES:
+            for nbytes in SIZES_4B_TO_1MB:
+                rows[series.name][_label(nbytes)] = fig03_late_complete(series, nbytes)[
+                    "target_epoch"
+                ]
+
+    once(benchmark, run)
+    cols = [_label(n) for n in SIZES_4B_TO_1MB]
+    show(format_table("Fig. 3: Late Complete — target-side epoch length", cols, rows))
+
+    for col in cols:
+        assert rows["MVAPICH"][col] > 950.0
+        assert rows["New"][col] > 950.0
+        assert rows["New nonblocking"][col] < 450.0
+    # Nonblocking target epoch grows with message size (pure transfer).
+    assert rows["New nonblocking"]["1MB"] > rows["New nonblocking"]["4B"]

@@ -1,0 +1,40 @@
+"""Fig. 4 — Mitigating the Early Fence inefficiency pattern.
+
+Cumulative latency of an epoch-closing fence plus 1000 µs of subsequent
+CPU work at the target, for 256 KB and 1 MB puts.  Paper: ≈1010 µs for
+the nonblocking series (work overlaps the transfer), serialized for the
+blocking ones.
+"""
+
+import pytest
+
+from repro.bench import SERIES, fig04_early_fence, format_table
+
+from .conftest import once
+
+SIZES = {"256KB": 256 * 1024, "1MB": 1 << 20}
+
+
+def test_fig04_early_fence(benchmark, show):
+    rows = {s.name: {} for s in SERIES}
+
+    def run():
+        for series in SERIES:
+            for label, nbytes in SIZES.items():
+                rows[series.name][label] = fig04_early_fence(series, nbytes)["cumulative"]
+
+    once(benchmark, run)
+    show(
+        format_table(
+            "Fig. 4: Early Fence — epoch + subsequent work at the target",
+            SIZES.keys(),
+            rows,
+        )
+    )
+
+    for label in SIZES:
+        assert rows["New nonblocking"][label] == pytest.approx(1000.0, rel=0.05)
+        assert rows["MVAPICH"][label] > 1050.0
+        assert rows["New"][label] > 1050.0
+    # Blocking cumulative grows with message size; nonblocking doesn't.
+    assert rows["New"]["1MB"] > rows["New"]["256KB"]

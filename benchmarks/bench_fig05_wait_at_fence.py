@@ -1,0 +1,40 @@
+"""Fig. 5 — Mitigating the Wait at Fence inefficiency pattern.
+
+Target-side fence epoch length vs message size when the origin delays
+its closing fence by 1000 µs.  Paper: the blocking series propagate the
+non-RMA latency to the target; the nonblocking one does not.
+"""
+
+import pytest
+
+from repro.bench import SERIES, SIZES_4B_TO_1MB, fig05_wait_at_fence, format_table
+
+from .conftest import once
+
+
+def _label(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}MB"
+    if nbytes >= 1024:
+        return f"{nbytes >> 10}KB"
+    return f"{nbytes}B"
+
+
+def test_fig05_wait_at_fence(benchmark, show):
+    rows = {s.name: {} for s in SERIES}
+
+    def run():
+        for series in SERIES:
+            for nbytes in SIZES_4B_TO_1MB:
+                rows[series.name][_label(nbytes)] = fig05_wait_at_fence(series, nbytes)[
+                    "target_epoch"
+                ]
+
+    once(benchmark, run)
+    cols = [_label(n) for n in SIZES_4B_TO_1MB]
+    show(format_table("Fig. 5: Wait at Fence — target-side epoch length", cols, rows))
+
+    for col in cols:
+        assert rows["MVAPICH"][col] > 950.0
+        assert rows["New"][col] > 950.0
+        assert rows["New nonblocking"][col] < 450.0

@@ -1,0 +1,38 @@
+"""Fig. 6 — Mitigating the Late Unlock inefficiency pattern.
+
+First lock epoch (O0: put + 1000 µs work) and second lock epoch (O1)
+durations.  Paper: MVAPICH's lazy acquisition is immune to Late Unlock
+(second ≈340) but has zero overlap (first ≈1340); "New" overlaps
+(first ≈1000) but inflicts Late Unlock (second ≈1340+); "New
+nonblocking" gets overlap *and* a short second epoch (≈680).
+"""
+
+import pytest
+
+from repro.bench import SERIES, fig06_late_unlock, format_table
+
+from .conftest import once
+
+COLUMNS = ("first_lock", "second_lock")
+
+
+def test_fig06_late_unlock(benchmark, show):
+    rows = {}
+
+    def run():
+        for series in SERIES:
+            rows[series.name] = fig06_late_unlock(series)
+
+    once(benchmark, run)
+    show(format_table("Fig. 6: Late Unlock — both lock epochs", COLUMNS, rows))
+
+    mv, new, nb = rows["MVAPICH"], rows["New"], rows["New nonblocking"]
+    # Lazy baseline: immune but no overlap.
+    assert mv["second_lock"] < 450.0
+    assert mv["first_lock"] > 1300.0
+    # Eager blocking: overlap, but Late Unlock inflicted on O1.
+    assert new["first_lock"] == pytest.approx(1000.0, rel=0.05)
+    assert new["second_lock"] > 1300.0
+    # Nonblocking: both.
+    assert nb["first_lock"] == pytest.approx(1000.0, rel=0.05)
+    assert nb["second_lock"] < 800.0

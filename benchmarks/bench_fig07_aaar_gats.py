@@ -1,0 +1,32 @@
+"""Fig. 7 — Out-of-order GATS access epoch progression with A_A_A_R.
+
+Paper: with the flag on, T1 does not suffer T0's 1000 µs delay (~340 µs)
+and the origin's cumulative latency drops to the latency of the T0 epoch
+alone (~1340 µs).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.figures import fig07_aaar_gats
+
+from .conftest import once
+
+COLUMNS = ("target_T1", "origin_cumulative")
+
+
+def test_fig07_aaar_gats(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["A_A_A_R off"] = fig07_aaar_gats(False)
+        rows["A_A_A_R on"] = fig07_aaar_gats(True)
+
+    once(benchmark, run)
+    show(format_table("Fig. 7: A_A_A_R (GATS) — out-of-order access epochs", COLUMNS, rows))
+
+    off, on = rows["A_A_A_R off"], rows["A_A_A_R on"]
+    assert off["target_T1"] > 1300.0          # delay propagated in chain
+    assert on["target_T1"] < 450.0            # confined to the T0 epoch
+    assert on["origin_cumulative"] == pytest.approx(1340.0, rel=0.05)
+    assert on["origin_cumulative"] < off["origin_cumulative"]

@@ -1,0 +1,33 @@
+"""Fig. 8 — Out-of-order lock epoch progression with A_A_A_R.
+
+Paper: O1 completes both epochs in ~1340 µs with the flag on (second
+epoch completes out of order while the first waits on a held lock);
+delay and both epochs serialize with the flag off.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.figures import fig08_aaar_lock
+
+from .conftest import once
+
+
+def test_fig08_aaar_lock(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["A_A_A_R off"] = fig08_aaar_lock(False)
+        rows["A_A_A_R on"] = fig08_aaar_lock(True)
+
+    once(benchmark, run)
+    show(
+        format_table(
+            "Fig. 8: A_A_A_R (lock) — O1 cumulative epoch latency",
+            ("o1_cumulative",),
+            rows,
+        )
+    )
+
+    assert rows["A_A_A_R on"]["o1_cumulative"] == pytest.approx(1340.0, rel=0.06)
+    assert rows["A_A_A_R off"]["o1_cumulative"] > rows["A_A_A_R on"]["o1_cumulative"] + 250.0

@@ -1,0 +1,31 @@
+"""Fig. 9 — Out-of-order GATS epoch progression with A_A_E_R.
+
+P2 is a target for late P0 and then an origin for P1.  Paper: with the
+flag, P1 completely avoids the delay while P2 overlaps it with its
+second epoch.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.figures import fig09_aaer
+
+from .conftest import once
+
+COLUMNS = ("target_P1", "p2_cumulative")
+
+
+def test_fig09_aaer(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["A_A_E_R off"] = fig09_aaer(False)
+        rows["A_A_E_R on"] = fig09_aaer(True)
+
+    once(benchmark, run)
+    show(format_table("Fig. 9: A_A_E_R — access past active exposure", COLUMNS, rows))
+
+    off, on = rows["A_A_E_R off"], rows["A_A_E_R on"]
+    assert off["target_P1"] > 1300.0
+    assert on["target_P1"] < 450.0
+    assert on["p2_cumulative"] < off["p2_cumulative"]

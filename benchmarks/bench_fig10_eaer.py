@@ -1,0 +1,31 @@
+"""Fig. 10 — Out-of-order exposure epoch progression with E_A_E_R.
+
+A target's second exposure (for punctual O1) activates while the first
+(for late O0) is still active.  Paper: O1 avoids the delay; the target
+overlaps it with the second epoch.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.figures import fig10_eaer
+
+from .conftest import once
+
+COLUMNS = ("origin_O1", "target_cumulative")
+
+
+def test_fig10_eaer(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["E_A_E_R off"] = fig10_eaer(False)
+        rows["E_A_E_R on"] = fig10_eaer(True)
+
+    once(benchmark, run)
+    show(format_table("Fig. 10: E_A_E_R — exposure past active exposure", COLUMNS, rows))
+
+    off, on = rows["E_A_E_R off"], rows["E_A_E_R on"]
+    assert off["origin_O1"] > 1300.0
+    assert on["origin_O1"] < 450.0
+    assert on["target_cumulative"] < off["target_cumulative"]

@@ -1,0 +1,30 @@
+"""Fig. 11 — Out-of-order epoch progression with E_A_A_R.
+
+P2 is an origin for late-posting P0, then a target for P1.  Paper: the
+flag prevents P0's delay from propagating to P1 and lets P2 overlap it.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.figures import fig11_eaar
+
+from .conftest import once
+
+COLUMNS = ("origin_P1", "p2_cumulative")
+
+
+def test_fig11_eaar(benchmark, show):
+    rows = {}
+
+    def run():
+        rows["E_A_A_R off"] = fig11_eaar(False)
+        rows["E_A_A_R on"] = fig11_eaar(True)
+
+    once(benchmark, run)
+    show(format_table("Fig. 11: E_A_A_R — exposure past active access", COLUMNS, rows))
+
+    off, on = rows["E_A_A_R off"], rows["E_A_A_R on"]
+    assert off["origin_P1"] > 1300.0
+    assert on["origin_P1"] < 450.0
+    assert on["p2_cumulative"] < off["p2_cumulative"]

@@ -1,0 +1,100 @@
+"""Fig. 13 — Performance evaluation by LU decomposition.
+
+Four panels: overall time and communication percentage, for two matrix
+sizes, over a job-size sweep.  Paper shapes:
+
+- overall time is U-shaped in job size (less compute per rank vs more,
+  heavier broadcasts) — Fig. 13(a)/(c);
+- "New nonblocking" is fastest, by up to ~50 % at small job sizes,
+  with the advantage shrinking as the communication share grows;
+- communication percentage rises with job size — Fig. 13(b)/(d).
+
+Default sizes are simulation-scale (matrices of 128/256 rows instead of
+8k/16k); REPRO_BENCH_SCALE grows them.  The communication *structure*
+(cyclic mapping, GATS pivot-row broadcast to n-1 peers) is exactly the
+paper's kernel.  Because the matrix is scaled down ~64x from the paper's,
+the fabric bandwidth is scaled down correspondingly (20x) so the
+compute/communication crossover — and with it the U-shaped optimum job
+size — falls inside the swept range, as it does in Fig. 13.
+"""
+
+import pytest
+
+from repro.apps import LUConfig, run_lu
+from repro.bench import SERIES, format_table
+from repro.network import NetworkModel
+
+from .conftest import once
+
+WORK_PER_CELL_US = 0.08
+
+#: Bandwidth co-scaled with the matrix size (see module docstring).
+MODEL = NetworkModel().with_overrides(internode_bw=155.0, intranode_bw=300.0)
+
+
+def sweep(scale: int) -> list[int]:
+    base = [2, 4, 8, 16, 32]
+    return [n * scale for n in base]
+
+
+def run_panel(m: int, sizes: list[int]):
+    times = {s.name: {} for s in SERIES}
+    comm = {s.name: {} for s in SERIES}
+    for series in SERIES:
+        for n in sizes:
+            res = run_lu(
+                LUConfig(
+                    nranks=n,
+                    m=m,
+                    engine=series.engine,
+                    nonblocking=series.nonblocking,
+                    work_per_cell_us=WORK_PER_CELL_US,
+                    cores_per_node=1,
+                    model=MODEL,
+                )
+            )
+            times[series.name][str(n)] = res.elapsed_us / 1e3  # ms
+            comm[series.name][str(n)] = 100.0 * res.comm_fraction
+    return times, comm
+
+
+@pytest.mark.parametrize("msize", [128, 256], ids=["matrix-small", "matrix-large"])
+def test_fig13_lu(benchmark, show, bench_scale, msize):
+    m = msize * bench_scale
+    sizes = sweep(bench_scale)
+    out = {}
+
+    def run():
+        out["times"], out["comm"] = run_panel(m, sizes)
+
+    once(benchmark, run)
+    cols = [str(n) for n in sizes]
+    show(format_table(f"Fig. 13(a/c): LU overall time; matrix {m}x{m}", cols, out["times"],
+                      unit="ms"))
+    show(format_table(f"Fig. 13(b/d): LU communication share; matrix {m}x{m}", cols,
+                      out["comm"], unit="%"))
+
+    times, comm = out["times"], out["comm"]
+    nb, new = times["New nonblocking"], times["New"]
+
+    # Nonblocking wins everywhere, substantially at small job sizes.
+    smallest = cols[0]
+    assert nb[smallest] < 0.85 * new[smallest]
+    for c in cols:
+        assert nb[c] <= new[c] * 1.02
+
+    # The advantage shrinks as comm share grows (larger jobs).
+    gain_small = new[cols[0]] / nb[cols[0]]
+    gain_large = new[cols[-1]] / nb[cols[-1]]
+    assert gain_large < gain_small
+
+    # Communication percentage increases with job size (blocking series).
+    assert comm["New"][cols[-1]] > comm["New"][cols[0]]
+
+    # U-shape: the optimum is an interior job size — "decreasing the
+    # overall execution time up to a certain optimal job size and then
+    # increasing it from there on" (§VIII-B).
+    vals = [new[c] for c in cols]
+    best = vals.index(min(vals))
+    assert 0 < best < len(vals) - 1
+    assert vals[-1] > min(vals)

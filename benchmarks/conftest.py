@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*`` file regenerates one table/figure of the paper's
+evaluation (§VIII): it simulates the scenario for each test series,
+prints the rows the paper plots (virtual-time µs or txn/s), asserts the
+paper's qualitative claims, and reports the harness wall-time through
+pytest-benchmark.
+
+Scale knobs (environment):
+
+``REPRO_BENCH_SCALE``
+    1 (default) = CI-friendly scaled-down job sizes;
+    2..4 = progressively closer to paper scale (slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep deterministic alphabetical order (fig02, fig03, ...).
+    items.sort(key=lambda it: it.nodeid)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    """Workload scale multiplier from REPRO_BENCH_SCALE."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture (tables land in the terminal and
+    in teed output files)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The interesting numbers are virtual-time results printed by the
+    bench; wall-clock of the simulation is reported by pytest-benchmark
+    for tracking harness performance.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Distributed rule engine on nonblocking RMA epochs (the paper's §X
+future-work application).
+
+A fact base of counters is hash-partitioned across all ranks.  Each
+rank fires rules: read a triggering fact (shared-lock epoch + get),
+compute the derivation, fold it into a derived fact somewhere else in
+the cluster (exclusive-lock epoch + atomic accumulate).  Firings hit
+unpredictable peers — the §IV-B unstructured pattern with an added read
+dependency.
+
+The demo runs the engine in four modes and verifies every final table
+bit-for-bit against a sequential reference model.
+
+Run:  python examples/fact_database.py [nranks] [firings_per_rank]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import FactDbConfig, run_factdb
+from repro.apps.factdb import reference_table
+
+MODES = (
+    ("MVAPICH (baseline)", dict(engine="mvapich")),
+    ("New (blocking)", dict(engine="nonblocking")),
+    ("New nonblocking", dict(engine="nonblocking", nonblocking=True)),
+    ("New nonblocking + A_A_A_R", dict(engine="nonblocking", nonblocking=True, reorder=True)),
+)
+
+
+def main():
+    nranks = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    firings = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+
+    print(f"fact database across {nranks} ranks, {firings} rule firings per rank\n")
+    print(f"{'mode':<28} {'elapsed':>12} {'firings/s':>12} {'table':>8}")
+    print("-" * 64)
+    base_time = None
+    for name, kw in MODES:
+        cfg = FactDbConfig(nranks=nranks, firings_per_rank=firings, **kw)
+        res = run_factdb(cfg)
+        ok = np.array_equal(res.table, reference_table(cfg))
+        rate = res.total_firings / (res.elapsed_us / 1e6)
+        base_time = base_time or res.elapsed_us
+        print(
+            f"{name:<28} {res.elapsed_us:>9.0f} µs {rate / 1e3:>9.0f} k/s "
+            f"{'exact' if ok else 'WRONG':>8}"
+        )
+        assert ok
+    print(
+        "\nEvery mode produced the bit-identical fact table; the nonblocking\n"
+        "epochs pipeline the derivation updates, and A_A_A_R lets them\n"
+        "complete out of order across busy fact hosts."
+    )
+
+
+if __name__ == "__main__":
+    main()

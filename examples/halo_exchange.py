@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fence-epoch halo exchange: a bulk-synchronous stencil on RMA.
+
+Runs the 1-D Jacobi relaxation of :mod:`repro.apps.halo` with blocking
+fences and with MPI_WIN_IFENCE (interior work overlapped with the
+epoch's completion), verifies both against the sequential reference,
+and prints the timing difference.
+
+Run:  python examples/halo_exchange.py [nranks] [cells_per_rank] [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import HaloConfig, run_halo
+from repro.apps.halo import reference_halo
+
+
+def main():
+    nranks = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    cells = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    iters = int(sys.argv[3]) if len(sys.argv) > 3 else 20
+
+    total = nranks * cells
+    initial = np.sin(np.linspace(0, 4 * np.pi, total, endpoint=False))
+    ref = reference_halo(initial, nranks, cells, iters)
+
+    print(f"{nranks} ranks x {cells} cells, {iters} Jacobi iterations, "
+          f"100 µs interior work per step\n")
+    times = {}
+    for label, nonblocking in (("blocking fence", False), ("MPI_WIN_IFENCE", True)):
+        cfg = HaloConfig(
+            nranks=nranks, cells_per_rank=cells, iterations=iters,
+            nonblocking=nonblocking, interior_work_us=100.0, cores_per_node=2,
+        )
+        res = run_halo(cfg, initial)
+        err = np.max(np.abs(res.field - ref))
+        times[label] = res.elapsed_us
+        print(f"  {label:<16} elapsed {res.elapsed_us:9.1f} µs   max error {err:.2e}")
+        assert err < 1e-12
+
+    print(f"\nifence overlap speedup: {times['blocking fence'] / times['MPI_WIN_IFENCE']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Solve a linear system with the paper's RMA LU decomposition kernel.
+
+Factorizes a diagonally dominant matrix with the 1-D cyclic GATS-epoch
+kernel of §VIII-B (real numpy arithmetic moving through simulated RMA
+windows), solves ``Ax = b`` by forward/backward substitution on the
+combined factors, and verifies against ``numpy.linalg.solve``.
+
+Also compares blocking vs nonblocking epoch timing on the same run —
+the Late Complete elimination in action.
+
+Run:  python examples/lu_solver.py [matrix_size] [nranks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import LUConfig, run_lu
+from repro.apps.lu import _make_matrix
+
+
+def solve_from_factors(lu: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Forward/backward substitution on combined LU factors (L has the
+    implicit unit diagonal, multipliers stored below)."""
+    m = lu.shape[0]
+    y = b.astype(np.float64).copy()
+    for i in range(m):  # Ly = b
+        y[i] -= lu[i, :i] @ y[:i]
+    x = y.copy()
+    for i in reversed(range(m)):  # Ux = y
+        x[i] = (x[i] - lu[i, i + 1 :] @ x[i + 1 :]) / lu[i, i]
+    return x
+
+
+def main():
+    m = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    nranks = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    a = _make_matrix(m, seed=7)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(m)
+
+    print(f"LU-factorizing a {m}x{m} system on {nranks} simulated ranks...")
+    results = {}
+    for label, nonblocking in (("blocking (New)", False), ("nonblocking (§V API)", True)):
+        res = run_lu(
+            LUConfig(
+                nranks=nranks, m=m, matrix=a, nonblocking=nonblocking,
+                real_work_per_cell_us=0.2,
+            )
+        )
+        results[label] = res
+        print(
+            f"  {label:<22} elapsed {res.elapsed_us:9.1f} µs   "
+            f"comm share {100 * res.comm_fraction:5.1f} %"
+        )
+
+    lu = results["nonblocking (§V API)"].u_matrix
+    x = solve_from_factors(lu, b)
+    x_ref = np.linalg.solve(a, b)
+    err = np.max(np.abs(x - x_ref)) / np.max(np.abs(x_ref))
+    print(f"\nsolution max relative error vs numpy.linalg.solve: {err:.2e}")
+    assert err < 1e-10
+
+    speedup = results["blocking (New)"].elapsed_us / results["nonblocking (§V API)"].elapsed_us
+    print(f"nonblocking epochs speedup on this run: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

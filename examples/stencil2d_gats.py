@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""2-D Jacobi relaxation with GATS neighbor-group halo exchange.
+
+Fine-grained active-target synchronization (§II): each rank of a
+process grid posts/starts epochs only toward its actual neighbors —
+no window-wide fence.  With the §V nonblocking routines the interior
+update overlaps the epochs' completion.
+
+Run:  python examples/stencil2d_gats.py [pr] [pc] [tile] [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import Stencil2DConfig, reference_stencil2d, run_stencil2d
+
+
+def main():
+    pr = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    pc = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    tile = int(sys.argv[3]) if len(sys.argv) > 3 else 16
+    iters = int(sys.argv[4]) if len(sys.argv) > 4 else 10
+
+    rows, cols = pr * tile, pc * tile
+    yy, xx = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    init = np.exp(-((yy - rows / 2) ** 2 + (xx - cols / 2) ** 2) / (rows * cols / 16))
+    ref = reference_stencil2d(init, iters)
+
+    print(f"{pr}x{pc} process grid, {tile}x{tile} tiles, {iters} Jacobi iterations,"
+          f" 120 µs interior work per step\n")
+    times = {}
+    for label, nb in (("blocking GATS", False), ("nonblocking GATS (§V)", True)):
+        cfg = Stencil2DConfig(pr=pr, pc=pc, tile=tile, iterations=iters,
+                              nonblocking=nb, interior_work_us=120.0, cores_per_node=3)
+        res = run_stencil2d(cfg, init)
+        err = np.abs(res.grid - ref).max()
+        times[label] = res.elapsed_us
+        print(f"  {label:<24} elapsed {res.elapsed_us:9.1f} µs   max error {err:.2e}")
+        assert err < 1e-12
+
+    print(f"\noverlap speedup: {times['blocking GATS'] / times['nonblocking GATS (§V)']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

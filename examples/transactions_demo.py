@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The paper's motivating workload (§IV-B): massive unstructured atomic
+transactions, across all four test configurations.
+
+Every rank fires random atomic counter increments at random peers under
+exclusive lock epochs.  The demo prints throughput for:
+
+- the MVAPICH-style baseline (lazy locks, blocking),
+- the redesigned engine with blocking calls ("New"),
+- the nonblocking API ("New nonblocking"),
+- nonblocking + MPI_WIN_ACCESS_AFTER_ACCESS_REORDER (out-of-order
+  epochs: the contention-avoidance configuration of Fig. 12),
+
+and verifies that every single update landed exactly once in all four.
+
+Run:  python examples/transactions_demo.py [nranks] [txns_per_rank]
+"""
+
+import sys
+
+from repro.apps import TransactionsConfig, run_transactions
+
+CONFIGS = (
+    ("MVAPICH (baseline)", dict(engine="mvapich")),
+    ("New (blocking)", dict(engine="nonblocking")),
+    ("New nonblocking", dict(engine="nonblocking", nonblocking=True)),
+    ("New nonblocking + A_A_A_R", dict(engine="nonblocking", nonblocking=True, reorder=True)),
+)
+
+
+def main():
+    nranks = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    txns = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+
+    print(f"{nranks} ranks x {txns} transactions, 8-byte atomic updates, "
+          f"random targets/offsets\n")
+    print(f"{'configuration':<28} {'throughput':>14} {'elapsed':>12} {'verified':>9}")
+    print("-" * 68)
+    base = None
+    for name, kw in CONFIGS:
+        cfg = TransactionsConfig(nranks=nranks, txns_per_rank=txns, think_time_us=3.0, **kw)
+        res = run_transactions(cfg)
+        ok = "OK" if res.applied == res.total_txns else "FAIL"
+        thr = res.throughput_txn_per_s
+        speed = f"({thr / base:.2f}x)" if base else ""
+        base = base or thr
+        print(
+            f"{name:<28} {thr / 1e3:>9.0f} k/s {speed:<7} {res.elapsed_us:>9.0f}µs "
+            f"{ok:>6}"
+        )
+    print(
+        "\nBack-to-back epochs serialize inside the progress engine, so the\n"
+        "plain nonblocking gain is modest; A_A_A_R lets epochs progress and\n"
+        "complete out of order — the paper's contention-avoidance result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so editable installs work offline (no `wheel` package on
+this system, so PEP-517 editable builds are unavailable; `pip install -e .
+--no-build-isolation --no-use-pep517` goes through this file instead)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Application kernels from the paper's evaluation (§VIII-B).
+
+- :mod:`~repro.apps.transactions` — the dynamic unstructured massive
+  transactions pattern (Fig. 12): random atomic updates under exclusive
+  lock epochs.
+- :mod:`~repro.apps.lu` — 1-D cyclic lower-upper decomposition with
+  GATS-epoch pivot-row broadcasts (Fig. 13).
+- :mod:`~repro.apps.halo` — a fence-epoch halo-exchange stencil
+  (additional example workload).
+- :mod:`~repro.apps.factdb` — the distributed rule-engine / fact
+  database workload the paper's conclusion names as future work (§X).
+- :mod:`~repro.apps.stencil2d` — 2-D Jacobi with GATS neighbor-group
+  halo exchange (the fine-grained active-target style of §II).
+"""
+
+from .factdb import FactDbConfig, FactDbResult, run_factdb
+from .stencil2d import (
+    Stencil2DConfig,
+    Stencil2DResult,
+    reference_stencil2d,
+    run_stencil2d,
+)
+from .halo import HaloConfig, HaloResult, run_halo
+from .lu import LUConfig, LUResult, run_lu
+from .transactions import TransactionsConfig, TransactionsResult, run_transactions
+
+__all__ = [
+    "TransactionsConfig",
+    "TransactionsResult",
+    "run_transactions",
+    "LUConfig",
+    "LUResult",
+    "run_lu",
+    "HaloConfig",
+    "HaloResult",
+    "run_halo",
+    "FactDbConfig",
+    "FactDbResult",
+    "run_factdb",
+    "Stencil2DConfig",
+    "Stencil2DResult",
+    "run_stencil2d",
+    "reference_stencil2d",
+]

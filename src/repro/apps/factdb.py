@@ -1,0 +1,207 @@
+"""Distributed fact database with rule-driven updates (§X future work).
+
+The paper's conclusion names the next target for nonblocking epochs:
+"we are also investigating how large-scale distributed rule engines can
+benefit from nonblocking MPI RMA epochs for fast pattern matching and
+update of fact databases."  This module builds that workload:
+
+- a *fact base* of 64-bit counters hash-partitioned across all ranks'
+  windows (fact ``k`` lives on rank ``hash(k) % n``);
+- *rules* of the form ``k -> derive(k)``: when a rank fires a rule on
+  fact ``k`` it must (1) read the current value of ``k`` (an ``rget``
+  under a shared lock), (2) compute the derivation, and (3) atomically
+  fold the result into the derived fact ``derive(k)`` (an accumulate
+  under an exclusive lock) — two chained epochs per firing, to
+  unpredictable targets: exactly the §IV-B unstructured-update pattern,
+  plus a read dependency.
+
+Execution modes mirror the paper's series: fully blocking epochs, the
+nonblocking API with a bounded pipeline of in-flight derivations, and
+nonblocking + ``A_A_A_R`` (out-of-order epoch progression).
+
+Correctness is exact and machine-checkable: with SUM derivation over
+an initial base where fact ``k`` holds value ``v_k``, the final derived
+table is independent of firing order, so all modes must agree — and the
+grand total equals ``sum(v_k over fired rules)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpi.runtime import MPIRuntime
+from ..network.model import NetworkModel
+from ..rma.flags import A_A_A_R
+from ..rma.window import LOCK_SHARED
+
+__all__ = ["FactDbConfig", "FactDbResult", "run_factdb"]
+
+_REC = 8  # bytes per fact
+
+
+def _home(key: int, nranks: int) -> int:
+    """Rank hosting a fact (multiplicative hash partitioning)."""
+    return (key * 2654435761 >> 8) % nranks
+
+
+def _slot(key: int, universe: int, slots: int) -> int:
+    """Slot of a fact inside its home window.
+
+    Base keys (< universe/2) map injectively into the first half of the
+    table so base facts are never aliased (their reads must be stable);
+    derived keys hash into the second half, where aliasing is benign
+    (SUM derivations commute) and reproduced exactly by the reference
+    model.
+    """
+    half = slots // 2
+    if key < universe // 2:
+        return key  # injective: universe/2 <= slots/2
+    return half + (key * 40503) % half
+
+
+def _derive(key: int, universe: int) -> int:
+    """The derived fact a rule firing on ``key`` updates (always in the
+    derived half of the key space)."""
+    half = universe // 2
+    return half + (key * 31 + 7) % half
+
+
+@dataclass(frozen=True)
+class FactDbConfig:
+    """Workload parameters."""
+
+    nranks: int
+    #: Distinct fact keys (base facts occupy the first half of the key
+    #: space; derived facts the second half).
+    universe: int = 256
+    firings_per_rank: int = 30
+    engine: str = "nonblocking"
+    nonblocking: bool = False
+    reorder: bool = False
+    #: Max in-flight derivations per rank (nonblocking modes).
+    max_pending: int = 16
+    #: Derivation compute cost per firing (µs).
+    match_cost_us: float = 2.0
+    seed: int = 42
+    cores_per_node: int = 8
+    model: NetworkModel | None = None
+
+    @property
+    def slots_per_rank(self) -> int:
+        # Generous table so hash collisions across *distinct keys* are
+        # acceptable (colliding keys alias the same counter, which the
+        # reference model below reproduces exactly).
+        return 2 * self.universe
+
+
+@dataclass
+class FactDbResult:
+    """Outcome: timing plus the full final table for verification."""
+
+    elapsed_us: float
+    #: Final value of every window slot, indexed [rank][slot].
+    table: np.ndarray
+    total_firings: int
+
+    def derived_total(self) -> int:
+        """Sum of all counters (base + derived)."""
+        return int(self.table.sum())
+
+
+def reference_table(cfg: FactDbConfig) -> np.ndarray:
+    """Sequential model of the final table (firing-order independent)."""
+    n, slots = cfg.nranks, cfg.slots_per_rank
+    table = np.zeros((n, slots), dtype=np.int64)
+    base = {}
+    for key in range(cfg.universe // 2):
+        value = key % 7 + 1
+        base[key] = value
+        table[_home(key, n), _slot(key, cfg.universe, slots)] += value
+    for rank in range(n):
+        rng = np.random.default_rng(cfg.seed + rank * 65537)
+        for _ in range(cfg.firings_per_rank):
+            key = int(rng.integers(0, cfg.universe // 2))
+            derived = _derive(key, cfg.universe)
+            table[_home(derived, n), _slot(derived, cfg.universe, slots)] += base[key]
+    return table
+
+
+def _make_app(cfg: FactDbConfig, finish: list[float]):
+    info = {A_A_A_R: 1} if cfg.reorder else None
+    n = cfg.nranks
+    slots = cfg.slots_per_rank
+
+    def app(proc):
+        win = yield from proc.win_allocate(slots * _REC, info=info)
+        # Seed the base facts this rank hosts.
+        view = win.view(np.int64)
+        for key in range(cfg.universe // 2):
+            if _home(key, n) == proc.rank:
+                view[_slot(key, cfg.universe, slots)] += key % 7 + 1
+        yield from proc.barrier()
+
+        rng = np.random.default_rng(cfg.seed + proc.rank * 65537)
+        pending = []
+        for _ in range(cfg.firings_per_rank):
+            key = int(rng.integers(0, cfg.universe // 2))
+            fact_home, fact_slot = _home(key, n), _slot(key, cfg.universe, slots)
+            derived = _derive(key, cfg.universe)
+            dhome, dslot = _home(derived, n), _slot(derived, cfg.universe, slots)
+
+            # (1) Pattern match: read the triggering fact.
+            value = np.zeros(1, dtype=np.int64)
+            if cfg.nonblocking:
+                win.ilock(fact_home, LOCK_SHARED)
+                win.get(value, fact_home, fact_slot * _REC)
+                read_done = win.iunlock(fact_home)
+                yield from read_done.wait()  # data dependency: must wait
+            else:
+                yield from win.lock(fact_home, LOCK_SHARED)
+                win.get(value, fact_home, fact_slot * _REC)
+                yield from win.unlock(fact_home)
+
+            # (2) Derivation compute.
+            if cfg.match_cost_us:
+                yield from proc.compute(cfg.match_cost_us)
+
+            # (3) Update the derived fact atomically.  The *base* fact
+            # values never change, so reading step (1)'s value is stable
+            # regardless of firing interleavings.
+            if cfg.nonblocking:
+                win.ilock(dhome)
+                win.accumulate(value, dhome, dslot * _REC)
+                pending.append(win.iunlock(dhome))
+                if len(pending) >= cfg.max_pending:
+                    half = len(pending) // 2
+                    yield from proc.waitall(pending[:half])
+                    pending = pending[half:]
+            else:
+                yield from win.lock(dhome)
+                win.accumulate(value, dhome, dslot * _REC)
+                yield from win.unlock(dhome)
+
+        yield from proc.waitall(pending)
+        finish[proc.rank] = proc.wtime()
+        yield from proc.barrier()
+        return win.view(np.int64).copy()
+
+    return app
+
+
+def run_factdb(cfg: FactDbConfig) -> FactDbResult:
+    """Run the rule engine; returns timing and the final table."""
+    runtime = MPIRuntime(
+        cfg.nranks,
+        cores_per_node=cfg.cores_per_node,
+        engine=cfg.engine,
+        model=cfg.model,
+    )
+    finish = [0.0] * cfg.nranks
+    tables = runtime.run(_make_app(cfg, finish))
+    return FactDbResult(
+        elapsed_us=max(finish),
+        table=np.stack(tables),
+        total_firings=cfg.nranks * cfg.firings_per_rank,
+    )

@@ -1,0 +1,39 @@
+"""Benchmark support: the paper's three test series, the §VIII
+microbenchmark scenarios (Figs. 2–11), and table rendering used by the
+``benchmarks/`` harness."""
+
+from .calibration import PAPER_1MB_PUT_US, default_model
+from .figures import (
+    SIZES_4B_TO_1MB,
+    fig02_late_post,
+    fig03_late_complete,
+    fig04_early_fence,
+    fig05_wait_at_fence,
+    fig06_late_unlock,
+    fig07_aaar_gats,
+    fig08_aaar_lock,
+    fig09_aaer,
+    fig10_eaer,
+    fig11_eaar,
+)
+from .harness import SERIES, Series, format_table, series_label
+
+__all__ = [
+    "SERIES",
+    "Series",
+    "series_label",
+    "format_table",
+    "default_model",
+    "PAPER_1MB_PUT_US",
+    "SIZES_4B_TO_1MB",
+    "fig02_late_post",
+    "fig03_late_complete",
+    "fig04_early_fence",
+    "fig05_wait_at_fence",
+    "fig06_late_unlock",
+    "fig07_aaar_gats",
+    "fig08_aaar_lock",
+    "fig09_aaer",
+    "fig10_eaer",
+    "fig11_eaar",
+]

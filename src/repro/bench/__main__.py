@@ -1,0 +1,113 @@
+"""Standalone figure-table runner: ``python -m repro.bench``.
+
+Regenerates the §VIII microbenchmark tables (Figs. 2-11) without
+pytest.  For the application figures (12, 13) and wall-clock tracking,
+use ``pytest benchmarks/ --benchmark-only``.
+
+Usage::
+
+    python -m repro.bench            # every microbenchmark figure
+    python -m repro.bench fig02 fig06 ...
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import figures
+from .harness import SERIES, format_table
+
+MB = 1 << 20
+
+
+def _sweep_sizes(fn, metric: str) -> dict:
+    sizes = {"4B": 4, "64KB": 65536, "1MB": MB}
+    return {
+        s.name: {label: fn(s, n)[metric] for label, n in sizes.items()} for s in SERIES
+    }
+
+
+def fig02() -> str:
+    rows = {s.name: figures.fig02_late_post(s) for s in SERIES}
+    return format_table(
+        "Fig. 2: Late Post", ("access_epoch", "two_sided", "cumulative"), rows
+    )
+
+
+def fig03() -> str:
+    rows = _sweep_sizes(figures.fig03_late_complete, "target_epoch")
+    return format_table("Fig. 3: Late Complete (target epoch)", ("4B", "64KB", "1MB"), rows)
+
+
+def fig04() -> str:
+    rows = {
+        s.name: {"256KB": figures.fig04_early_fence(s, 256 * 1024)["cumulative"],
+                 "1MB": figures.fig04_early_fence(s, MB)["cumulative"]}
+        for s in SERIES
+    }
+    return format_table("Fig. 4: Early Fence (cumulative)", ("256KB", "1MB"), rows)
+
+
+def fig05() -> str:
+    rows = _sweep_sizes(figures.fig05_wait_at_fence, "target_epoch")
+    return format_table("Fig. 5: Wait at Fence (target epoch)", ("4B", "64KB", "1MB"), rows)
+
+
+def fig06() -> str:
+    rows = {s.name: figures.fig06_late_unlock(s) for s in SERIES}
+    return format_table("Fig. 6: Late Unlock", ("first_lock", "second_lock"), rows)
+
+
+def _flag_table(title: str, fn, columns: tuple[str, ...]) -> str:
+    rows = {"off": fn(False), "on": fn(True)}
+    return format_table(title, columns, rows)
+
+
+def fig07() -> str:
+    return _flag_table("Fig. 7: A_A_A_R (GATS)", figures.fig07_aaar_gats,
+                       ("target_T1", "origin_cumulative"))
+
+
+def fig08() -> str:
+    return _flag_table("Fig. 8: A_A_A_R (lock)", figures.fig08_aaar_lock,
+                       ("o1_cumulative",))
+
+
+def fig09() -> str:
+    return _flag_table("Fig. 9: A_A_E_R", figures.fig09_aaer,
+                       ("target_P1", "p2_cumulative"))
+
+
+def fig10() -> str:
+    return _flag_table("Fig. 10: E_A_E_R", figures.fig10_eaer,
+                       ("origin_O1", "target_cumulative"))
+
+
+def fig11() -> str:
+    return _flag_table("Fig. 11: E_A_A_R", figures.fig11_eaar,
+                       ("origin_P1", "p2_cumulative"))
+
+
+import re as _re
+
+ALL = {
+    name: fn
+    for name, fn in list(globals().items())
+    if _re.fullmatch(r"fig\d+", name) and callable(fn)
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or sorted(ALL)
+    unknown = [w for w in wanted if w not in ALL]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: {sorted(ALL)}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        print(ALL[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

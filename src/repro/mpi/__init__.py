@@ -1,0 +1,70 @@
+"""Simulated MPI runtime: ranks, two-sided messaging, collectives,
+requests, datatypes and the job launcher.
+
+The RMA window API lives in :mod:`repro.rma` and is reached through
+:meth:`MPIProcess.win_allocate`.
+"""
+
+from .datatypes import BYTE, FLOAT32, FLOAT64, INT32, INT64, UINT64, Datatype
+from .errors import MpiError, RmaUsageError, TruncationError, UnsupportedOperation
+from .info import Info
+from .memory import WindowMemory
+from .ops import (
+    ALL_OPS,
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    NO_OP,
+    PROD,
+    REPLACE,
+    SUM,
+    ReduceOp,
+)
+from .p2p import ANY_SOURCE, ANY_TAG
+from .process import MPIProcess
+from .requests import CompletedRequest, Request, testall, testany, waitall, waitany
+from .runtime import ENGINES, MPIRuntime
+
+__all__ = [
+    "MPIRuntime",
+    "MPIProcess",
+    "ENGINES",
+    "Request",
+    "CompletedRequest",
+    "waitall",
+    "waitany",
+    "testall",
+    "testany",
+    "Info",
+    "WindowMemory",
+    "Datatype",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "UINT64",
+    "FLOAT32",
+    "FLOAT64",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "REPLACE",
+    "NO_OP",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "LAND",
+    "LOR",
+    "ALL_OPS",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiError",
+    "RmaUsageError",
+    "UnsupportedOperation",
+    "TruncationError",
+]

@@ -1,0 +1,134 @@
+"""Collective operations built on the two-sided layer.
+
+Only what the paper's workloads and benchmarks need: a dissemination
+barrier, a binomial-tree broadcast, and a binomial-tree reduce/allreduce
+for gathering per-rank statistics.  Internal traffic uses a reserved
+negative tag space so it can never match application receives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import MPIProcess
+
+__all__ = ["barrier", "bcast", "reduce_sum", "allreduce_sum", "gather"]
+
+# Reserved internal tag bases (application tags must be >= 0).
+_TAG_BARRIER = -100
+_TAG_BCAST = -200
+_TAG_REDUCE = -300
+_TAG_GATHER = -400
+_TAG_ALLRED = -500
+
+
+def barrier(proc: "MPIProcess") -> Generator[Any, Any, None]:
+    """Dissemination barrier: ceil(log2(n)) rounds of paired messages."""
+    n = proc.size
+    if n == 1:
+        return
+    rank = proc.rank
+    k = 0
+    dist = 1
+    while dist < n:
+        dst = (rank + dist) % n
+        src = (rank - dist) % n
+        sreq = proc.isend(dst, 8, tag=_TAG_BARRIER - k)
+        rreq = proc.irecv(src, tag=_TAG_BARRIER - k)
+        yield from sreq.wait()
+        yield from rreq.wait()
+        dist <<= 1
+        k += 1
+
+
+def bcast(
+    proc: "MPIProcess", data: np.ndarray | None, root: int = 0, nbytes: int | None = None
+) -> Generator[Any, Any, np.ndarray | None]:
+    """Binomial-tree broadcast; returns the data on every rank.
+
+    ``nbytes`` sizes the transfer when ``data`` is None (timing-only use).
+    """
+    n = proc.size
+    if n == 1:
+        return data
+    vrank = (proc.rank - root) % n
+    # Receive from the parent (the rank that differs in our lowest set bit).
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            src = (proc.rank - mask + n) % n
+            rreq = proc.irecv(src, tag=_TAG_BCAST)
+            data = yield from rreq.wait()
+            break
+        mask <<= 1
+    size = nbytes if nbytes is not None else (data.nbytes if data is not None else 8)
+    # Forward to children at decreasing bit distances.
+    sends = []
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < n:
+            dst = (proc.rank + mask) % n
+            sends.append(proc.isend(dst, size, tag=_TAG_BCAST, data=data))
+        mask >>= 1
+    for s in sends:
+        yield from s.wait()
+    return data
+
+
+def reduce_sum(
+    proc: "MPIProcess", value: np.ndarray, root: int = 0
+) -> Generator[Any, Any, np.ndarray | None]:
+    """Binomial-tree sum-reduction to ``root``; returns the total there,
+    None elsewhere."""
+    n = proc.size
+    acc = np.array(value, copy=True)
+    if n == 1:
+        return acc
+    vrank = (proc.rank - root) % n
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            dst = ((vrank & ~mask) + root) % n
+            sreq = proc.isend(dst, acc.nbytes, tag=_TAG_REDUCE, data=acc)
+            yield from sreq.wait()
+            return None
+        peer = vrank | mask
+        if peer < n:
+            rreq = proc.irecv(((peer + root) % n), tag=_TAG_REDUCE)
+            contrib = yield from rreq.wait()
+            acc = acc + contrib.view(acc.dtype).reshape(acc.shape)
+        mask <<= 1
+    return acc
+
+
+def allreduce_sum(
+    proc: "MPIProcess", value: np.ndarray, root: int = 0
+) -> Generator[Any, Any, np.ndarray]:
+    """Reduce-then-broadcast allreduce (sum)."""
+    total = yield from reduce_sum(proc, value, root)
+    out = yield from bcast(proc, total, root)
+    assert out is not None
+    return np.asarray(out).view(np.asarray(value).dtype)
+
+
+def gather(
+    proc: "MPIProcess", value: np.ndarray, root: int = 0
+) -> Generator[Any, Any, list[np.ndarray] | None]:
+    """Linear gather of one array per rank to ``root`` (fine at the job
+    sizes the benchmarks use for statistics collection)."""
+    if proc.rank == root:
+        out: list[np.ndarray | None] = [None] * proc.size
+        out[root] = np.array(value, copy=True)
+        reqs = {
+            r: proc.irecv(r, tag=_TAG_GATHER) for r in range(proc.size) if r != root
+        }
+        for r, req in reqs.items():
+            data = yield from req.wait()
+            out[r] = data.view(np.asarray(value).dtype)
+        return out  # type: ignore[return-value]
+    sreq = proc.isend(root, np.asarray(value).nbytes, tag=_TAG_GATHER, data=np.asarray(value))
+    yield from sreq.wait()
+    return None

@@ -1,0 +1,64 @@
+"""Minimal MPI datatype model backed by numpy dtypes.
+
+Only contiguous basic types are modeled — enough for the paper's
+workloads (byte streams, 64-bit counters, double rows).  A datatype knows
+its numpy dtype and size; RMA calls use it to interpret window bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "UINT64",
+    "FLOAT32",
+    "FLOAT64",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A contiguous basic datatype."""
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def size(self) -> int:
+        """Extent in bytes of one element."""
+        return int(self.np_dtype.itemsize)
+
+    def view(self, buf: np.ndarray, offset_bytes: int, count: int) -> np.ndarray:
+        """A ``count``-element view of ``buf`` (uint8) at a byte offset."""
+        end = offset_bytes + count * self.size
+        if offset_bytes < 0 or end > buf.nbytes:
+            raise ValueError(
+                f"datatype view [{offset_bytes}, {end}) outside buffer of {buf.nbytes} bytes"
+            )
+        return buf[offset_bytes:end].view(self.np_dtype)
+
+    def __repr__(self) -> str:
+        return f"Datatype({self.name})"
+
+
+BYTE = Datatype("BYTE", np.dtype(np.uint8))
+INT32 = Datatype("INT32", np.dtype(np.int32))
+INT64 = Datatype("INT64", np.dtype(np.int64))
+UINT64 = Datatype("UINT64", np.dtype(np.uint64))
+FLOAT32 = Datatype("FLOAT32", np.dtype(np.float32))
+FLOAT64 = Datatype("FLOAT64", np.dtype(np.float64))
+
+
+def from_numpy(dtype: np.dtype) -> Datatype:
+    """Datatype wrapping an arbitrary numpy dtype."""
+    dtype = np.dtype(dtype)
+    for dt in (BYTE, INT32, INT64, UINT64, FLOAT32, FLOAT64):
+        if dt.np_dtype == dtype:
+            return dt
+    return Datatype(str(dtype), dtype)

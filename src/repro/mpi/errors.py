@@ -1,0 +1,32 @@
+"""Exception hierarchy for the MPI-like runtime and the RMA layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MpiError",
+    "RmaUsageError",
+    "UnsupportedOperation",
+    "TruncationError",
+]
+
+
+class MpiError(Exception):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class RmaUsageError(MpiError):
+    """An RMA call violated epoch/synchronization usage rules (e.g. a put
+    outside any epoch, mismatched complete, double lock of the same
+    target from one origin epoch)."""
+
+
+class UnsupportedOperation(MpiError):
+    """The selected engine does not provide the requested routine.
+
+    The baseline MVAPICH-style engine raises this for every routine of
+    the paper's proposed nonblocking synchronization API.
+    """
+
+
+class TruncationError(MpiError):
+    """A receive buffer was smaller than the matched incoming message."""

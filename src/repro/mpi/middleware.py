@@ -1,0 +1,68 @@
+"""Per-rank middleware: routes fabric deliveries to the right layer.
+
+Each rank owns one :class:`RankMiddleware` holding its two-sided engine,
+its notification FIFO endpoint, and (once windows exist) its RMA engine.
+The paper's design keeps two cooperating progress engines (§VII): the
+pre-existing one for two-sided/collectives and the new RMA one; the
+delivery router below is where that cooperation happens — any arrival
+pokes the RMA progress engine so RMA-related progress is made on
+two-sided activity and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..network.shmem import NotificationFifo, NotificationPacket
+from .p2p import P2PEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.fabric import Fabric
+    from ..rma.engine.base import RmaEngineBase
+    from ..simtime import Simulator
+
+__all__ = ["RankMiddleware"]
+
+
+class RankMiddleware:
+    """Delivery router plus per-rank engine container."""
+
+    def __init__(self, sim: "Simulator", fabric: "Fabric", rank: int):
+        self.sim = sim
+        self.fabric = fabric
+        self.rank = rank
+        self.p2p = P2PEngine(sim, fabric, rank)
+        self.fifo = NotificationFifo(fabric, rank)
+        self.rma_engine: "RmaEngineBase | None" = None
+        fabric.register_handler(rank, self.on_delivery)
+
+    def attach_rma_engine(self, engine: "RmaEngineBase") -> None:
+        """Install this rank's RMA engine (one per rank per runtime)."""
+        if self.rma_engine is not None:
+            raise RuntimeError(f"rank {self.rank} already has an RMA engine")
+        self.rma_engine = engine
+
+    def on_delivery(self, payload: Any, src: int) -> None:
+        """Fabric delivery entry point for this rank."""
+        if isinstance(payload, NotificationPacket):
+            self.fifo.push(payload.packet, src)
+            if self.rma_engine is not None:
+                self.rma_engine.poke()
+            return
+        if self.p2p.on_delivery(payload, src):
+            # Full opportunistic progression (§VII): two-sided arrivals
+            # also progress pending RMA activity.
+            if self.rma_engine is not None:
+                self.rma_engine.poke()
+            return
+        if self.rma_engine is not None and self.rma_engine.on_packet(payload, src):
+            self.rma_engine.poke()
+            return
+        raise RuntimeError(
+            f"rank {self.rank}: unroutable delivery {payload!r} from {src}"
+        )
+
+    @property
+    def attention(self):
+        """This rank's host-attention gate."""
+        return self.fabric.attention[self.rank]

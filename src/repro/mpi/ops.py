@@ -1,0 +1,72 @@
+"""Reduction operations for accumulate-style RMA calls.
+
+Each op is an object with an elementwise ``apply(target, operand)`` that
+mutates ``target`` in place (numpy views of window memory), matching the
+MPI semantics that accumulates are elementwise-atomic reductions into the
+target buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "REPLACE",
+    "NO_OP",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "LAND",
+    "LOR",
+    "ALL_OPS",
+]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An elementwise reduction ``target = fn(target, operand)``."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], None]
+
+    def apply(self, target: np.ndarray, operand: np.ndarray) -> None:
+        """Mutate ``target`` in place."""
+        if target.shape != operand.shape:
+            raise ValueError(
+                f"accumulate shape mismatch: target {target.shape} vs operand {operand.shape}"
+            )
+        self.fn(target, operand)
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _replace(t: np.ndarray, o: np.ndarray) -> None:
+    t[...] = o
+
+
+def _no_op(t: np.ndarray, o: np.ndarray) -> None:  # noqa: ARG001 - MPI_NO_OP
+    pass
+
+
+SUM = ReduceOp("SUM", lambda t, o: np.add(t, o, out=t))
+PROD = ReduceOp("PROD", lambda t, o: np.multiply(t, o, out=t))
+MIN = ReduceOp("MIN", lambda t, o: np.minimum(t, o, out=t))
+MAX = ReduceOp("MAX", lambda t, o: np.maximum(t, o, out=t))
+REPLACE = ReduceOp("REPLACE", _replace)
+NO_OP = ReduceOp("NO_OP", _no_op)
+BAND = ReduceOp("BAND", lambda t, o: np.bitwise_and(t, o, out=t))
+BOR = ReduceOp("BOR", lambda t, o: np.bitwise_or(t, o, out=t))
+BXOR = ReduceOp("BXOR", lambda t, o: np.bitwise_xor(t, o, out=t))
+LAND = ReduceOp("LAND", lambda t, o: np.copyto(t, (t.astype(bool) & o.astype(bool)).astype(t.dtype)))
+LOR = ReduceOp("LOR", lambda t, o: np.copyto(t, (t.astype(bool) | o.astype(bool)).astype(t.dtype)))
+
+ALL_OPS = (SUM, PROD, MIN, MAX, REPLACE, NO_OP, BAND, BOR, BXOR, LAND, LOR)

@@ -1,0 +1,244 @@
+"""Two-sided point-to-point messaging (send/recv and friends).
+
+The RMA paper needs a two-sided substrate both as a workload component
+(Fig. 2 interleaves an RMA epoch with a 1 MB two-sided transfer) and to
+build collectives.  The protocol is the classic eager/rendezvous split:
+
+- messages at or below the fabric's eager threshold travel immediately
+  and land in the receiver's unexpected queue until matched;
+- larger messages send an RTS control packet; the receiver answers CTS
+  once a matching receive is posted; the payload then flows.
+
+Matching is MPI-conformant: per-(source, tag) FIFO with ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards, posted-receive order priority.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..network.packets import ServiceKind
+from .errors import TruncationError
+from .requests import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.fabric import Fabric
+    from ..simtime import Simulator
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "P2PEngine", "SendRequest", "RecvRequest"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_send_ids = itertools.count()
+
+
+# -- wire payloads ---------------------------------------------------------
+@dataclass
+class EagerData:
+    """Payload of an eager send: data travels with the envelope."""
+
+    tag: int
+    nbytes: int
+    data: np.ndarray | None
+    send_id: int
+
+
+@dataclass
+class RtsPacket:
+    """Rendezvous request-to-send."""
+
+    tag: int
+    nbytes: int
+    send_id: int
+
+
+@dataclass
+class CtsPacket:
+    """Rendezvous clear-to-send (receiver matched the RTS)."""
+
+    send_id: int
+
+
+@dataclass
+class RndvData:
+    """Rendezvous payload."""
+
+    send_id: int
+    nbytes: int
+    data: np.ndarray | None
+
+
+# -- requests ----------------------------------------------------------------
+class SendRequest(Request):
+    """Completes when the send buffer is reusable (local completion)."""
+
+
+class RecvRequest(Request):
+    """Completes when the message has fully arrived; value is the data."""
+
+    def __init__(self, sim: "Simulator", source: int, tag: int, buffer: np.ndarray | None):
+        super().__init__(sim, f"recv(src={source},tag={tag})")
+        self.source = source
+        self.tag = tag
+        self.buffer = buffer
+        #: Actual source/tag after matching (resolves wildcards).
+        self.matched_source: int | None = None
+        self.matched_tag: int | None = None
+
+
+class P2PEngine:
+    """Per-rank two-sided messaging state machine."""
+
+    def __init__(self, sim: "Simulator", fabric: "Fabric", rank: int):
+        self.sim = sim
+        self.fabric = fabric
+        self.rank = rank
+        #: Posted receives, in post order (MPI matching priority).
+        self._posted: list[RecvRequest] = []
+        #: Unexpected arrivals in arrival order: (src, payload).
+        self._unexpected: list[tuple[int, EagerData | RtsPacket]] = []
+        #: Rendezvous sends awaiting CTS: send_id -> (dst, nbytes, data, request)
+        self._rndv_pending: dict[int, tuple[int, int, np.ndarray | None, SendRequest]] = {}
+        #: Receives matched to an RTS, awaiting payload: send_id -> request.
+        self._rndv_recv: dict[int, RecvRequest] = {}
+
+    # -- sending ---------------------------------------------------------
+    def isend(
+        self, dst: int, nbytes: int, tag: int = 0, data: np.ndarray | None = None
+    ) -> SendRequest:
+        """Start a send of ``nbytes`` (optionally carrying real data)."""
+        if data is not None:
+            data = np.ascontiguousarray(data)
+            nbytes = data.nbytes
+        req = SendRequest(self.sim, f"send(to={dst},tag={tag},n={nbytes})")
+        send_id = next(_send_ids)
+        if nbytes <= self.fabric.model.eager_threshold:
+            payload = EagerData(tag, nbytes, data, send_id)
+            ticket = self.fabric.send(
+                self.rank, dst, nbytes + self.fabric.model.control_bytes, payload,
+                kind=ServiceKind.CONTROL,
+            )
+            ticket.local_complete.add_callback(lambda _e: req.complete())
+        else:
+            self._rndv_pending[send_id] = (dst, nbytes, data, req)
+            rts = RtsPacket(tag, nbytes, send_id)
+            self.fabric.send(
+                self.rank, dst, self.fabric.model.control_bytes, rts,
+                kind=ServiceKind.CONTROL,
+            )
+        return req
+
+    # -- receiving ---------------------------------------------------------
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, buffer: np.ndarray | None = None
+    ) -> RecvRequest:
+        """Post a receive; completes with the message data (or None for
+        size-only transfers)."""
+        req = RecvRequest(self.sim, source, tag, buffer)
+        matched = self._match_unexpected(req)
+        if matched is None:
+            self._posted.append(req)
+        return req
+
+    # -- delivery (called by middleware) ---------------------------------
+    def on_delivery(self, payload: Any, src: int) -> bool:
+        """Handle a fabric delivery if it belongs to this layer.
+
+        Returns True when consumed.
+        """
+        if isinstance(payload, EagerData):
+            req = self._match_posted(src, payload.tag)
+            if req is None:
+                self._unexpected.append((src, payload))
+            else:
+                self._finish_recv(req, src, payload.tag, payload.nbytes, payload.data)
+            return True
+        if isinstance(payload, RtsPacket):
+            req = self._match_posted(src, payload.tag)
+            if req is None:
+                self._unexpected.append((src, payload))
+            else:
+                self._send_cts(req, src, payload)
+            return True
+        if isinstance(payload, CtsPacket):
+            dst, nbytes, data, sreq = self._rndv_pending.pop(payload.send_id)
+            ticket = self.fabric.send(
+                self.rank, dst, nbytes, RndvData(payload.send_id, nbytes, data),
+                kind=ServiceKind.RDMA,
+            )
+            ticket.local_complete.add_callback(lambda _e: sreq.complete())
+            return True
+        if isinstance(payload, RndvData):
+            req = self._rndv_recv.pop(payload.send_id)
+            self._finish_recv(
+                req, req.matched_source, req.matched_tag, payload.nbytes, payload.data
+            )
+            return True
+        return False
+
+    # -- matching internals ----------------------------------------------
+    @staticmethod
+    def _matches(req: RecvRequest, src: int, tag: int) -> bool:
+        return (req.source in (ANY_SOURCE, src)) and (req.tag in (ANY_TAG, tag))
+
+    def _match_posted(self, src: int, tag: int) -> RecvRequest | None:
+        for i, req in enumerate(self._posted):
+            if self._matches(req, src, tag):
+                return self._posted.pop(i)
+        return None
+
+    def _match_unexpected(self, req: RecvRequest) -> bool | None:
+        for i, (src, payload) in enumerate(self._unexpected):
+            if self._matches(req, src, payload.tag):
+                self._unexpected.pop(i)
+                if isinstance(payload, EagerData):
+                    self._finish_recv(req, src, payload.tag, payload.nbytes, payload.data)
+                else:
+                    self._send_cts(req, src, payload)
+                return True
+        return None
+
+    def _send_cts(self, req: RecvRequest, src: int, rts: RtsPacket) -> None:
+        req.matched_source = src
+        req.matched_tag = rts.tag
+        self._rndv_recv[rts.send_id] = req
+        self.fabric.send(
+            self.rank, src, self.fabric.model.control_bytes, CtsPacket(rts.send_id),
+            kind=ServiceKind.CONTROL,
+        )
+
+    def _finish_recv(
+        self,
+        req: RecvRequest,
+        src: int | None,
+        tag: int | None,
+        nbytes: int,
+        data: np.ndarray | None,
+    ) -> None:
+        req.matched_source = src
+        req.matched_tag = tag
+        if data is not None and req.buffer is not None:
+            raw = data.view(np.uint8).reshape(-1)
+            dest = req.buffer.view(np.uint8).reshape(-1)
+            if raw.nbytes > dest.nbytes:
+                raise TruncationError(
+                    f"recv buffer of {dest.nbytes} B too small for {raw.nbytes} B message"
+                )
+            dest[: raw.nbytes] = raw
+        req.complete(data)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def unexpected_count(self) -> int:
+        """Unmatched arrivals currently queued."""
+        return len(self._unexpected)
+
+    @property
+    def posted_count(self) -> int:
+        """Posted-but-unmatched receives."""
+        return len(self._posted)

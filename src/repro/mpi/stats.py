@@ -1,0 +1,84 @@
+"""Runtime statistics: a post-run snapshot of fabric and engine counters.
+
+Collects the observability data a performance engineer would ask the
+middleware for: traffic volumes, flow-control pressure, registration
+cache efficiency, lock-manager activity, epoch counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import MPIRuntime
+
+__all__ = ["RuntimeStats", "collect_stats"]
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Aggregate counters for one finished (or paused) run."""
+
+    virtual_time_us: float
+    messages_sent: int
+    bytes_sent: int
+    fc_stalls: int
+    regcache_hits: int
+    regcache_misses: int
+    regcache_evictions: int
+    lock_grants: int
+    #: Epochs still live in any window state (0 after clean completion).
+    live_epochs: int
+    windows: int
+
+    @property
+    def regcache_hit_rate(self) -> float:
+        """Pin-cache hit fraction (0 when never exercised)."""
+        total = self.regcache_hits + self.regcache_misses
+        return self.regcache_hits / total if total else 0.0
+
+    def format(self) -> str:
+        """Fixed-width human-readable rendering."""
+        lines = [
+            f"virtual time        {self.virtual_time_us:14.2f} µs",
+            f"messages sent       {self.messages_sent:14d}",
+            f"bytes sent          {self.bytes_sent:14d}",
+            f"flow-ctrl stalls    {self.fc_stalls:14d}",
+            f"regcache hit rate   {100 * self.regcache_hit_rate:13.1f} %"
+            f"  ({self.regcache_hits} hits / {self.regcache_misses} misses,"
+            f" {self.regcache_evictions} evictions)",
+            f"lock grants         {self.lock_grants:14d}",
+            f"windows             {self.windows:14d}",
+            f"live epochs         {self.live_epochs:14d}",
+        ]
+        return "\n".join(lines)
+
+
+def collect_stats(runtime: "MPIRuntime") -> RuntimeStats:
+    """Snapshot the counters of a runtime."""
+    fabric = runtime.fabric
+    hits = misses = evictions = 0
+    for rank in range(runtime.nranks):
+        cache = fabric.regcache(rank)
+        hits += cache.hits
+        misses += cache.misses
+        evictions += cache.evictions
+    lock_grants = 0
+    live_epochs = 0
+    for engine in runtime.engines:
+        for ws in engine.states.values():
+            lock_grants += ws.lock_mgr.grants
+            live_epochs += len(ws.live_epochs())
+    return RuntimeStats(
+        virtual_time_us=runtime.now,
+        messages_sent=fabric.messages_sent,
+        bytes_sent=fabric.bytes_sent,
+        fc_stalls=fabric.flow.total_stalls(),
+        regcache_hits=hits,
+        regcache_misses=misses,
+        regcache_evictions=evictions,
+        lock_grants=lock_grants,
+        live_epochs=live_epochs,
+        windows=len(runtime.window_groups),
+    )

@@ -1,0 +1,169 @@
+"""The simulated fabric: moves :class:`~repro.network.packets.Message`
+objects between ranks under the cost model, port contention, flow control,
+registration-cache and host-attention constraints.
+
+The fabric is *omniscient* (it sees both endpoints' port schedules), which
+is the standard trick that lets a discrete-event model enforce cut-through
+port occupancy without simulating switches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from .flowcontrol import FlowControl
+from .model import NetworkModel
+from .nic import AttentionGate, NicPorts
+from .packets import Message, ServiceKind
+from .regcache import RegistrationCache
+from .topology import ClusterTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simtime import SimEvent, Simulator
+
+__all__ = ["Fabric", "SendTicket"]
+
+DeliveryHandler = Callable[[Any, int], None]
+
+
+class SendTicket:
+    """Handle returned by :meth:`Fabric.send`.
+
+    Attributes
+    ----------
+    local_complete:
+        Triggers when the source buffer is reusable (out-port done
+        serializing) — the MPI "local completion" notion used by
+        ``flush_local``.
+    delivered:
+        Triggers when the payload has been handled at the destination
+        (after the attention gate, for attention-requiring messages).
+    """
+
+    __slots__ = ("message", "local_complete", "delivered")
+
+    def __init__(self, sim: "Simulator", message: Message):
+        self.message = message
+        self.local_complete: "SimEvent" = sim.event(f"msg{message.uid}.local")
+        self.delivered: "SimEvent" = sim.event(f"msg{message.uid}.delivered")
+
+
+class Fabric:
+    """One instance per simulated job; shared by every rank's middleware."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: ClusterTopology,
+        model: NetworkModel | None = None,
+        flow_control_enabled: bool = True,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.model = model or NetworkModel()
+        self.flow = FlowControl(
+            sim,
+            self.model.credits_per_peer,
+            self.model.ack_latency,
+            enabled=flow_control_enabled,
+        )
+        self._ports = [NicPorts() for _ in range(topology.nranks)]
+        self.attention = [AttentionGate(sim, r) for r in range(topology.nranks)]
+        self._regcaches = [
+            RegistrationCache(
+                self.model.regcache_capacity,
+                self.model.pin_base_cost,
+                self.model.pin_cost_per_kb,
+            )
+            for _ in range(topology.nranks)
+        ]
+        self._handlers: dict[int, DeliveryHandler] = {}
+        # Traffic accounting (used by benchmarks and tests).
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- wiring ----------------------------------------------------------
+    def register_handler(self, rank: int, handler: DeliveryHandler) -> None:
+        """Install the middleware delivery handler for ``rank``."""
+        if rank in self._handlers:
+            raise ValueError(f"rank {rank} already has a delivery handler")
+        self._handlers[rank] = handler
+
+    def regcache(self, rank: int) -> RegistrationCache:
+        """The registration cache of ``rank``."""
+        return self._regcaches[rank]
+
+    # -- sending ---------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        payload: Any,
+        kind: ServiceKind = ServiceKind.RDMA,
+        needs_attention: bool = False,
+        pin_region: tuple[int, int] | None = None,
+    ) -> SendTicket:
+        """Queue a message; returns its :class:`SendTicket` immediately.
+
+        ``pin_region`` — an (address, size) pair registered at the source
+        before the transfer if the path is internode; hits in the LRU
+        registration cache are free.
+
+        Loopback (``src == dst``) is delivered at the current instant
+        with no port occupancy, matching self-communication shortcuts in
+        real MPI middleware.
+        """
+        message = Message(src, dst, nbytes, kind, payload, needs_attention)
+        ticket = SendTicket(self.sim, message)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+        if src == dst:
+            ticket.local_complete.trigger()
+            self._deliver(ticket)
+            return ticket
+
+        self.flow.acquire(src, dst, lambda: self._start_transfer(ticket))
+        return ticket
+
+    # -- internals ---------------------------------------------------------
+    def _start_transfer(self, ticket: SendTicket) -> None:
+        msg = ticket.message
+        intranode = self.topology.same_node(msg.src, msg.dst)
+        pin_delay = 0.0
+        if not intranode and msg.payload is not None:
+            region = getattr(msg.payload, "pin_region", None)
+            if region is not None:
+                pin_delay = self._regcaches[msg.src].pin_cost(*region)
+
+        now = self.sim.now
+        lat = self.model.latency(intranode)
+        ser = self.model.transfer_time(msg.nbytes, intranode)
+        ports_src = self._ports[msg.src].pair(intranode)
+        ports_dst = self._ports[msg.dst].pair(intranode)
+        start = max(now + pin_delay, ports_src.out_free, ports_dst.in_free - lat)
+        out_done = start + ser
+        delivery = start + lat + ser
+        ports_src.out_free = out_done
+        ports_dst.in_free = delivery
+
+        self.sim.schedule(out_done - now, ticket.local_complete.trigger)
+        self.sim.schedule(delivery - now, self._arrive, ticket)
+        self.flow.schedule_release(msg.src, msg.dst, delivery - now)
+
+    def _arrive(self, ticket: SendTicket) -> None:
+        msg = ticket.message
+        if msg.needs_attention:
+            overhead = self.model.host_attention_overhead
+            gate = self.attention[msg.dst]
+            gate.submit(lambda: self.sim.schedule(overhead, self._deliver, ticket))
+        else:
+            self._deliver(ticket)
+
+    def _deliver(self, ticket: SendTicket) -> None:
+        msg = ticket.message
+        handler = self._handlers.get(msg.dst)
+        if handler is not None:
+            handler(msg.payload, msg.src)
+        ticket.delivered.trigger(msg.payload)

@@ -1,0 +1,107 @@
+"""Credit-based flow control between rank pairs.
+
+The paper's implementation runs over InfiniBand with credit-based flow
+control; §VIII-B reports that a flow-control issue capped scaling of the
+transaction workload past 512 processes when many epochs are pending at
+once.  This module models the mechanism that produces that behaviour: a
+bounded number of unacknowledged packets per (source, destination) pair.
+Sends that find no credit queue up FIFO and are released as acks return.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simtime import Simulator
+
+__all__ = ["CreditPool", "FlowControl"]
+
+
+class CreditPool:
+    """Credits for one directed (src → dst) pair."""
+
+    __slots__ = ("capacity", "available", "_waiters", "stall_count")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"credit capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.available = capacity
+        self._waiters: deque[Callable[[], None]] = deque()
+        #: Number of sends that had to wait for a credit (contention metric).
+        self.stall_count = 0
+
+    def acquire(self, on_granted: Callable[[], None]) -> None:
+        """Take one credit, invoking ``on_granted`` immediately if one is
+        free or later (FIFO) when one is released."""
+        if self.available > 0 and not self._waiters:
+            self.available -= 1
+            on_granted()
+        else:
+            self.stall_count += 1
+            self._waiters.append(on_granted)
+
+    def release(self) -> None:
+        """Return one credit, unblocking the oldest waiter if any."""
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter()
+        else:
+            if self.available >= self.capacity:
+                raise RuntimeError("credit released more times than acquired")
+            self.available += 1
+
+    @property
+    def queued(self) -> int:
+        """Sends currently stalled on this pool."""
+        return len(self._waiters)
+
+
+class FlowControl:
+    """Lazily instantiated credit pools for all rank pairs.
+
+    ``capacity <= 0`` or ``enabled=False`` disables flow control entirely
+    (every acquire succeeds immediately), which the ablation benchmarks
+    use to isolate its effect.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, ack_latency: float, enabled: bool = True):
+        self.sim = sim
+        self.capacity = capacity
+        self.ack_latency = ack_latency
+        self.enabled = enabled and capacity > 0
+        self._pools: dict[tuple[int, int], CreditPool] = {}
+
+    def pool(self, src: int, dst: int) -> CreditPool:
+        """The credit pool for the directed pair (created on demand)."""
+        key = (src, dst)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = CreditPool(self.capacity if self.enabled else 1)
+            self._pools[key] = pool
+        return pool
+
+    def acquire(self, src: int, dst: int, on_granted: Callable[[], None]) -> None:
+        """Acquire a credit for one packet src→dst (immediate if disabled)."""
+        if not self.enabled:
+            on_granted()
+            return
+        self.pool(src, dst).acquire(on_granted)
+
+    def schedule_release(self, src: int, dst: int, delivered_at_delay: float) -> None:
+        """Schedule the credit return ``delivered_at_delay + ack_latency``
+        from now (the ack travels back after delivery)."""
+        if not self.enabled:
+            return
+        pool = self.pool(src, dst)
+        self.sim.schedule(delivered_at_delay + self.ack_latency, pool.release)
+
+    def total_stalls(self) -> int:
+        """Aggregate stall count across all pairs (contention metric)."""
+        return sum(p.stall_count for p in self._pools.values())
+
+    def total_queued(self) -> int:
+        """Sends currently stalled across all pairs."""
+        return sum(p.queued for p in self._pools.values())

@@ -1,0 +1,111 @@
+"""Per-rank NIC port model and the host-attention gate.
+
+Ports
+-----
+Each rank owns one outbound and one inbound port per path type
+(internode / intranode).  A message occupies the outbound port for its
+serialization time ``T = nbytes / bw`` and the inbound port for the same
+interval shifted by the one-way latency ``L`` (cut-through switching)::
+
+    start  = max(ready, out_free, in_free - L)
+    out_free = start + T
+    in_free  = delivery = start + L + T
+
+so an uncontended 1 MB internode message arrives after ``L + T`` and
+contending messages serialize on both endpoints' ports.
+
+Attention
+---------
+Some control traffic (lock grants, large-accumulate rendezvous) needs the
+destination *host CPU*, not just its NIC.  :class:`AttentionGate` models
+whether the host is currently inside the MPI library (attentive) or off
+computing; gated deliveries queue FIFO until attention returns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simtime import Simulator
+
+__all__ = ["PortPair", "NicPorts", "AttentionGate"]
+
+
+class PortPair:
+    """Out/in port free-time bookkeeping for one path type of one rank."""
+
+    __slots__ = ("out_free", "in_free")
+
+    def __init__(self) -> None:
+        self.out_free = 0.0
+        self.in_free = 0.0
+
+
+class NicPorts:
+    """All four ports of a rank (internode and intranode pairs)."""
+
+    __slots__ = ("internode", "intranode")
+
+    def __init__(self) -> None:
+        self.internode = PortPair()
+        self.intranode = PortPair()
+
+    def pair(self, intranode: bool) -> PortPair:
+        """The port pair for the given path type."""
+        return self.intranode if intranode else self.internode
+
+
+class AttentionGate:
+    """Models host-CPU availability for middleware control processing.
+
+    Ranks start attentive (a process not yet computing is, from the
+    network's point of view, pollable).  The MPI process facade flips the
+    gate off for the duration of modeled compute and back on when the rank
+    re-enters the MPI library.
+    """
+
+    __slots__ = ("sim", "rank", "_attentive", "_queue")
+
+    def __init__(self, sim: "Simulator", rank: int):
+        self.sim = sim
+        self.rank = rank
+        self._attentive = True
+        self._queue: deque[Callable[[], None]] = deque()
+
+    @property
+    def attentive(self) -> bool:
+        """Whether gated deliveries run immediately."""
+        return self._attentive
+
+    def set_attentive(self, value: bool) -> None:
+        """Flip the gate; turning it on drains the pending queue in FIFO
+        order (scheduled at the current instant, not run synchronously)."""
+        if value == self._attentive:
+            return
+        self._attentive = value
+        if value:
+            while self._queue:
+                fn = self._queue.popleft()
+                self.sim.schedule(0.0, self._run_if_still_attentive, fn)
+
+    def _run_if_still_attentive(self, fn: Callable[[], None]) -> None:
+        # The host may have gone inattentive again between the drain
+        # scheduling and this callback; requeue in that case.
+        if self._attentive:
+            fn()
+        else:
+            self._queue.append(fn)
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` now if attentive, else queue it."""
+        if self._attentive:
+            fn()
+        else:
+            self._queue.append(fn)
+
+    @property
+    def pending(self) -> int:
+        """Deliveries waiting for attention."""
+        return len(self._queue)

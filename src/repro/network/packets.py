@@ -1,0 +1,80 @@
+"""Fabric-level message envelopes.
+
+The fabric moves opaque payloads; what it needs to know is captured by
+:class:`Message`: size, class of service, and whether handling at the
+destination requires the host CPU's attention (as opposed to autonomous
+NIC/RDMA handling).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ServiceKind", "Message"]
+
+_msg_ids = itertools.count()
+
+
+class ServiceKind(enum.Enum):
+    """Class of service for a fabric message.
+
+    RDMA
+        One-sided data movement (put/get payloads, remote counter
+        updates).  Delivered and applied autonomously by the simulated
+        NIC — the destination process does not need to be in an MPI call.
+    CONTROL
+        Middleware control traffic (rendezvous handshakes, lock requests,
+        done packets).  May or may not require host attention; see
+        :attr:`Message.needs_attention`.
+    NOTIFY
+        64-bit completion/lock notification packets (the intranode
+        wait-free FIFO traffic of §VII-D, and their internode analogues).
+    """
+
+    RDMA = "rdma"
+    CONTROL = "control"
+    NOTIFY = "notify"
+
+
+@dataclass
+class Message:
+    """A unit of traffic handed to the fabric.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint ranks.
+    nbytes:
+        Wire size used for serialization-time accounting.
+    kind:
+        Class of service (:class:`ServiceKind`).
+    payload:
+        Opaque object handed to the destination's delivery handler.
+    needs_attention:
+        If true, delivery is deferred until the destination host is
+        *attentive* (inside an MPI call or idle); models control work
+        that a real NIC cannot perform alone.
+    uid:
+        Monotonic id, for deterministic ordering and tracing.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    kind: ServiceKind
+    payload: Any
+    needs_attention: bool = False
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message #{self.uid} {self.src}->{self.dst} {self.kind.value} "
+            f"{self.nbytes}B{' (attn)' if self.needs_attention else ''}>"
+        )

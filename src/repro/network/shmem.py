@@ -1,0 +1,142 @@
+"""Intranode wait-free notification FIFOs of 64-bit packets.
+
+§VII-D: "There is one two-way shared-memory wait-free FIFO between any
+two RMA windows.  That notification channel deals only with 64-bit
+packets that are used to encode and send intranode lock/unlock requests
+as well as epoch completion packets."
+
+This module provides the packet codec plus the channel object.  The
+channel rides the fabric's intranode path (a NOTIFY message of 8 bytes),
+so it inherits the intranode latency model while exposing a typed
+pop/peek interface to the progress engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from .packets import ServiceKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fabric import Fabric
+
+__all__ = [
+    "NotifyKind",
+    "encode_notification",
+    "decode_notification",
+    "NotificationFifo",
+    "NotificationPacket",
+]
+
+
+class NotifyKind(enum.IntEnum):
+    """Notification opcodes carried in the top byte of a 64-bit packet."""
+
+    EPOCH_COMPLETE = 1
+    LOCK_REQUEST_SHARED = 2
+    LOCK_REQUEST_EXCLUSIVE = 3
+    LOCK_GRANT = 4
+    UNLOCK = 5
+    FLUSH_DONE = 6
+
+    @property
+    def is_lock_traffic(self) -> bool:
+        """Whether this opcode belongs to the lock/unlock backlog that
+        progress-engine step 6 batch-processes."""
+        return self in (
+            NotifyKind.LOCK_REQUEST_SHARED,
+            NotifyKind.LOCK_REQUEST_EXCLUSIVE,
+            NotifyKind.LOCK_GRANT,
+            NotifyKind.UNLOCK,
+        )
+
+
+_KIND_SHIFT = 56
+_RANK_SHIFT = 36
+_RANK_MASK = (1 << 20) - 1
+_VALUE_MASK = (1 << 36) - 1
+
+
+def encode_notification(kind: NotifyKind, rank: int, value: int) -> int:
+    """Pack (kind, rank, value) into one 64-bit integer.
+
+    Layout: ``[8-bit kind | 20-bit rank | 36-bit value]``.  36 bits of
+    value comfortably hold epoch ids for any realistic run length; rank
+    supports jobs up to a million processes.
+    """
+    if not 0 <= rank <= _RANK_MASK:
+        raise ValueError(f"rank {rank} does not fit in 20 bits")
+    if not 0 <= value <= _VALUE_MASK:
+        raise ValueError(f"value {value} does not fit in 36 bits")
+    return (int(kind) << _KIND_SHIFT) | (rank << _RANK_SHIFT) | value
+
+
+def decode_notification(packet: int) -> tuple[NotifyKind, int, int]:
+    """Inverse of :func:`encode_notification`."""
+    kind = NotifyKind(packet >> _KIND_SHIFT)
+    rank = (packet >> _RANK_SHIFT) & _RANK_MASK
+    value = packet & _VALUE_MASK
+    return kind, rank, value
+
+
+class NotificationFifo:
+    """One endpoint's receive side of the two-way 64-bit packet channel.
+
+    The sending side is :meth:`send`: an 8-byte NOTIFY message on the
+    fabric whose delivery appends to the peer's deque.  The progress
+    engine drains the deque in step 5 (:meth:`drain`).
+    """
+
+    def __init__(self, fabric: "Fabric", rank: int):
+        self.fabric = fabric
+        self.rank = rank
+        self._incoming: deque[tuple[int, int]] = deque()  # (packet, from_rank)
+
+    def send(self, dst: int, kind: NotifyKind, value: int) -> None:
+        """Send one 64-bit notification packet to ``dst``.
+
+        The destination middleware's delivery handler recognizes the
+        :class:`NotificationPacket` payload and pushes it into its own
+        FIFO (see :meth:`push`).
+        """
+        packet = encode_notification(kind, self.rank, value)
+        self.fabric.send(
+            self.rank,
+            dst,
+            self.fabric.model.notification_bytes,
+            NotificationPacket(packet),
+            kind=ServiceKind.NOTIFY,
+        )
+
+    def push(self, packet: int, from_rank: int) -> None:
+        """Called at delivery time by the middleware handler."""
+        self._incoming.append((packet, from_rank))
+
+    def drain(self, consume: Callable[[NotifyKind, int, int], None]) -> int:
+        """Pop and decode every queued packet, invoking
+        ``consume(kind, sender_rank, value)``; returns the number drained."""
+        count = 0
+        while self._incoming:
+            packet, _src = self._incoming.popleft()
+            kind, rank, value = decode_notification(packet)
+            consume(kind, rank, value)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._incoming)
+
+
+class NotificationPacket:
+    """Fabric payload carrying one encoded 64-bit notification."""
+
+    __slots__ = ("packet",)
+
+    def __init__(self, packet: int):
+        self.packet = packet
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind, rank, value = decode_notification(self.packet)
+        return f"<NotificationPacket {kind.name} from={rank} value={value}>"

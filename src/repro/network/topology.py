@@ -1,0 +1,58 @@
+"""Cluster topology: how ranks map onto nodes.
+
+The paper's testbed packs multiple cores per node; intranode peers talk
+through shared memory, internode peers through InfiniBand.  The topology
+object answers the single question the fabric needs — *are these two
+ranks on the same node?* — plus placement bookkeeping for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterTopology"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Block placement of ``nranks`` ranks over nodes of
+    ``cores_per_node`` cores (rank *r* lives on node ``r // cores_per_node``).
+
+    ``cores_per_node=1`` degenerates to an all-internode cluster;
+    a single node makes everything intranode.
+    """
+
+    nranks: int
+    cores_per_node: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {self.nranks}")
+        if self.cores_per_node <= 0:
+            raise ValueError(f"cores_per_node must be positive, got {self.cores_per_node}")
+
+    @property
+    def nnodes(self) -> int:
+        """Number of nodes actually used."""
+        return -(-self.nranks // self.cores_per_node)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check(rank)
+        return rank // self.cores_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether ranks ``a`` and ``b`` share a node (intranode path)."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All ranks hosted on ``node``."""
+        lo = node * self.cores_per_node
+        hi = min(lo + self.cores_per_node, self.nranks)
+        if lo >= self.nranks:
+            raise ValueError(f"node {node} out of range (have {self.nnodes})")
+        return list(range(lo, hi))
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")

@@ -1,0 +1,27 @@
+"""Inefficiency-pattern instrumentation (§III of the paper).
+
+:mod:`~repro.patterns.trace` records epoch timelines;
+:mod:`~repro.patterns.detect` classifies blocking time into the seven
+patterns (the six of Kühnal et al. plus the paper's Late Unlock).
+"""
+
+from .detect import (
+    PATTERNS,
+    PatternInstance,
+    detect_patterns,
+)
+from .export import to_chrome_trace, write_chrome_trace
+from .report import format_report
+from .trace import EVENT_KINDS, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "EVENT_KINDS",
+    "PATTERNS",
+    "PatternInstance",
+    "detect_patterns",
+    "format_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,96 @@
+"""Trace export to the Chrome trace-viewer JSON format.
+
+``chrome://tracing`` (or https://ui.perfetto.dev) renders per-rank
+timelines; this exporter maps ranks to "threads", blocking intervals and
+epoch internal lifetimes to duration events, and everything else to
+instant events.  Detected inefficiency-pattern instances can be overlaid
+as their own duration events, which makes Late Complete / Late Unlock
+visually obvious.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .detect import PatternInstance
+from .trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import os
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+_DURATION_PAIRS = {
+    "block_enter": "block_exit",
+}
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    patterns: list[PatternInstance] | None = None,
+) -> list[dict]:
+    """Build the Chrome trace event list (``traceEvents`` content)."""
+    events: list[dict] = []
+    open_blocks: dict[int, dict] = {}
+
+    for ev in tracer.events:
+        base = {"pid": 0, "tid": ev.rank, "ts": ev.time}
+        if ev.kind == "block_enter":
+            open_blocks[ev.rank] = {
+                **base,
+                "ph": "B",
+                "name": f"blocked:{ev.detail.get('call', '?')}",
+                "cat": "sync",
+                "args": dict(ev.detail, win=ev.win, epoch=ev.epoch),
+            }
+            events.append(open_blocks[ev.rank])
+        elif ev.kind == "block_exit":
+            start = open_blocks.pop(ev.rank, None)
+            if start is not None:
+                events.append({**base, "ph": "E", "name": start["name"], "cat": "sync"})
+        elif ev.kind == "epoch_activate":
+            events.append(
+                {**base, "ph": "B", "name": f"epoch#{ev.epoch}", "cat": "epoch",
+                 "args": {"win": ev.win}}
+            )
+        elif ev.kind == "epoch_complete":
+            events.append({**base, "ph": "E", "name": f"epoch#{ev.epoch}", "cat": "epoch"})
+        else:
+            events.append(
+                {
+                    **base,
+                    "ph": "i",
+                    "s": "t",
+                    "name": ev.kind,
+                    "cat": "event",
+                    "args": dict(ev.detail, win=ev.win, epoch=ev.epoch),
+                }
+            )
+
+    for inst in patterns or []:
+        events.append(
+            {
+                "pid": 0,
+                "tid": inst.rank,
+                "ts": inst.start,
+                "dur": inst.duration,
+                "ph": "X",
+                "name": inst.pattern,
+                "cat": "inefficiency",
+                "args": {"win": inst.win, "epoch": inst.epoch},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: "str | os.PathLike[str]",
+    tracer: Tracer,
+    patterns: list[PatternInstance] | None = None,
+) -> int:
+    """Write a trace-viewer JSON file; returns the event count."""
+    events = to_chrome_trace(tracer, patterns)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)

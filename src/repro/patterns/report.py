@@ -1,0 +1,50 @@
+"""Human-readable reporting of detected inefficiency patterns."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .detect import PATTERNS, PatternInstance
+
+__all__ = ["format_report", "summarize"]
+
+
+def summarize(instances: list[PatternInstance]) -> dict[str, dict[str, float]]:
+    """Aggregate instances: per pattern, total wasted time, count, and
+    worst single occurrence."""
+    agg: dict[str, dict[str, float]] = {
+        p: {"count": 0, "total_us": 0.0, "max_us": 0.0} for p in PATTERNS
+    }
+    for inst in instances:
+        entry = agg[inst.pattern]
+        entry["count"] += 1
+        entry["total_us"] += inst.duration
+        entry["max_us"] = max(entry["max_us"], inst.duration)
+    return agg
+
+
+def format_report(instances: list[PatternInstance], per_rank: bool = False) -> str:
+    """Render a fixed-width text report of pattern occurrences."""
+    lines = []
+    lines.append(f"{'pattern':<16} {'count':>6} {'total (µs)':>12} {'max (µs)':>10}")
+    lines.append("-" * 48)
+    agg = summarize(instances)
+    for pattern in PATTERNS:
+        entry = agg[pattern]
+        lines.append(
+            f"{pattern:<16} {int(entry['count']):>6} {entry['total_us']:>12.2f} "
+            f"{entry['max_us']:>10.2f}"
+        )
+    if per_rank and instances:
+        lines.append("")
+        lines.append(f"{'rank':>5} {'pattern':<16} {'start':>12} {'duration (µs)':>14}")
+        lines.append("-" * 50)
+        by_rank: dict[int, list[PatternInstance]] = defaultdict(list)
+        for inst in instances:
+            by_rank[inst.rank].append(inst)
+        for rank in sorted(by_rank):
+            for inst in by_rank[rank]:
+                lines.append(
+                    f"{rank:>5} {inst.pattern:<16} {inst.start:>12.2f} {inst.duration:>14.2f}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""RMA engines: the paper's nonblocking redesign and the MVAPICH-style
+baseline, over shared transport/packet machinery."""
+
+from .adaptive import AdaptiveEngine
+from .base import RmaEngineBase
+from .mvapich import MvapichEngine
+from .nonblocking import NonblockingEngine
+
+__all__ = ["RmaEngineBase", "NonblockingEngine", "MvapichEngine", "AdaptiveEngine"]

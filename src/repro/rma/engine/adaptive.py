@@ -1,0 +1,96 @@
+"""Adaptive lazy/eager lock engine — the strategy of the paper's
+reference [12] (Zhao, Santhanaraman, Gropp: "Adaptive Strategy for
+One-Sided Communication in MPICH2").
+
+The baseline's lazy lock acquisition is immune to Late Unlock but gets
+zero communication/computation overlap; eager acquisition is the
+reverse (§VIII-A, Fig. 6).  The adaptive strategy learns per
+(window, target) which mode pays off:
+
+- every pair starts **lazy** (the safe default);
+- when a lock epoch closes, the engine inspects it: if the application
+  spent noticeable time between its last communication call and the
+  closing call — overlappable work that laziness wasted — the pair is
+  promoted to **eager**: subsequent lock epochs acquire at the opening
+  call, so transfers overlap the work;
+- an eager epoch that shows no such gap demotes the pair back to lazy.
+
+Everything else (GATS, fence, blocking-only API) is inherited from the
+baseline, which keeps the comparison honest: the only difference is the
+lock-acquisition policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..epoch import Epoch
+from ..requests import ClosingRequest
+from .mvapich import MvapichEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..window import Window
+
+__all__ = ["AdaptiveEngine", "ADAPT_THRESHOLD_US"]
+
+#: Gap between the last RMA call and the closing call above which the
+#: epoch is judged to have had overlappable work.
+ADAPT_THRESHOLD_US = 5.0
+
+
+class AdaptiveEngine(MvapichEngine):
+    """Per-target lazy/eager switching on top of the baseline."""
+
+    supports_nonblocking = False
+
+    def __init__(self, runtime, rank):
+        super().__init__(runtime, rank)
+        #: (window gid, target) pairs currently in eager mode.
+        self._eager_pairs: set[tuple[int, int]] = set()
+        #: Promotion/demotion events, for tests and diagnostics.
+        self.mode_switches: list[tuple[float, int, int, str]] = []
+
+    # -- mode bookkeeping -----------------------------------------------
+    def is_eager(self, gid: int, target: int) -> bool:
+        """Whether lock epochs toward (window, target) acquire eagerly."""
+        return (gid, target) in self._eager_pairs
+
+    def _set_mode(self, gid: int, target: int, eager: bool) -> None:
+        key = (gid, target)
+        if eager and key not in self._eager_pairs:
+            self._eager_pairs.add(key)
+            self.mode_switches.append((self.sim.now, gid, target, "eager"))
+        elif not eager and key in self._eager_pairs:
+            self._eager_pairs.discard(key)
+            self.mode_switches.append((self.sim.now, gid, target, "lazy"))
+
+    # -- policy hooks -----------------------------------------------------
+    def open_lock(
+        self, win: "Window", target: int, exclusive: bool, nocheck: bool = False
+    ) -> Epoch:
+        ep = super().open_lock(win, target, exclusive, nocheck)
+        if not nocheck and self.is_eager(win.group.gid, target):
+            # Eager mode: acquire at the opening call so recorded ops can
+            # issue (and overlap application work) as soon as granted.
+            self._activate_lock(self.state_of(win), ep)
+            self.poke()
+        return ep
+
+    def close_lock(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        self._learn(win, ep)
+        return super().close_lock(win, ep)
+
+    def close_lock_all(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        self._learn(win, ep)
+        return super().close_lock_all(win, ep)
+
+    def _learn(self, win: "Window", ep: Epoch) -> None:
+        """Promote/demote the epoch's targets based on the observed gap
+        between the last communication call and this closing call."""
+        if ep.nocheck or not ep.ops:
+            return
+        gid = win.group.gid
+        last_call = max(op.call_time or 0.0 for op in ep.ops)
+        overlappable = (self.sim.now - last_call) > ADAPT_THRESHOLD_US
+        for target in ep.targets:
+            self._set_mode(gid, target, overlappable)

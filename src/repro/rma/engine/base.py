@@ -1,0 +1,607 @@
+"""Shared machinery of both RMA engines.
+
+The two engines (the paper's redesign in
+:mod:`~repro.rma.engine.nonblocking`, the MVAPICH-style baseline in
+:mod:`~repro.rma.engine.mvapich`) differ only in *policy*: when epochs
+activate, when transfers are issued, what the closing routines wait for.
+Everything mechanical is here — packet construction and reception, data
+application at targets, ω-counter updates, lock hosting, the
+notification FIFO, fence bookkeeping and op completion fan-out — so that
+measured differences between engines are purely synchronization design.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ...network.packets import ServiceKind
+from ...network.shmem import NotifyKind
+from ..epoch import Epoch, EpochKind, EpochState
+from ..ops import OpKind, RmaOp
+from ..packets import (
+    AccRendezvousCts,
+    AccRendezvousRts,
+    AccumulateData,
+    CasRequest,
+    CasResponse,
+    DonePacket,
+    FenceDone,
+    FenceOpen,
+    FetchOpRequest,
+    FetchOpResponse,
+    GetRequest,
+    GetResponse,
+    GrantUpdate,
+    LockRequestPacket,
+    PutData,
+    RmaPayload,
+    UnlockAck,
+    UnlockPacket,
+)
+from ..state import WindowState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...mpi.runtime import MPIRuntime
+    from ..locks import LockWaiter
+    from ..window import Window
+
+__all__ = ["RmaEngineBase", "pack_win_value", "unpack_win_value"]
+
+# 64-bit notification value packing: [6-bit window gid | 30-bit id].
+_WIN_BITS = 6
+_ID_MASK = (1 << 30) - 1
+
+
+def pack_win_value(gid: int, ident: int) -> int:
+    """Pack (window gid, id) into a 36-bit notification value."""
+    if gid >= (1 << _WIN_BITS):
+        raise ValueError(f"window gid {gid} does not fit in {_WIN_BITS} bits")
+    if ident > _ID_MASK:
+        raise ValueError(f"id {ident} does not fit in 30 bits")
+    return (gid << 30) | ident
+
+
+def unpack_win_value(value: int) -> tuple[int, int]:
+    """Inverse of :func:`pack_win_value`."""
+    return value >> 30, value & _ID_MASK
+
+
+class RmaEngineBase:
+    """Per-rank engine: mechanics here, policy in subclasses."""
+
+    #: Whether the proposed MPI_WIN_I* API is available.
+    supports_nonblocking: bool = True
+
+    def __init__(self, runtime: "MPIRuntime", rank: int):
+        self.runtime = runtime
+        self.rank = rank
+        self.sim = runtime.sim
+        self.fabric = runtime.fabric
+        self.model = runtime.fabric.model
+        #: WindowState per window gid.
+        self.states: dict[int, WindowState] = {}
+        self._sweeping = False
+        self._resweep = False
+
+    # -- small conveniences ------------------------------------------------
+    @property
+    def tracer(self):
+        return self.runtime.tracer
+
+    def _trace(self, kind: str, ws: WindowState, epoch: Epoch | None = None, **detail: Any) -> None:
+        self.tracer.emit(kind, self.rank, ws.gid, epoch.uid if epoch else None, **detail)
+
+    @property
+    def fifo(self):
+        """This rank's 64-bit notification FIFO endpoint."""
+        return self.runtime.middlewares[self.rank].fifo
+
+    # -- wiring ---------------------------------------------------------------
+    def register_window(self, win: "Window") -> None:
+        """Create middleware state for a newly allocated window."""
+        cell: list[WindowState] = []
+        ws = WindowState(win, on_lock_grant=lambda waiter: self._grant_lock(cell[0], waiter))
+        cell.append(ws)
+        self.states[win.group.gid] = ws
+        win._state = ws
+
+    def state_of(self, win: "Window") -> WindowState:
+        """State for a window owned by this rank."""
+        return self.states[win.group.gid]
+
+    # =====================================================================
+    # Progress driving
+    # =====================================================================
+    def poke(self) -> None:
+        """Run the progress engine now (re-entrant safe)."""
+        if self._sweeping:
+            self._resweep = True
+            return
+        self._sweeping = True
+        try:
+            self._resweep = True
+            while self._resweep:
+                self._resweep = False
+                self._sweep()
+        finally:
+            self._sweeping = False
+
+    def _sweep(self) -> None:
+        """One full progress pass over this rank's windows (policy)."""
+        raise NotImplementedError
+
+    # =====================================================================
+    # Packet reception
+    # =====================================================================
+    def on_packet(self, payload: Any, src: int) -> bool:
+        """Route one fabric delivery; True when consumed."""
+        if not isinstance(payload, RmaPayload):
+            return False
+        ws = self.states.get(payload.win)
+        if ws is None:
+            raise RuntimeError(f"rank {self.rank}: RMA packet for unknown window {payload.win}")
+        handler = self._PACKET_HANDLERS[type(payload)]
+        handler(self, ws, payload, src)
+        return True
+
+    # -- individual packet handlers ----------------------------------------
+    def _on_put(self, ws: WindowState, p: PutData, src: int) -> None:
+        if p.data is not None:
+            ws.win.memory.write(p.target_disp, p.data)
+        self._trace("op_delivered", ws, side="target", op_kind="put", src=src,
+                    disp=p.target_disp)
+
+    def _on_get_request(self, ws: WindowState, p: GetRequest, src: int) -> None:
+        data = ws.win.memory.read(p.target_disp, p.nbytes)
+        self._send(
+            src,
+            p.nbytes,
+            GetResponse(ws.gid, p.op_uid, p.nbytes, data),
+            ServiceKind.RDMA,
+        )
+
+    def _on_get_response(self, ws: WindowState, p: GetResponse, src: int) -> None:
+        op = ws.ops_by_uid.pop(p.op_uid)
+        if op.result_buf is not None and p.data is not None:
+            dest = op.result_buf.view(np.uint8).reshape(-1)
+            dest[: p.data.nbytes] = p.data.view(np.uint8).reshape(-1)
+        self._op_delivered(ws, op)
+
+    def _on_accumulate(self, ws: WindowState, p: AccumulateData, src: int) -> None:
+        old: np.ndarray | None = None
+        if p.data is not None:
+            count = p.nbytes // p.dtype.size
+            target_view = ws.win.memory.view(p.dtype, p.target_disp, count)
+            if p.fetch:
+                old = target_view.copy()
+            p.reduce_op.apply(target_view, p.data.view(p.dtype.np_dtype))
+        elif p.fetch:
+            old = ws.win.memory.read(p.target_disp, p.nbytes)
+        if p.fetch:
+            self._send(
+                p.origin,
+                p.nbytes,
+                GetResponse(ws.gid, p.op_uid, p.nbytes, old),
+                ServiceKind.RDMA,
+            )
+
+    def _on_acc_rts(self, ws: WindowState, p: AccRendezvousRts, src: int) -> None:
+        # Host provides the intermediate buffer, then clears the sender.
+        self._send(p.origin, self.model.control_bytes, AccRendezvousCts(ws.gid, p.op_uid),
+                   ServiceKind.CONTROL)
+
+    def _on_acc_cts(self, ws: WindowState, p: AccRendezvousCts, src: int) -> None:
+        op = ws.ops_by_uid[p.op_uid]
+        self._send_accumulate_payload(ws, op)
+
+    def _on_fetch_op(self, ws: WindowState, p: FetchOpRequest, src: int) -> None:
+        view = ws.win.memory.view(p.dtype, p.target_disp, 1)
+        old = view.copy()
+        if p.data is not None:
+            p.reduce_op.apply(view, p.data.view(p.dtype.np_dtype))
+        self.sim.schedule(
+            self.model.cas_processing,
+            lambda: self._send(
+                p.origin,
+                p.dtype.size + self.model.control_bytes,
+                FetchOpResponse(ws.gid, p.op_uid, old),
+                ServiceKind.RDMA,
+            ),
+        )
+
+    def _on_fetch_op_response(self, ws: WindowState, p: FetchOpResponse, src: int) -> None:
+        op = ws.ops_by_uid.pop(p.op_uid)
+        if op.result_buf is not None and p.data is not None:
+            op.result_buf.view(p.data.dtype).reshape(-1)[:1] = p.data.reshape(-1)[:1]
+        self._op_delivered(ws, op)
+
+    def _on_cas(self, ws: WindowState, p: CasRequest, src: int) -> None:
+        view = ws.win.memory.view(p.dtype, p.target_disp, 1)
+        old = view.copy()
+        if p.compare is not None and p.new is not None:
+            if old.reshape(-1)[0] == p.compare.view(p.dtype.np_dtype).reshape(-1)[0]:
+                view.reshape(-1)[0] = p.new.view(p.dtype.np_dtype).reshape(-1)[0]
+        self.sim.schedule(
+            self.model.cas_processing,
+            lambda: self._send(
+                p.origin,
+                p.dtype.size + self.model.control_bytes,
+                CasResponse(ws.gid, p.op_uid, old),
+                ServiceKind.RDMA,
+            ),
+        )
+
+    def _on_cas_response(self, ws: WindowState, p: CasResponse, src: int) -> None:
+        op = ws.ops_by_uid.pop(p.op_uid)
+        if op.result_buf is not None and p.data is not None:
+            op.result_buf.view(p.data.dtype).reshape(-1)[:1] = p.data.reshape(-1)[:1]
+        self._op_delivered(ws, op)
+
+    def _on_grant(self, ws: WindowState, p: GrantUpdate, src: int) -> None:
+        ws.g[p.granter] += 1
+        if p.lock_access_id is not None:
+            for ep in ws.epochs:
+                if (
+                    ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL)
+                    and ep.access_ids.get(p.granter) == p.lock_access_id
+                    and not ep.lock_held.get(p.granter, False)
+                ):
+                    ep.lock_held[p.granter] = True
+                    break
+        self._trace("grant_recv", ws, granter=p.granter, g=ws.g[p.granter])
+
+    def _on_done(self, ws: WindowState, p: DonePacket, src: int) -> None:
+        if p.access_id > ws.done_id[p.origin]:
+            ws.done_id[p.origin] = p.access_id
+        self._trace("done_recv", ws, origin=p.origin, access_id=p.access_id)
+
+    def _on_lock_request(self, ws: WindowState, p: LockRequestPacket, src: int) -> None:
+        ws.lock_backlog.append(("lock", p))
+        self._trace("lock_request", ws, origin=p.origin, exclusive=p.exclusive)
+
+    def _on_unlock(self, ws: WindowState, p: UnlockPacket, src: int) -> None:
+        ws.lock_backlog.append(("unlock", p))
+
+    def _on_unlock_ack(self, ws: WindowState, p: UnlockAck, src: int) -> None:
+        for ep in ws.epochs:
+            if (
+                ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL)
+                and src in ep.access_ids
+                and ep.access_ids[src] == p.access_id
+                and src not in ep.unlock_acked
+            ):
+                ep.unlock_acked.add(src)
+                return
+
+    def _on_fence_open(self, ws: WindowState, p: FenceOpen, src: int) -> None:
+        if p.round_no > ws.remote_fence_open[p.origin]:
+            ws.remote_fence_open[p.origin] = p.round_no
+
+    def _on_fence_done(self, ws: WindowState, p: FenceDone, src: int) -> None:
+        ws.fence_done_from[p.round_no].add(p.origin)
+        self._trace("fence_done", ws, origin=p.origin, round_no=p.round_no)
+
+    _PACKET_HANDLERS = {
+        PutData: _on_put,
+        GetRequest: _on_get_request,
+        GetResponse: _on_get_response,
+        AccumulateData: _on_accumulate,
+        AccRendezvousRts: _on_acc_rts,
+        AccRendezvousCts: _on_acc_cts,
+        FetchOpRequest: _on_fetch_op,
+        FetchOpResponse: _on_fetch_op_response,
+        CasRequest: _on_cas,
+        CasResponse: _on_cas_response,
+        GrantUpdate: _on_grant,
+        DonePacket: _on_done,
+        LockRequestPacket: _on_lock_request,
+        UnlockPacket: _on_unlock,
+        UnlockAck: _on_unlock_ack,
+        FenceOpen: _on_fence_open,
+        FenceDone: _on_fence_done,
+    }
+
+    # =====================================================================
+    # Notification FIFO (intranode epoch-completion packets, §VII-D)
+    # =====================================================================
+    def _consume_notifications(self, _ws_unused: WindowState | None = None) -> None:
+        """Step 5: drain this rank's 64-bit FIFO."""
+        self.fifo.drain(self._on_notification)
+
+    def _on_notification(self, kind: NotifyKind, sender: int, value: int) -> None:
+        gid, ident = unpack_win_value(value)
+        ws = self.states[gid]
+        if kind is NotifyKind.EPOCH_COMPLETE:
+            if ident > ws.done_id[sender]:
+                ws.done_id[sender] = ident
+            self._trace("done_recv", ws, origin=sender, access_id=ident, via="fifo")
+        else:
+            raise RuntimeError(f"unexpected notification {kind} from {sender}")
+
+    # =====================================================================
+    # Sending helpers
+    # =====================================================================
+    def _send(
+        self,
+        dst: int,
+        nbytes: int,
+        payload: RmaPayload,
+        kind: ServiceKind,
+        needs_attention: bool = False,
+        pin_region: tuple[int, int] | None = None,
+    ):
+        if pin_region is not None:
+            payload.pin_region = pin_region  # type: ignore[attr-defined]
+        return self.fabric.send(
+            self.rank, dst, nbytes, payload, kind=kind, needs_attention=needs_attention
+        )
+
+    def _send_grant(self, ws: WindowState, origin: int) -> None:
+        """Exposure/lock grant: ``e++`` locally, ``g++`` remotely (RDMA)."""
+        ws.next_exposure_id(origin)
+        self._send(origin, 8, GrantUpdate(ws.gid, granter=self.rank), ServiceKind.RDMA)
+        self._trace("grant_sent", ws, origin=origin, e=ws.e[origin])
+
+    def _send_done(self, ws: WindowState, epoch: Epoch, target: int) -> None:
+        """Access-epoch completion notification to one target.
+
+        Intranode dones ride the 64-bit FIFO (§VII-D); internode dones
+        are control packets.
+        """
+        access_id = epoch.access_ids[target]
+        if self.fabric.topology.same_node(self.rank, target):
+            self.fifo.send(target, NotifyKind.EPOCH_COMPLETE, pack_win_value(ws.gid, access_id))
+        else:
+            self._send(
+                target,
+                self.model.control_bytes,
+                DonePacket(ws.gid, origin=self.rank, access_id=access_id),
+                ServiceKind.CONTROL,
+            )
+        epoch.done_sent.add(target)
+        self._trace("done_sent", ws, epoch, target=target, access_id=access_id)
+
+    def _broadcast_fence_open(self, ws: WindowState, round_no: int) -> None:
+        for peer in ws.win.group.ranks:
+            if peer != self.rank:
+                self._send(
+                    peer,
+                    self.model.control_bytes,
+                    FenceOpen(ws.gid, origin=self.rank, round_no=round_no),
+                    ServiceKind.CONTROL,
+                )
+        self._trace("fence_open", ws, round_no=round_no)
+
+    def _broadcast_fence_done(self, ws: WindowState, epoch: Epoch) -> None:
+        for peer in ws.win.group.ranks:
+            if peer != self.rank:
+                self._send(
+                    peer,
+                    self.model.control_bytes,
+                    FenceDone(ws.gid, origin=self.rank, round_no=epoch.fence_round),
+                    ServiceKind.CONTROL,
+                )
+        epoch.fence_done_sent = True
+
+    # =====================================================================
+    # Lock hosting (target side)
+    # =====================================================================
+    def _grant_lock(self, ws: WindowState, waiter: "LockWaiter") -> None:
+        """Lock-manager grant callback: ω updates + grant notification.
+
+        "Even though granting a passive target lock does not create an
+        exposure epoch, the host process of a lock still updates e_l
+        locally and g_r remotely in the process it is granting the lock
+        to." (§VII-B)
+        """
+        ws.next_exposure_id(waiter.origin)
+        self._send(
+            waiter.origin,
+            8,
+            GrantUpdate(ws.gid, granter=self.rank, lock_access_id=waiter.access_id),
+            ServiceKind.RDMA,
+        )
+        self._trace("lock_grant", ws, origin=waiter.origin, access_id=waiter.access_id)
+
+    def _process_lock_backlog(self, ws: WindowState) -> None:
+        """Step 6: batch-process queued lock/unlock requests."""
+        while ws.lock_backlog:
+            what, packet = ws.lock_backlog.popleft()
+            if what == "lock":
+                ws.lock_mgr.request(packet.origin, packet.exclusive, packet.access_id)
+            else:
+                ws.lock_mgr.release(packet.origin)
+                self._send(
+                    packet.origin,
+                    self.model.control_bytes,
+                    UnlockAck(ws.gid, access_id=packet.access_id),
+                    ServiceKind.CONTROL,
+                )
+                self._trace("lock_release", ws, origin=packet.origin)
+
+    # =====================================================================
+    # Op issuing and completion
+    # =====================================================================
+    def _issue_op(self, ws: WindowState, op: RmaOp) -> None:
+        """Put one recorded op on the wire."""
+        assert not op.issued, f"double issue of {op}"
+        op.issued = True
+        op.issue_time = self.sim.now
+        self._trace("op_issue", ws, op.epoch, op_kind=op.kind.value, target=op.target,
+                    nbytes=op.nbytes)
+
+        if op.kind is OpKind.PUT:
+            payload = PutData(ws.gid, op.uid, op.target_disp, op.nbytes, op.data)
+            ticket = self._send(
+                op.target, op.nbytes, payload, ServiceKind.RDMA,
+                pin_region=(op.target_disp, op.nbytes),
+            )
+            ticket.local_complete.add_callback(lambda _e: self._op_local(ws, op))
+            ticket.delivered.add_callback(lambda _e: self._op_delivered(ws, op))
+        elif op.kind is OpKind.GET:
+            ws.ops_by_uid[op.uid] = op
+            self._send(
+                op.target,
+                self.model.control_bytes,
+                GetRequest(ws.gid, op.uid, self.rank, op.target_disp, op.nbytes),
+                ServiceKind.CONTROL,
+            )
+            # A get has no separate local completion phase at the origin.
+            self.sim.schedule(0.0, self._op_local, ws, op)
+        elif op.kind in (OpKind.ACCUMULATE, OpKind.GET_ACCUMULATE):
+            if op.kind is OpKind.GET_ACCUMULATE:
+                ws.ops_by_uid[op.uid] = op
+            if self.model.accumulate_needs_rendezvous(op.nbytes):
+                ws.ops_by_uid[op.uid] = op
+                self._send(
+                    op.target,
+                    self.model.control_bytes,
+                    AccRendezvousRts(ws.gid, op.uid, self.rank, op.nbytes),
+                    ServiceKind.CONTROL,
+                    needs_attention=True,
+                )
+            else:
+                self._send_accumulate_payload(ws, op)
+        elif op.kind is OpKind.FETCH_AND_OP:
+            ws.ops_by_uid[op.uid] = op
+            self._send(
+                op.target,
+                self.model.control_bytes + op.dtype.size,
+                FetchOpRequest(
+                    ws.gid, op.uid, self.rank, op.target_disp, op.dtype, op.reduce_op, op.data
+                ),
+                ServiceKind.CONTROL,
+            )
+            self.sim.schedule(0.0, self._op_local, ws, op)
+        elif op.kind is OpKind.COMPARE_AND_SWAP:
+            ws.ops_by_uid[op.uid] = op
+            self._send(
+                op.target,
+                self.model.control_bytes + 2 * op.dtype.size,
+                CasRequest(ws.gid, op.uid, self.rank, op.target_disp, op.dtype,
+                           op.compare, op.data),
+                ServiceKind.CONTROL,
+            )
+            self.sim.schedule(0.0, self._op_local, ws, op)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled op kind {op.kind}")
+
+    def _send_accumulate_payload(self, ws: WindowState, op: RmaOp) -> None:
+        fetch = op.kind is OpKind.GET_ACCUMULATE
+        payload = AccumulateData(
+            ws.gid, op.uid, op.target_disp, op.nbytes, op.dtype, op.reduce_op, op.data,
+            fetch=fetch, origin=self.rank,
+        )
+        ticket = self._send(
+            op.target, op.nbytes, payload, ServiceKind.RDMA,
+            pin_region=(op.target_disp, op.nbytes),
+        )
+        ticket.local_complete.add_callback(lambda _e: self._op_local(ws, op))
+        if not fetch:
+            ticket.delivered.add_callback(lambda _e: self._op_delivered(ws, op))
+
+    def _op_local(self, ws: WindowState, op: RmaOp) -> None:
+        """Origin-buffer-reusable event."""
+        if op.local_done:
+            return
+        op.local_done = True
+        ws.notify_flushes(op, local=True)
+        if op.request is not None and not op.request.remote and not op.request.done:
+            op.request.complete()
+        self.poke()
+
+    def _op_delivered(self, ws: WindowState, op: RmaOp) -> None:
+        """Remote-completion event (applied at target / result at origin)."""
+        if op.delivered:
+            return
+        op.delivered = True
+        op.deliver_time = self.sim.now
+        op.epoch.mark_delivered(op)
+        self._trace(
+            "op_delivered", ws, op.epoch, side="origin", target=op.target,
+            op_kind=op.kind.value,
+        )
+        if not op.local_done:
+            # Result-bearing ops: remote completion implies local.
+            op.local_done = True
+            ws.notify_flushes(op, local=True)
+        ws.notify_flushes(op, local=False)
+        if op.request is not None and not op.request.done:
+            op.request.complete()
+        self.poke()
+
+    # =====================================================================
+    # Policy-free epoch lifecycle helpers (shared by both engines)
+    # =====================================================================
+    def _open_epoch(self, ws: WindowState, ep: Epoch) -> Epoch:
+        ep.open_time = self.sim.now
+        ws.epochs.append(ep)
+        self._trace("epoch_open", ws, ep, epoch_kind=ep.kind.value)
+        self.poke()
+        return ep
+
+    def _close_epoch(self, ws: WindowState, ep: Epoch):
+        from ..requests import ClosingRequest
+
+        if ep.app_closed:
+            from ...mpi.errors import RmaUsageError
+
+            raise RmaUsageError(f"epoch {ep} closed twice")
+        ep.app_closed = True
+        ep.close_call_time = self.sim.now
+        req = ClosingRequest(self.sim, ep)
+        ep.closing_request = req
+        self._trace("epoch_close_call", ws, ep)
+        if ep.completed:
+            req.complete()
+            ws.epochs = [e for e in ws.epochs if e is not ep]
+        else:
+            self.poke()
+        return req
+
+    def _complete_epoch(self, ws: WindowState, ep: Epoch) -> None:
+        ep.state = EpochState.COMPLETED
+        ep.complete_time = self.sim.now
+        self._trace("epoch_complete", ws, ep)
+        if ep.closing_request is not None and not ep.closing_request.done:
+            ep.closing_request.complete()
+
+    def _advance_exposure(self, ws: WindowState, ep: Epoch) -> bool:
+        """Exposure completion test: every origin's done packet arrived
+        (identical in both engines)."""
+        if all(
+            ws.done_id[origin] >= ep.exposure_ids[origin] for origin in ep.origin_group
+        ):
+            self._complete_epoch(ws, ep)
+            return True
+        return False
+
+    def test_exposure(self, win: "Window", ep: Epoch) -> bool:
+        """MPI_WIN_TEST: nonblocking completion probe of an exposure."""
+        self.poke()
+        return ep.completed
+
+    def add_op(self, win: "Window", ep: Epoch, op: RmaOp) -> RmaOp:
+        """Record one RMA call in its epoch; engine policy decides when
+        it is issued."""
+        ws = self.state_of(win)
+        op.call_time = self.sim.now
+        ep.record_op(op)
+        self._trace("op_call", ws, ep, op_kind=op.kind.value, target=op.target)
+        self.poke()
+        return op
+
+    def next_age(self, win: "Window") -> int:
+        """Allocate an RMA-call age (§VII-C flush stamping)."""
+        return self.state_of(win).next_age()
+
+    def discard_fence(self, win: "Window", ep: Epoch) -> None:
+        """Drop an empty fence epoch under MODE_NOPRECEDE: no barrier,
+        no notifications — the epoch simply never existed internally."""
+        ws = self.state_of(win)
+        ep.app_closed = True
+        self._complete_epoch(ws, ep)
+        ws.epochs = [e for e in ws.epochs if e is not ep]
+        self.poke()

@@ -1,0 +1,368 @@
+"""The MVAPICH 2-1.9-style baseline engine.
+
+This engine reproduces the documented behaviours the paper measures
+against (§VIII and [12]):
+
+Lazy lock acquisition
+    "The locking attempt, and consequently the whole epoch, is not
+    internally fulfilled until MPI_WIN_UNLOCK is invoked at the
+    application level."  A lock epoch stays deferred through
+    ``MPI_WIN_LOCK`` and all its communication calls; everything —
+    lock request, transfers, unlock — happens at the unlock call.
+    Consequence: no communication/computation overlap in lock epochs,
+    but immunity to Late Unlock (the whole epoch degenerates to the
+    single unlock call).  A flush forces early acquisition, as in real
+    MVAPICH.
+
+All-targets-ready gating (§VIII-B)
+    "After it reaches its epoch-closing routine, MVAPICH waits for all
+    internode targets to be ready before issuing communication to any
+    internode target; then all intranode targets must be ready before
+    any intranode communication is issued."  GATS and fence epochs defer
+    every transfer to the closing routine and gate it in those two
+    phases.
+
+Blocking-only synchronization
+    The proposed ``MPI_WIN_I*`` API is absent
+    (``supports_nonblocking = False``); the Window facade raises
+    :class:`~repro.mpi.errors.UnsupportedOperation` for it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...network.packets import ServiceKind
+from ..epoch import Epoch, EpochKind, EpochState
+from ..ops import RmaOp
+from ..packets import LockRequestPacket, UnlockPacket
+from ..requests import ClosingRequest
+from ..state import WindowState
+from .base import RmaEngineBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...mpi.requests import Request
+    from ..window import Window
+
+__all__ = ["MvapichEngine"]
+
+# Stages of the epoch-closing state machine.
+_WAIT_INTERNODE = 0
+_WAIT_INTRANODE = 1
+_DRAINING = 2
+_NOTIFIED = 3
+
+
+class MvapichEngine(RmaEngineBase):
+    """Lazy, blocking-only baseline RMA engine."""
+
+    supports_nonblocking = False
+
+    def __init__(self, runtime, rank):
+        super().__init__(runtime, rank)
+        self._blocking_flushes: list[tuple[WindowState, "Request", list[RmaOp], bool]] = []
+
+    # =====================================================================
+    # Progress
+    # =====================================================================
+    def _sweep(self) -> None:
+        self._consume_notifications()
+        for ws in list(self.states.values()):
+            self._process_lock_backlog(ws)
+            self._advance_all(ws)
+        self._check_blocking_flushes()
+
+    def _advance_all(self, ws: WindowState) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for ep in ws.epochs:
+                if ep.completed:
+                    continue
+                if self._advance(ws, ep):
+                    changed = True
+        ws.epochs = [ep for ep in ws.epochs if not (ep.completed and ep.app_closed)]
+
+    def _advance(self, ws: WindowState, ep: Epoch) -> bool:
+        if ep.kind is EpochKind.GATS_EXPOSURE:
+            return ep.active and self._advance_exposure(ws, ep)
+        if ep.kind is EpochKind.GATS_ACCESS:
+            return self._advance_gats_access(ws, ep)
+        if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
+            return self._advance_lock(ws, ep)
+        if ep.kind is EpochKind.FENCE:
+            return self._advance_fence(ws, ep)
+        raise AssertionError(f"unhandled kind {ep.kind}")
+
+    # -- GATS access: issue-at-close with two-phase gating -----------------
+    def _split_targets(self, ep: Epoch) -> tuple[list[int], list[int]]:
+        topo = self.fabric.topology
+        inter = [t for t in ep.targets if t != self.rank and not topo.same_node(self.rank, t)]
+        intra = [t for t in ep.targets if t == self.rank or topo.same_node(self.rank, t)]
+        return inter, intra
+
+    def _advance_gats_access(self, ws: WindowState, ep: Epoch) -> bool:
+        if not ep.app_closed:
+            return False
+        inter, intra = self._split_targets(ep)
+        stage = getattr(ep, "mv_stage", _WAIT_INTERNODE)
+        if stage == _WAIT_INTERNODE:
+            if not ep.nocheck and not all(
+                ws.access_granted(t, ep.access_ids[t]) for t in inter
+            ):
+                return False
+            for target in inter:
+                for op in ep.take_unissued(target):
+                    self._issue_op(ws, op)
+            ep.mv_stage = stage = _WAIT_INTRANODE
+        if stage == _WAIT_INTRANODE:
+            if not ep.nocheck and not all(
+                ws.access_granted(t, ep.access_ids[t]) for t in intra
+            ):
+                return False
+            for target in ep.unissued_targets():
+                for op in ep.take_unissued(target):
+                    self._issue_op(ws, op)
+            ep.mv_stage = stage = _DRAINING
+        if stage == _DRAINING:
+            if ep.unissued_count or ep.undelivered:
+                return False
+            for target in ep.targets:
+                if target not in ep.done_sent:
+                    self._send_done(ws, ep, target)
+            self._complete_epoch(ws, ep)
+            return True
+        return False
+
+    # -- lock epochs: fully lazy ---------------------------------------------
+    def _activate_lock(self, ws: WindowState, ep: Epoch) -> None:
+        """Issue the deferred lock request(s) (unlock time, or first
+        flush)."""
+        if ep.active:
+            return
+        ep.state = EpochState.ACTIVE
+        ep.activate_time = self.sim.now
+        self._trace("epoch_activate", ws, ep)
+        if ep.nocheck:
+            # MPI_MODE_NOCHECK: no acquisition protocol, no ω traffic.
+            for target in ep.targets:
+                ep.lock_held[target] = True
+            return
+        for target in ep.targets:
+            ep.access_ids[target] = ws.next_access_id(target)
+            self._send(
+                target,
+                self.model.control_bytes,
+                LockRequestPacket(
+                    ws.gid,
+                    origin=self.rank,
+                    exclusive=ep.exclusive,
+                    access_id=ep.access_ids[target],
+                ),
+                ServiceKind.CONTROL,
+                needs_attention=True,
+            )
+
+    def _advance_lock(self, ws: WindowState, ep: Epoch) -> bool:
+        if not ep.active:
+            return False
+        # Issue every recorded op whose target lock is held.
+        for target in ep.unissued_targets():
+            if ep.lock_held.get(target, False):
+                for op in ep.take_unissued(target):
+                    self._issue_op(ws, op)
+        if not ep.app_closed:
+            return False
+        if ep.nocheck:
+            if ep.unissued_count == 0 and ep.undelivered == 0:
+                self._complete_epoch(ws, ep)
+                return True
+            return False
+        done = True
+        for target in ep.targets:
+            if target in ep.unlock_sent:
+                continue
+            if (
+                ep.lock_held.get(target, False)
+                and ep.all_issued_to(target)
+                and ep.undelivered_to(target) == 0
+            ):
+                self._send(
+                    target,
+                    self.model.control_bytes,
+                    UnlockPacket(ws.gid, origin=self.rank, access_id=ep.access_ids[target]),
+                    ServiceKind.CONTROL,
+                    needs_attention=True,
+                )
+                ep.unlock_sent.add(target)
+            else:
+                done = False
+        if done and len(ep.unlock_acked) == len(ep.targets):
+            self._complete_epoch(ws, ep)
+            return True
+        return False
+
+    # -- fence: arrival gating at the closing call ------------------------
+    def _advance_fence(self, ws: WindowState, ep: Epoch) -> bool:
+        if not ep.app_closed:
+            return False
+        stage = getattr(ep, "mv_stage", _WAIT_INTERNODE)
+        peers = set(ws.win.group.ranks) - {self.rank}
+        if stage == _WAIT_INTERNODE:
+            # Wait for every peer to reach its closing fence (arrival).
+            if not all(ws.remote_fence_open[p] >= ep.fence_round for p in peers):
+                return False
+            for target in ep.unissued_targets():
+                for op in ep.take_unissued(target):
+                    self._issue_op(ws, op)
+            ep.mv_stage = stage = _DRAINING
+        if stage == _DRAINING:
+            if ep.unissued_count or ep.undelivered:
+                return False
+            self._broadcast_fence_done(ws, ep)
+            ep.mv_stage = stage = _NOTIFIED
+        if stage == _NOTIFIED:
+            if ws.fence_done_from[ep.fence_round] >= peers:
+                del ws.fence_done_from[ep.fence_round]
+                self._complete_epoch(ws, ep)
+                return True
+        return False
+
+    # =====================================================================
+    # Epoch lifecycle API
+    # =====================================================================
+    def open_fence(self, win: "Window") -> Epoch:
+        ws = self.state_of(win)
+        ws.fence_round += 1
+        ep = Epoch(
+            EpochKind.FENCE,
+            ws.gid,
+            self.rank,
+            targets=tuple(win.group.ranks),
+            fence_round=ws.fence_round,
+        )
+        ep.state = EpochState.ACTIVE
+        ep.activate_time = self.sim.now
+        return self._open_epoch(ws, ep)
+
+    def close_fence(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        ws = self.state_of(win)
+        # MVAPICH announces fence arrival at the *closing* call.
+        self._broadcast_fence_open(ws, ep.fence_round)
+        return self._close_epoch(ws, ep)
+
+    def open_gats_access(
+        self, win: "Window", group: tuple[int, ...], nocheck: bool = False
+    ) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(EpochKind.GATS_ACCESS, ws.gid, self.rank, targets=group, nocheck=nocheck)
+        ep.state = EpochState.ACTIVE
+        ep.activate_time = self.sim.now
+        for target in group:
+            ep.access_ids[target] = ws.next_access_id(target)
+        return self._open_epoch(ws, ep)
+
+    def close_gats_access(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    def open_exposure(self, win: "Window", group: tuple[int, ...]) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(EpochKind.GATS_EXPOSURE, ws.gid, self.rank, origin_group=group)
+        ep.state = EpochState.ACTIVE
+        ep.activate_time = self.sim.now
+        for origin in group:
+            ep.exposure_ids[origin] = ws.e[origin] + 1
+            self._send_grant(ws, origin)
+        return self._open_epoch(ws, ep)
+
+    def close_exposure(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    def open_lock(
+        self, win: "Window", target: int, exclusive: bool, nocheck: bool = False
+    ) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(
+            EpochKind.LOCK, ws.gid, self.rank, targets=(target,), exclusive=exclusive,
+            nocheck=nocheck,
+        )
+        # Lazy: stays DEFERRED; nothing hits the wire yet.
+        return self._open_epoch(ws, ep)
+
+    def close_lock(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        ws = self.state_of(win)
+        self._activate_lock(ws, ep)
+        return self._close_epoch(ws, ep)
+
+    def open_lock_all(self, win: "Window", nocheck: bool = False) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(
+            EpochKind.LOCK_ALL,
+            ws.gid,
+            self.rank,
+            targets=tuple(win.group.ranks),
+            exclusive=False,
+            nocheck=nocheck,
+        )
+        return self._open_epoch(ws, ep)
+
+    def close_lock_all(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        ws = self.state_of(win)
+        self._activate_lock(ws, ep)
+        return self._close_epoch(ws, ep)
+
+    # =====================================================================
+    # Communication calls
+    # =====================================================================
+    def add_op(self, win: "Window", ep: Epoch, op: RmaOp) -> RmaOp:
+        """Like the base, but request-based ops force early lock
+        acquisition — the application may legally wait on the op request
+        before unlocking, which the fully-lazy path could never satisfy."""
+        super().add_op(win, ep, op)
+        if (
+            op.request is not None
+            and ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL)
+            and not ep.active
+        ):
+            self._activate_lock(self.state_of(win), ep)
+            self.poke()
+        return op
+
+    # =====================================================================
+    # Flushes (blocking only; forces lazy-lock acquisition)
+    # =====================================================================
+    def make_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
+        from ...mpi.errors import UnsupportedOperation
+
+        raise UnsupportedOperation("the baseline engine has no nonblocking flush")
+
+    def blocking_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
+        from ...mpi.requests import Request
+
+        ws = self.state_of(win)
+        if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and not ep.active:
+            self._activate_lock(ws, ep)
+        ops = [
+            op
+            for op in ep.ops
+            if (target is None or op.target == target)
+            and not (op.local_done if local else op.delivered)
+        ]
+        req = Request(self.sim, f"bflush(ep{ep.uid})")
+        if not ops:
+            req.complete()
+            return req
+        self._blocking_flushes.append((ws, req, ops, local))
+        self.poke()
+        return req
+
+    def _check_blocking_flushes(self) -> None:
+        if not self._blocking_flushes:
+            return
+        live = []
+        for ws, req, ops, local in self._blocking_flushes:
+            if all((op.local_done if local else op.delivered) for op in ops):
+                req.complete()
+            else:
+                live.append((ws, req, ops, local))
+        self._blocking_flushes = live

@@ -1,0 +1,401 @@
+"""The paper's redesigned RMA engine (§VI–§VII).
+
+This engine serves both the "New" (blocking synchronization calls) and
+"New nonblocking" (``MPI_WIN_I*``) test series: blocking routines are
+the nonblocking ones plus an internal wait (§VII-C), so the engine only
+ever sees the nonblocking shape.
+
+Key mechanisms
+--------------
+Deferred epochs (§VII-A)
+    Epoch objects are created inactive.  The activation predicate
+    (:meth:`_may_activate`) encodes the §VI rules: serial activation in
+    open order, no skipping, ``E_{k+1}`` activates only after ``E_k``
+    completes unless a §VI-B reorder flag allows concurrency (never
+    across fence / lock_all epochs).  Deferred epochs record their
+    communication calls and replay them on activation.
+
+Epoch matching (§VII-B)
+    The ω-triple counters in :class:`~repro.rma.state.WindowState`; a
+    target that grants access to an origin several epochs late leaves a
+    persistent trace in the monotonically increasing ``g`` counter.
+
+Eager per-target issue (§VIII-B)
+    Transfers to any granted target are issued right away (internode
+    before intranode within a sweep, per the step ordering), unlike the
+    baseline's all-targets-ready gating.
+
+The 7-step progress loop (§VII-D)
+    :meth:`_sweep` runs the documented step sequence.  In this
+    event-driven simulation, steps 1 (completion verification) is
+    subsumed by completion callbacks, but the structural order —
+    completions before posts, batch completion both before and after
+    intranode work, notification consumption feeding the lock backlog —
+    is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...network.packets import ServiceKind
+from ..epoch import Epoch, EpochKind, EpochState
+from ..ops import RmaOp
+from ..packets import LockRequestPacket, UnlockPacket
+from ..requests import ClosingRequest, FlushRequest
+from ..state import WindowState
+from .base import RmaEngineBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...mpi.requests import Request
+    from ..window import Window
+
+__all__ = ["NonblockingEngine"]
+
+
+class NonblockingEngine(RmaEngineBase):
+    """Deferred-epoch, fully nonblocking RMA progress engine."""
+
+    supports_nonblocking = True
+
+    def __init__(self, runtime, rank):
+        super().__init__(runtime, rank)
+        #: Blocking-flush snapshots: (ws, request, ops, local) tuples.
+        self._blocking_flushes: list[tuple[WindowState, "Request", list[RmaOp], bool]] = []
+
+    # =====================================================================
+    # §VII-D — the progress loop
+    # =====================================================================
+    def _sweep(self) -> None:
+        states = list(self.states.values())
+        for ws in states:
+            # Step 1 (completion verification) is event-driven here:
+            # op completion callbacks have already updated the state.
+            self._post_ready_ops(ws, intranode=False)  # step 2
+        for ws in states:
+            self._complete_and_activate(ws)            # step 3
+        for ws in states:
+            self._post_ready_ops(ws, intranode=True)   # step 4
+        self._consume_notifications()                  # step 5
+        for ws in states:
+            self._process_lock_backlog(ws)             # step 6
+        for ws in states:
+            self._complete_and_activate(ws)            # step 7
+        self._check_blocking_flushes()
+
+    # =====================================================================
+    # Activation (§VI rules)
+    # =====================================================================
+    def _reorder_allows(self, ws: WindowState, new: Epoch, prev: Epoch) -> bool:
+        """Whether ``new`` may activate while ``prev`` is still active."""
+        if new.kind.reorder_excluded or prev.kind.reorder_excluded:
+            return False
+        return ws.win.group.flags.allows(new.is_access, prev.is_access)
+
+    def _try_activate(self, ws: WindowState) -> bool:
+        """Activate deferred epochs in order; §VII-A: "the scan stops when
+        the first deferred epoch is encountered that fails activation
+        conditions"."""
+        activated = False
+        active_preceding: list[Epoch] = []
+        for ep in ws.epochs:
+            if ep.completed:
+                continue
+            if ep.active:
+                active_preceding.append(ep)
+                continue
+            if active_preceding and not all(
+                self._reorder_allows(ws, ep, prev) for prev in active_preceding
+            ):
+                break
+            self._activate(ws, ep)
+            active_preceding.append(ep)
+            activated = True
+        return activated
+
+    def _activate(self, ws: WindowState, ep: Epoch) -> None:
+        ep.state = EpochState.ACTIVE
+        ep.activate_time = self.sim.now
+        self._trace("epoch_activate", ws, ep)
+        if ep.kind in (EpochKind.GATS_ACCESS, EpochKind.LOCK, EpochKind.LOCK_ALL):
+            if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and ep.nocheck:
+                # MPI_MODE_NOCHECK: no acquisition protocol at all — the
+                # epoch neither enters the ω counter stream nor touches
+                # the target's lock manager.
+                for target in ep.targets:
+                    ep.lock_held[target] = True
+                return
+            # §VII-B: only activated epochs modify ω.
+            for target in ep.targets:
+                ep.access_ids[target] = ws.next_access_id(target)
+            if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
+                for target in ep.targets:
+                    self._send(
+                        target,
+                        self.model.control_bytes,
+                        LockRequestPacket(
+                            ws.gid,
+                            origin=self.rank,
+                            exclusive=ep.exclusive,
+                            access_id=ep.access_ids[target],
+                        ),
+                        ServiceKind.CONTROL,
+                        needs_attention=True,
+                    )
+        elif ep.kind is EpochKind.GATS_EXPOSURE:
+            for origin in ep.origin_group:
+                ep.exposure_ids[origin] = ws.e[origin] + 1
+                self._send_grant(ws, origin)
+        elif ep.kind is EpochKind.FENCE:
+            self._broadcast_fence_open(ws, ep.fence_round)
+
+    # =====================================================================
+    # Op readiness and posting
+    # =====================================================================
+    def _target_ready(self, ws: WindowState, ep: Epoch, target: int) -> bool:
+        if not ep.active:
+            return False
+        if ep.kind is EpochKind.GATS_ACCESS:
+            # NOCHECK: the application guarantees the matching post has
+            # already happened; skip the grant wait.
+            return ep.nocheck or ws.access_granted(target, ep.access_ids[target])
+        if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
+            return ep.lock_held.get(target, False)
+        if ep.kind is EpochKind.FENCE:
+            if target == self.rank:
+                return True
+            return ws.remote_fence_open[target] >= ep.fence_round
+        raise AssertionError(f"ops not allowed in {ep.kind}")
+
+    def _post_ready_ops(self, ws: WindowState, intranode: bool) -> None:
+        topo = self.fabric.topology
+        for ep in ws.epochs:
+            if not ep.active or ep.kind is EpochKind.GATS_EXPOSURE:
+                continue
+            if not ep.unissued_count:
+                continue
+            for target in ep.unissued_targets():
+                is_intra = target == self.rank or topo.same_node(self.rank, target)
+                if is_intra != intranode:
+                    continue
+                if self._target_ready(ws, ep, target):
+                    for op in ep.take_unissued(target):
+                        self._record_concurrency(ws, ep, op)
+                        self._issue_op(ws, op)
+
+    def _record_concurrency(self, ws: WindowState, ep: Epoch, op: RmaOp) -> None:
+        """Feed the consistency tracker when reorder flags permit
+        concurrent epoch progression (§VI-C hazard analysis)."""
+        tracker = ws.win.group.consistency
+        if tracker is None:
+            return
+        concurrent = [
+            other.uid
+            for other in ws.epochs
+            if other.active and other is not ep
+        ]
+        tracker.record(op, ep.uid, concurrent)
+
+    # =====================================================================
+    # Completion (step 3 / step 7)
+    # =====================================================================
+    def _complete_and_activate(self, ws: WindowState) -> None:
+        changed = True
+        any_change = False
+        while changed:
+            changed = False
+            for ep in ws.epochs:
+                if ep.active and self._advance_epoch(ws, ep):
+                    changed = True
+            if self._try_activate(ws):
+                changed = True
+            any_change = any_change or changed
+        if any_change:
+            # Newly activated epochs may have ready ops; rerun the full
+            # step sequence so steps 2/4 post them.
+            self._resweep = True
+        ws.epochs = [
+            ep for ep in ws.epochs if not (ep.completed and ep.app_closed)
+        ]
+
+    def _advance_epoch(self, ws: WindowState, ep: Epoch) -> bool:
+        """Move one active epoch toward completion; True if it completed."""
+        if ep.kind is EpochKind.GATS_ACCESS:
+            if ep.app_closed:
+                for target in ep.targets:
+                    if (
+                        target not in ep.done_sent
+                        and (ep.nocheck or ws.access_granted(target, ep.access_ids[target]))
+                        and ep.all_issued_to(target)
+                        and ep.undelivered_to(target) == 0
+                    ):
+                        self._send_done(ws, ep, target)
+                if len(ep.done_sent) == len(ep.targets):
+                    self._complete_epoch(ws, ep)
+                    return True
+            return False
+
+        if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
+            if ep.app_closed:
+                if ep.nocheck:
+                    # No lock was taken: the epoch completes when its
+                    # transfers do; there is nothing to release.
+                    if ep.unissued_count == 0 and ep.undelivered == 0:
+                        self._complete_epoch(ws, ep)
+                        return True
+                    return False
+                for target in ep.targets:
+                    if (
+                        target not in ep.unlock_sent
+                        and ep.lock_held.get(target, False)
+                        and ep.all_issued_to(target)
+                        and ep.undelivered_to(target) == 0
+                    ):
+                        self._send(
+                            target,
+                            self.model.control_bytes,
+                            UnlockPacket(
+                                ws.gid, origin=self.rank, access_id=ep.access_ids[target]
+                            ),
+                            ServiceKind.CONTROL,
+                            needs_attention=True,
+                        )
+                        ep.unlock_sent.add(target)
+                if len(ep.unlock_acked) == len(ep.targets):
+                    self._complete_epoch(ws, ep)
+                    return True
+            return False
+
+        if ep.kind is EpochKind.GATS_EXPOSURE:
+            return self._advance_exposure(ws, ep)
+
+        if ep.kind is EpochKind.FENCE:
+            if ep.app_closed and ep.unissued_count == 0 and ep.undelivered == 0:
+                if not ep.fence_done_sent:
+                    self._broadcast_fence_done(ws, ep)
+                peers = set(ws.win.group.ranks) - {self.rank}
+                if ws.fence_done_from[ep.fence_round] >= peers:
+                    del ws.fence_done_from[ep.fence_round]
+                    self._complete_epoch(ws, ep)
+                    return True
+            return False
+
+        raise AssertionError(f"unhandled epoch kind {ep.kind}")
+
+    # =====================================================================
+    # Epoch lifecycle API (called by the Window facade)
+    # =====================================================================
+    def open_fence(self, win: "Window") -> Epoch:
+        ws = self.state_of(win)
+        ws.fence_round += 1
+        ep = Epoch(
+            EpochKind.FENCE,
+            ws.gid,
+            self.rank,
+            targets=tuple(win.group.ranks),
+            fence_round=ws.fence_round,
+        )
+        return self._open_epoch(ws, ep)
+
+    def close_fence(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    def open_gats_access(
+        self, win: "Window", group: tuple[int, ...], nocheck: bool = False
+    ) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(EpochKind.GATS_ACCESS, ws.gid, self.rank, targets=group, nocheck=nocheck)
+        return self._open_epoch(ws, ep)
+
+    def close_gats_access(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    def open_exposure(self, win: "Window", group: tuple[int, ...]) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(EpochKind.GATS_EXPOSURE, ws.gid, self.rank, origin_group=group)
+        return self._open_epoch(ws, ep)
+
+    def close_exposure(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    def open_lock(
+        self, win: "Window", target: int, exclusive: bool, nocheck: bool = False
+    ) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(
+            EpochKind.LOCK, ws.gid, self.rank, targets=(target,), exclusive=exclusive,
+            nocheck=nocheck,
+        )
+        return self._open_epoch(ws, ep)
+
+    def close_lock(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    def open_lock_all(self, win: "Window", nocheck: bool = False) -> Epoch:
+        ws = self.state_of(win)
+        ep = Epoch(
+            EpochKind.LOCK_ALL,
+            ws.gid,
+            self.rank,
+            targets=tuple(win.group.ranks),
+            exclusive=False,
+            nocheck=nocheck,
+        )
+        return self._open_epoch(ws, ep)
+
+    def close_lock_all(self, win: "Window", ep: Epoch) -> ClosingRequest:
+        return self._close_epoch(self.state_of(win), ep)
+
+    # =====================================================================
+    # Flushes
+    # =====================================================================
+    def make_flush(
+        self, win: "Window", ep: Epoch, target: int | None, local: bool
+    ) -> FlushRequest:
+        """The nonblocking flush of §V/§VII-C: age-stamped counter."""
+        ws = self.state_of(win)
+        stamp = ws.age_counter
+        pending = [
+            op
+            for op in ep.ops
+            if op.age <= stamp
+            and (target is None or op.target == target)
+            and not (op.local_done if local else op.delivered)
+        ]
+        req = FlushRequest(self.sim, ep, stamp, target, local, len(pending))
+        if not req.done:
+            ws.flushes.append(req)
+        self.poke()
+        return req
+
+    def blocking_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
+        """§VII-C: blocking flushes are *not* built on their nonblocking
+        equivalents; they drive the progress engine until the epoch-local
+        conditions hold.  Returns a plain request the facade waits on."""
+        from ...mpi.requests import Request
+
+        ws = self.state_of(win)
+        ops = [
+            op
+            for op in ep.ops
+            if (target is None or op.target == target)
+            and not (op.local_done if local else op.delivered)
+        ]
+        req = Request(self.sim, f"bflush(ep{ep.uid})")
+        if not ops:
+            req.complete()
+            return req
+        self._blocking_flushes.append((ws, req, ops, local))
+        self.poke()
+        return req
+
+    def _check_blocking_flushes(self) -> None:
+        if not self._blocking_flushes:
+            return
+        live = []
+        for ws, req, ops, local in self._blocking_flushes:
+            if all((op.local_done if local else op.delivered) for op in ops):
+                req.complete()
+            else:
+                live.append((ws, req, ops, local))
+        self._blocking_flushes = live

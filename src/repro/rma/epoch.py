@@ -1,0 +1,199 @@
+"""Epoch objects: the middleware-side state machine of §VI/§VII.
+
+An epoch has two lifetimes (§VI):
+
+- the **application-level lifetime**, bounded by *open* and *closed* —
+  driven by the synchronization calls the application makes;
+- the **internal lifetime**, bounded by *activated* and *completed* —
+  driven by the progress engine.
+
+An epoch opened at application level but not yet activated is a
+*deferred epoch*: its communication calls are recorded and replayed on
+activation (§VII-A).  An epoch can even be closed at application level
+while still deferred (``app_closed`` with ``state == DEFERRED``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ops import RmaOp
+    from .requests import ClosingRequest
+
+__all__ = ["EpochKind", "EpochState", "Epoch"]
+
+_epoch_uids = itertools.count()
+
+
+class EpochKind(enum.Enum):
+    """The five epoch shapes of MPI-3 RMA."""
+
+    FENCE = "fence"
+    GATS_ACCESS = "gats_access"
+    GATS_EXPOSURE = "gats_exposure"
+    LOCK = "lock"
+    LOCK_ALL = "lock_all"
+
+    @property
+    def is_access(self) -> bool:
+        """Origin-side epochs (fence counts as access for op hosting;
+        the reorder flags never apply to fence anyway, §VI-B)."""
+        return self is not EpochKind.GATS_EXPOSURE
+
+    @property
+    def is_exposure(self) -> bool:
+        """Target-side epochs (fence is also an exposure everywhere)."""
+        return self in (EpochKind.GATS_EXPOSURE, EpochKind.FENCE)
+
+    @property
+    def reorder_excluded(self) -> bool:
+        """Kinds next to which the §VI-B optimization flags do not apply."""
+        return self in (EpochKind.FENCE, EpochKind.LOCK_ALL)
+
+
+class EpochState(enum.Enum):
+    """Internal-lifetime state."""
+
+    DEFERRED = "deferred"
+    ACTIVE = "active"
+    COMPLETED = "completed"
+
+
+class Epoch:
+    """One epoch's full middleware record."""
+
+    def __init__(
+        self,
+        kind: EpochKind,
+        win: int,
+        owner: int,
+        targets: tuple[int, ...] = (),
+        origin_group: tuple[int, ...] = (),
+        exclusive: bool = False,
+        fence_round: int = -1,
+        nocheck: bool = False,
+    ):
+        self.uid = next(_epoch_uids)
+        self.kind = kind
+        self.win = win
+        self.owner = owner
+        #: Access-side peer set (GATS group, lock target(s), fence: all).
+        self.targets = tuple(targets)
+        #: Exposure-side origin group (GATS post group).
+        self.origin_group = tuple(origin_group)
+        self.exclusive = exclusive
+        self.fence_round = fence_round
+        #: MPI_MODE_NOCHECK: the application guarantees the matching
+        #: synchronization has already happened; skip grant waiting.
+        self.nocheck = nocheck
+
+        self.state = EpochState.DEFERRED
+        #: Application already invoked the closing routine.
+        self.app_closed = False
+        #: Ops recorded in call order (issued lazily as targets allow).
+        self.ops: list["RmaOp"] = []
+        # Incremental op bookkeeping (the progress engine polls these on
+        # every sweep; scanning `ops` there would be quadratic).
+        self._unissued_by_target: dict[int, list["RmaOp"]] = {}
+        self._unissued_count = 0
+        self._undelivered_by_target: dict[int, int] = {}
+        self._undelivered_count = 0
+        #: Access ids per target (assigned at activation; §VII-B).
+        self.access_ids: dict[int, int] = {}
+        #: Exposure indices per origin (assigned at activation).
+        self.exposure_ids: dict[int, int] = {}
+        #: Lock held per target (lock / lock_all epochs).
+        self.lock_held: dict[int, bool] = {}
+        #: Done packet already sent per target (access side).
+        self.done_sent: set[int] = set()
+        #: Unlock packet sent / acknowledged per target.
+        self.unlock_sent: set[int] = set()
+        self.unlock_acked: set[int] = set()
+        #: Fence-done broadcast emitted (fence epochs).
+        self.fence_done_sent = False
+        #: Closing request (created when the closing routine runs).
+        self.closing_request: "ClosingRequest | None" = None
+        # Timeline (for the tracer / pattern detector / consistency).
+        self.open_time: float | None = None
+        self.activate_time: float | None = None
+        self.close_call_time: float | None = None
+        self.complete_time: float | None = None
+
+    # -- state helpers -----------------------------------------------------
+    @property
+    def deferred(self) -> bool:
+        """Not yet activated by the progress engine."""
+        return self.state is EpochState.DEFERRED
+
+    @property
+    def active(self) -> bool:
+        """Inside the internal lifetime."""
+        return self.state is EpochState.ACTIVE
+
+    @property
+    def completed(self) -> bool:
+        """Internal lifetime over."""
+        return self.state is EpochState.COMPLETED
+
+    @property
+    def is_access(self) -> bool:
+        """Side used by the reorder-flag predicate."""
+        return self.kind.is_access
+
+    # -- op bookkeeping (engine-internal) --------------------------------
+    def record_op(self, op: "RmaOp") -> None:
+        """Register a communication call with this epoch."""
+        self.ops.append(op)
+        self._unissued_by_target.setdefault(op.target, []).append(op)
+        self._unissued_count += 1
+        self._undelivered_by_target[op.target] = (
+            self._undelivered_by_target.get(op.target, 0) + 1
+        )
+        self._undelivered_count += 1
+
+    def take_unissued(self, target: int) -> list["RmaOp"]:
+        """Pop every not-yet-issued op directed at ``target`` (the
+        engine issues them immediately after)."""
+        ops = self._unissued_by_target.pop(target, [])
+        self._unissued_count -= len(ops)
+        return ops
+
+    def mark_delivered(self, op: "RmaOp") -> None:
+        """Account one op's remote completion."""
+        self._undelivered_by_target[op.target] -= 1
+        self._undelivered_count -= 1
+
+    def ops_to(self, target: int) -> list["RmaOp"]:
+        """Recorded ops directed at ``target``."""
+        return [op for op in self.ops if op.target == target]
+
+    def undelivered_to(self, target: int) -> int:
+        """Ops to ``target`` not yet remotely complete."""
+        return self._undelivered_by_target.get(target, 0)
+
+    @property
+    def undelivered(self) -> int:
+        """Total ops not yet remotely complete."""
+        return self._undelivered_count
+
+    @property
+    def unissued_count(self) -> int:
+        """Recorded ops not yet on the wire."""
+        return self._unissued_count
+
+    def unissued_targets(self) -> list[int]:
+        """Targets that still have unissued ops."""
+        return [t for t, ops in self._unissued_by_target.items() if ops]
+
+    def all_issued_to(self, target: int) -> bool:
+        """Whether every recorded op to ``target`` has been issued."""
+        return not self._unissued_by_target.get(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Epoch #{self.uid} {self.kind.value} owner={self.owner} win={self.win} "
+            f"{self.state.value}{' app-closed' if self.app_closed else ''}>"
+        )

@@ -1,0 +1,216 @@
+"""RMA wire payloads exchanged between engines through the fabric.
+
+These complement the 64-bit notification packets of
+:mod:`repro.network.shmem` — notifications carry grant/done/lock events;
+the payloads here carry data and multi-field control that does not fit
+in 64 bits (the paper's design likewise mixes RDMA data, control packets
+and the notification FIFOs).
+
+Every payload identifies the window by group id; the receiving engine
+routes it to the right per-window state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpi.datatypes import Datatype
+from ..mpi.ops import ReduceOp
+
+__all__ = [
+    "RmaPayload",
+    "PutData",
+    "GetRequest",
+    "GetResponse",
+    "AccumulateData",
+    "AccRendezvousRts",
+    "AccRendezvousCts",
+    "FetchOpRequest",
+    "FetchOpResponse",
+    "CasRequest",
+    "CasResponse",
+    "GrantUpdate",
+    "DonePacket",
+    "LockRequestPacket",
+    "UnlockPacket",
+    "UnlockAck",
+    "FenceOpen",
+    "FenceDone",
+]
+
+
+@dataclass
+class RmaPayload:
+    """Common header: which window group this traffic belongs to."""
+
+    win: int
+
+
+@dataclass
+class PutData(RmaPayload):
+    """A put's payload: applied to target window memory at delivery."""
+
+    op_uid: int
+    target_disp: int
+    nbytes: int
+    data: np.ndarray | None
+
+
+@dataclass
+class GetRequest(RmaPayload):
+    """RDMA-read request; the target NIC answers autonomously."""
+
+    op_uid: int
+    origin: int
+    target_disp: int
+    nbytes: int
+
+
+@dataclass
+class GetResponse(RmaPayload):
+    """RDMA-read response carrying the target bytes."""
+
+    op_uid: int
+    nbytes: int
+    data: np.ndarray | None
+
+
+@dataclass
+class AccumulateData(RmaPayload):
+    """Accumulate operand; reduced into target memory at delivery."""
+
+    op_uid: int
+    target_disp: int
+    nbytes: int
+    dtype: Datatype
+    reduce_op: ReduceOp
+    data: np.ndarray | None
+    #: For GET_ACCUMULATE: reply with the pre-reduction target contents.
+    fetch: bool = False
+    origin: int = -1
+
+
+@dataclass
+class AccRendezvousRts(RmaPayload):
+    """Large-accumulate rendezvous request (needs host attention at the
+    target: an intermediate buffer must be provided — §VIII-A)."""
+
+    op_uid: int
+    origin: int
+    nbytes: int
+
+
+@dataclass
+class AccRendezvousCts(RmaPayload):
+    """Target's clear-to-send for a large accumulate."""
+
+    op_uid: int
+
+
+@dataclass
+class FetchOpRequest(RmaPayload):
+    """MPI_FETCH_AND_OP: single-element atomic read-modify-write."""
+
+    op_uid: int
+    origin: int
+    target_disp: int
+    dtype: Datatype
+    reduce_op: ReduceOp
+    data: np.ndarray | None
+
+
+@dataclass
+class FetchOpResponse(RmaPayload):
+    """Old value returned by a fetch-and-op."""
+
+    op_uid: int
+    data: np.ndarray | None
+
+
+@dataclass
+class CasRequest(RmaPayload):
+    """MPI_COMPARE_AND_SWAP request."""
+
+    op_uid: int
+    origin: int
+    target_disp: int
+    dtype: Datatype
+    compare: np.ndarray | None
+    new: np.ndarray | None
+
+
+@dataclass
+class CasResponse(RmaPayload):
+    """Old value returned by a compare-and-swap."""
+
+    op_uid: int
+    data: np.ndarray | None
+
+
+@dataclass
+class GrantUpdate(RmaPayload):
+    """One-sided increment of the origin's ω-triple ``g`` counter
+    (§VII-B): the target granted one more access to the receiving rank.
+
+    ``granter`` identifies whose counter stream this belongs to; the
+    receiving engine does ``g[granter] += 1``.  When the grant stems
+    from the lock manager rather than an exposure post,
+    ``lock_access_id`` carries the access id of the lock epoch being
+    granted so the origin can mark that specific epoch as holding the
+    lock (GATS matching alone cannot distinguish grant provenance).
+    """
+
+    granter: int
+    lock_access_id: int | None = None
+
+
+@dataclass
+class DonePacket(RmaPayload):
+    """Access-epoch completion notification carrying the access id
+    ``A_i`` that matches the target-side exposure id (§VII-B)."""
+
+    origin: int
+    access_id: int
+
+
+@dataclass
+class LockRequestPacket(RmaPayload):
+    """Passive-target lock request (processed by the target host)."""
+
+    origin: int
+    exclusive: bool
+    access_id: int
+
+
+@dataclass
+class UnlockPacket(RmaPayload):
+    """The 'different kind of done packet' closing a lock epoch."""
+
+    origin: int
+    access_id: int
+
+
+@dataclass
+class UnlockAck(RmaPayload):
+    """Target's acknowledgment that the lock epoch is fully closed."""
+
+    access_id: int
+
+
+@dataclass
+class FenceOpen(RmaPayload):
+    """Rank entered fence round ``round_no`` (opening side)."""
+
+    origin: int
+    round_no: int
+
+
+@dataclass
+class FenceDone(RmaPayload):
+    """Rank closed fence round ``round_no`` and its outbound transfers
+    are complete (the barrier-semantics notification of rule 5)."""
+
+    origin: int
+    round_no: int

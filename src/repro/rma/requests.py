@@ -1,0 +1,119 @@
+"""Specialized RMA request objects (§VII-C).
+
+The paper extends the middleware request object so it "could now be
+specialized as epoch-opening, epoch-closing, or flush requests":
+
+- **epoch-opening** requests are dummies, completed at creation — every
+  epoch-opening routine exits immediately;
+- **epoch-closing** requests complete when all the origin-side or
+  target-side completion conditions of the epoch are met;
+- **flush** requests are stamped with the *age* of the RMA call that
+  immediately precedes them; each younger completing RMA op decrements
+  the request's completion counter, and the request completes at zero.
+
+Request-based communication (``rput``/``rget``/...) additionally uses
+:class:`OpRequest`, completing per-operation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..mpi.requests import CompletedRequest, Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simtime import Simulator
+    from .epoch import Epoch
+    from .ops import RmaOp
+
+__all__ = ["OpeningRequest", "ClosingRequest", "FlushRequest", "OpRequest"]
+
+
+class OpeningRequest(CompletedRequest):
+    """Dummy request returned by nonblocking epoch-opening routines.
+
+    "Any test or wait call on the MPI_REQUEST handle associated with any
+    such request object always detects immediate completion." (§VII-C)
+    """
+
+    def __init__(self, sim: "Simulator", epoch: "Epoch"):
+        super().__init__(sim, f"open(ep{epoch.uid})")
+        self.epoch = epoch
+
+
+class ClosingRequest(Request):
+    """Completes when the epoch's internal lifetime ends."""
+
+    def __init__(self, sim: "Simulator", epoch: "Epoch"):
+        super().__init__(sim, f"close(ep{epoch.uid})")
+        self.epoch = epoch
+
+
+class FlushRequest(Request):
+    """Age-stamped flush completion tracker.
+
+    Parameters
+    ----------
+    stamp_age:
+        Age of the RMA call immediately preceding the flush; only ops
+        with ``age <= stamp_age`` count toward the flush.
+    target:
+        Restrict to one target rank (``None`` = all targets: flush_all).
+    local:
+        Local-completion flavor (``flush_local``): ops count as done at
+        origin-buffer reuse rather than remote completion.
+    counter:
+        Number of not-yet-complete qualifying ops at creation time; the
+        engine decrements it via :meth:`op_completed`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        epoch: "Epoch",
+        stamp_age: int,
+        target: int | None,
+        local: bool,
+        counter: int,
+    ):
+        scope = "all" if target is None else f"t{target}"
+        kind = "local" if local else "remote"
+        super().__init__(sim, f"flush-{kind}({scope},age<={stamp_age})")
+        self.epoch = epoch
+        self.stamp_age = stamp_age
+        self.target = target
+        self.local = local
+        self.counter = counter
+        if counter == 0:
+            self.complete()
+
+    def qualifies(self, op: "RmaOp") -> bool:
+        """Whether ``op``'s completion should decrement this flush."""
+        if op.age > self.stamp_age:
+            return False
+        if self.target is not None and op.target != self.target:
+            return False
+        return op.epoch is self.epoch
+
+    def op_completed(self, op: "RmaOp") -> None:
+        """Notify one qualifying op completion."""
+        if self.done:
+            return
+        if not self.qualifies(op):
+            return
+        self.counter -= 1
+        if self.counter <= 0:
+            self.complete()
+
+
+class OpRequest(Request):
+    """Per-operation request for the request-based RMA calls.
+
+    For ``rput``/``raccumulate`` completion means local completion; for
+    ``rget``/``rget_accumulate`` it means the result is available.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, remote: bool):
+        super().__init__(sim, name)
+        #: Whether completion requires remote completion (result-bearing).
+        self.remote = remote

@@ -1,0 +1,117 @@
+"""Per-rank, per-window middleware state shared by both engines.
+
+Holds the ω-triple counters of §VII-B, the epoch list (open order), the
+lock manager for locks this rank hosts, fence-round bookkeeping, flush
+requests, and op routing tables.
+
+The ω-triple: for a local process P_l and each remote P_r,
+``ω_r = ⟨a_l, e_l, g_r⟩`` — accesses requested from P_l to P_r,
+exposures opened from P_l to P_r, and accesses granted to P_l by P_r.
+``g`` is updated one-sidedly by the remote peer (a GrantUpdate/lock
+grant arriving over the fabric); ``a`` and ``e`` are updated locally,
+and only *activated* epochs modify them.  Epoch matching is O(1): an
+access epoch with id ``A_i`` may touch ``r`` iff ``A_i <= g[r]``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Any
+
+from .locks import LockManager, LockWaiter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .epoch import Epoch
+    from .ops import RmaOp
+    from .requests import FlushRequest
+    from .window import Window
+
+__all__ = ["WindowState"]
+
+
+class WindowState:
+    """Everything one rank's engine knows about one window."""
+
+    def __init__(self, win: "Window", on_lock_grant):
+        self.win = win
+        self.rank = win.rank
+        self.gid = win.group.gid
+
+        # -- ω-triples (per remote rank) ---------------------------------
+        self.a: dict[int, int] = defaultdict(int)
+        self.e: dict[int, int] = defaultdict(int)
+        self.g: dict[int, int] = defaultdict(int)
+        #: Highest done-packet access id received per origin (target side).
+        self.done_id: dict[int, int] = defaultdict(int)
+
+        # -- epochs ---------------------------------------------------------
+        #: All epochs not yet retired, in application open order.
+        self.epochs: list["Epoch"] = []
+
+        # -- lock hosting ----------------------------------------------------
+        self.lock_mgr = LockManager(on_lock_grant)
+        #: Lock/unlock events awaiting batch processing (engine step 6).
+        self.lock_backlog: deque[tuple[str, Any]] = deque()
+
+        # -- fences ---------------------------------------------------------
+        #: Fence rounds opened locally so far (round numbers start at 1).
+        self.fence_round = 0
+        #: Highest fence round each remote announced (FenceOpen).
+        self.remote_fence_open: dict[int, int] = defaultdict(int)
+        #: FenceDone senders per round.
+        self.fence_done_from: dict[int, set[int]] = defaultdict(set)
+
+        # -- ops / flushes -----------------------------------------------------
+        #: Monotonic RMA-call age (§VII-C flush stamping).
+        self.age_counter = 0
+        #: In-flight response-bearing ops by uid (routing table).
+        self.ops_by_uid: dict[int, "RmaOp"] = {}
+        #: Live flush requests.
+        self.flushes: list["FlushRequest"] = []
+
+    # -- small helpers ---------------------------------------------------
+    def next_age(self) -> int:
+        """Allocate the next RMA-call age."""
+        self.age_counter += 1
+        return self.age_counter
+
+    def next_access_id(self, target: int) -> int:
+        """``A_i = ++a_l`` for an activating access epoch (§VII-B)."""
+        self.a[target] += 1
+        return self.a[target]
+
+    def next_exposure_id(self, origin: int) -> int:
+        """``++e_l`` for an activating exposure epoch / lock grant."""
+        self.e[origin] += 1
+        return self.e[origin]
+
+    def access_granted(self, target: int, access_id: int) -> bool:
+        """The O(1) matching test ``A_i <= g_r``."""
+        return access_id <= self.g[target]
+
+    def live_epochs(self) -> list["Epoch"]:
+        """Epochs whose internal lifetime has not ended."""
+        return [ep for ep in self.epochs if not ep.completed]
+
+    def retire_completed(self) -> None:
+        """Drop completed epochs from the head bookkeeping list (keeps
+        memory bounded over long transaction runs)."""
+        self.epochs = [ep for ep in self.epochs if not ep.completed]
+
+    def notify_flushes(self, op: "RmaOp", local: bool) -> None:
+        """Propagate one op completion event to live flush requests and
+        retire finished ones.
+
+        ``local`` distinguishes origin-buffer-reusable events (feeding
+        ``flush_local`` requests) from remote-completion events (feeding
+        plain ``flush`` requests).
+        """
+        if not self.flushes:
+            return
+        live: list["FlushRequest"] = []
+        for fr in self.flushes:
+            if fr.local == local:
+                fr.op_completed(op)
+            if not fr.done:
+                live.append(fr)
+        self.flushes = live

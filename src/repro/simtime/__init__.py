@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the virtual clock everything else in :mod:`repro`
+runs on: cooperative generator processes, one-shot events, timeouts and
+combinators.  Time is conventionally in microseconds.
+
+Quick example::
+
+    from repro.simtime import Simulator
+
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(5.0)
+        return sim.now
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.done.value == 5.0
+"""
+
+from .core import Simulator
+from .errors import InvalidYield, ProcessFailed, SimtimeError, SimulationDeadlock
+from .events import AllOf, AnyOf, SimEvent, Timeout
+from .process import SimProcess
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "SimProcess",
+    "SimtimeError",
+    "SimulationDeadlock",
+    "ProcessFailed",
+    "InvalidYield",
+]

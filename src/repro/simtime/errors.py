@@ -1,0 +1,40 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimtimeError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationDeadlock(SimtimeError):
+    """Raised by :meth:`Simulator.run` when live processes remain but no
+    event is scheduled, i.e. the simulation can never advance again.
+
+    The typical cause inside this library is an MPI-level deadlock: every
+    rank is blocked in a wait whose completion depends on another blocked
+    rank (for example matching epochs that are never opened).
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        detail = ", ".join(blocked) if blocked else "<unknown>"
+        super().__init__(f"simulation deadlock; blocked processes: {detail}")
+
+
+class ProcessFailed(SimtimeError):
+    """Raised when :meth:`Simulator.run` observed a process generator raise.
+
+    The original exception is available as ``__cause__`` and as the
+    :attr:`original` attribute.
+    """
+
+    def __init__(self, process_name: str, original: BaseException):
+        self.process_name = process_name
+        self.original = original
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+
+
+class InvalidYield(SimtimeError):
+    """Raised when a process generator yields something that is not a
+    :class:`~repro.simtime.events.SimEvent`."""

@@ -1,0 +1,94 @@
+"""Cooperative processes: generators driven by the simulator.
+
+A process body is a Python generator that yields
+:class:`~repro.simtime.events.SimEvent` objects.  The kernel resumes the
+generator when the yielded event triggers, sending the event's value back
+as the result of the ``yield`` expression.  Nested "blocking" calls are
+expressed with ``yield from`` (the SimPy idiom), which is how the MPI
+layer exposes its blocking API.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from .errors import InvalidYield, ProcessFailed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Simulator
+    from .events import SimEvent
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """A running generator with completion tracking.
+
+    A process is itself awaitable by other processes through its
+    :attr:`done` event, whose value is the generator's return value.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_alive", "done", "_failure", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator["SimEvent", Any, Any], name: str):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._alive = True
+        #: Event triggered (with the return value) when the generator ends.
+        self.done: "SimEvent" = sim.event(name=f"{name}.done")
+        self._failure: BaseException | None = None
+        self._waiting_on: "SimEvent | None" = None
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return self._alive
+
+    @property
+    def waiting_on(self) -> "SimEvent | None":
+        """The event this process is currently blocked on, if any."""
+        return self._waiting_on
+
+    def reraise_if_failed(self) -> None:
+        """Re-raise a stored generator exception wrapped in
+        :class:`ProcessFailed` (called by the kernel loop)."""
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise ProcessFailed(self.name, failure) from failure
+
+    # -- kernel interface --------------------------------------------------
+    def _step(self, event: "SimEvent | None") -> None:
+        """Advance the generator by one yield.
+
+        ``event`` is the event whose triggering resumed us (``None`` for
+        the initial step).  Its value is sent into the generator.
+        """
+        self._waiting_on = None
+        try:
+            send_value = event.value if event is not None else None
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.trigger(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via kernel
+            self._alive = False
+            self._failure = exc
+            self.sim._failed.append(self)
+            return
+        trigger = getattr(target, "add_callback", None)
+        if trigger is None:
+            self._alive = False
+            self._failure = InvalidYield(
+                f"process {self.name!r} yielded {target!r}; processes must yield SimEvent objects"
+            )
+            self.sim._failed.append(self)
+            return
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"<SimProcess {self.name!r} {state}>"

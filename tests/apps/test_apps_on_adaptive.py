@@ -1,0 +1,54 @@
+"""All application kernels run correctly on the adaptive engine too."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FactDbConfig,
+    HaloConfig,
+    LUConfig,
+    TransactionsConfig,
+    run_factdb,
+    run_halo,
+    run_lu,
+    run_transactions,
+)
+from repro.apps.factdb import reference_table
+from repro.apps.halo import reference_halo
+
+
+class TestAdaptiveEngineApps:
+    def test_transactions(self):
+        cfg = TransactionsConfig(nranks=8, txns_per_rank=20, engine="adaptive",
+                                 work_in_epoch_us=2.0, cores_per_node=4)
+        res = run_transactions(cfg)
+        assert res.applied == res.total_txns
+
+    def test_transactions_adaptive_not_slower_than_lazy(self):
+        """With in-epoch work, the learned eager mode beats pure lazy."""
+        kw = dict(nranks=8, txns_per_rank=30, work_in_epoch_us=5.0, cores_per_node=4)
+        lazy = run_transactions(TransactionsConfig(engine="mvapich", **kw))
+        adaptive = run_transactions(TransactionsConfig(engine="adaptive", **kw))
+        assert adaptive.elapsed_us <= lazy.elapsed_us * 1.01
+
+    def test_lu(self):
+        cfg = LUConfig(nranks=3, m=18, engine="adaptive", cores_per_node=2)
+        res = run_lu(cfg)
+        from repro.apps.lu import _make_matrix
+
+        a = _make_matrix(18, cfg.seed)
+        L = np.tril(res.u_matrix, -1) + np.eye(18)
+        U = np.triu(res.u_matrix)
+        assert np.linalg.norm(L @ U - a) / np.linalg.norm(a) < 1e-10
+
+    def test_halo(self):
+        initial = np.arange(32, dtype=float)
+        cfg = HaloConfig(nranks=2, cells_per_rank=16, iterations=4, engine="adaptive")
+        res = run_halo(cfg, initial)
+        np.testing.assert_allclose(res.field, reference_halo(initial, 2, 16, 4))
+
+    def test_factdb(self):
+        cfg = FactDbConfig(nranks=5, firings_per_rank=12, engine="adaptive",
+                           cores_per_node=2)
+        res = run_factdb(cfg)
+        np.testing.assert_array_equal(res.table, reference_table(cfg))

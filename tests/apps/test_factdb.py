@@ -1,0 +1,82 @@
+"""Distributed fact database: exactness across all execution modes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import FactDbConfig, run_factdb
+from repro.apps.factdb import _derive, _home, _slot, reference_table
+
+
+def cfg(**kw):
+    base = dict(nranks=6, firings_per_rank=15, universe=128, cores_per_node=3)
+    base.update(kw)
+    return FactDbConfig(**base)
+
+
+class TestPartitioning:
+    def test_base_slots_injective(self):
+        universe, slots = 128, 256
+        seen = set()
+        for key in range(universe // 2):
+            s = _slot(key, universe, slots)
+            assert s < slots // 2
+            assert s not in seen
+            seen.add(s)
+
+    def test_derived_keys_in_derived_half(self):
+        universe = 128
+        for key in range(universe // 2):
+            d = _derive(key, universe)
+            assert universe // 2 <= d < universe
+            assert _slot(d, universe, 2 * universe) >= universe
+
+    def test_home_in_range(self):
+        for key in range(200):
+            assert 0 <= _home(key, 7) < 7
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            dict(engine="mvapich"),
+            dict(engine="nonblocking"),
+            dict(engine="nonblocking", nonblocking=True),
+            dict(engine="nonblocking", nonblocking=True, reorder=True),
+        ],
+        ids=["mvapich", "new-blocking", "nonblocking", "nonblocking+aaar"],
+    )
+    def test_table_matches_reference(self, mode):
+        c = cfg(**mode)
+        res = run_factdb(c)
+        np.testing.assert_array_equal(res.table, reference_table(c))
+
+    def test_modes_agree_with_each_other(self):
+        tables = []
+        for mode in (dict(), dict(nonblocking=True, reorder=True)):
+            tables.append(run_factdb(cfg(**mode)).table)
+        np.testing.assert_array_equal(tables[0], tables[1])
+
+    def test_grand_total_conserved(self):
+        c = cfg()
+        res = run_factdb(c)
+        ref = reference_table(c)
+        assert res.derived_total() == int(ref.sum())
+
+    def test_single_rank(self):
+        c = cfg(nranks=1)
+        res = run_factdb(c)
+        np.testing.assert_array_equal(res.table, reference_table(c))
+
+
+class TestPerformance:
+    def test_reorder_speeds_up_rule_engine(self):
+        plain = run_factdb(cfg(nonblocking=True, firings_per_rank=25))
+        flagged = run_factdb(cfg(nonblocking=True, reorder=True, firings_per_rank=25))
+        assert flagged.elapsed_us < plain.elapsed_us
+
+    def test_deterministic(self):
+        a = run_factdb(cfg(nonblocking=True, reorder=True))
+        b = run_factdb(cfg(nonblocking=True, reorder=True))
+        assert a.elapsed_us == b.elapsed_us
+        np.testing.assert_array_equal(a.table, b.table)

@@ -1,0 +1,84 @@
+"""LU decomposition: numerical correctness and Fig. 13 timing shapes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LUConfig, run_lu
+from repro.apps.lu import _make_matrix, _owned_rows
+
+
+class TestRowMapping:
+    def test_cyclic_mapping_partition(self):
+        m, n = 20, 3
+        all_rows = sorted(r for rank in range(n) for r in _owned_rows(rank, m, n))
+        assert all_rows == list(range(m))
+
+    def test_cyclic_balance(self):
+        counts = [len(_owned_rows(r, 64, 4)) for r in range(4)]
+        assert counts == [16, 16, 16, 16]
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    @pytest.mark.parametrize("nonblocking", [False, True])
+    def test_factors_reconstruct_matrix(self, n, nonblocking):
+        m = 24
+        cfg = LUConfig(nranks=n, m=m, nonblocking=nonblocking, cores_per_node=2)
+        res = run_lu(cfg)
+        a = _make_matrix(m, cfg.seed)
+        L = np.tril(res.u_matrix, -1) + np.eye(m)
+        U = np.triu(res.u_matrix)
+        residual = np.linalg.norm(L @ U - a) / np.linalg.norm(a)
+        assert residual < 1e-10
+
+    def test_matches_scipy_unpivoted(self):
+        """Against scipy's pivoted LU on a diagonally dominant matrix:
+        our U's diagonal magnitudes should match the matrix scale (a
+        weak check), and the strong check is exact reconstruction."""
+        scipy = pytest.importorskip("scipy.linalg")
+        m = 16
+        cfg = LUConfig(nranks=2, m=m)
+        res = run_lu(cfg)
+        a = _make_matrix(m, cfg.seed)
+        # With strong diagonal dominance scipy does not permute:
+        p, l, u = scipy.lu(a)
+        np.testing.assert_allclose(p, np.eye(m))
+        np.testing.assert_allclose(np.triu(res.u_matrix), u, rtol=1e-9, atol=1e-9)
+
+    def test_mvapich_engine_same_numbers(self):
+        m = 16
+        nb = run_lu(LUConfig(nranks=2, m=m, engine="nonblocking"))
+        mv = run_lu(LUConfig(nranks=2, m=m, engine="mvapich"))
+        np.testing.assert_allclose(nb.u_matrix, mv.u_matrix)
+
+    def test_explicit_matrix_input(self):
+        m = 8
+        a = np.eye(m) * 4 + 0.1
+        res = run_lu(LUConfig(nranks=2, m=m, matrix=a))
+        L = np.tril(res.u_matrix, -1) + np.eye(m)
+        U = np.triu(res.u_matrix)
+        np.testing.assert_allclose(L @ U, a, atol=1e-12)
+
+
+class TestTimingShape:
+    def test_nonblocking_faster_in_compute_heavy_regime(self):
+        """Fig. 13: the Late Complete elimination gives 'New
+        nonblocking' a large win at small job sizes."""
+        kw = dict(nranks=4, m=48, work_per_cell_us=0.1, cores_per_node=2)
+        blocking = run_lu(LUConfig(**kw, nonblocking=False))
+        nonblocking = run_lu(LUConfig(**kw, nonblocking=True))
+        assert nonblocking.elapsed_us < 0.85 * blocking.elapsed_us
+
+    def test_comm_fraction_grows_with_job_size(self):
+        """Fig. 13b/d: larger jobs spend a larger share communicating."""
+        fractions = []
+        for n in (2, 4, 8):
+            res = run_lu(LUConfig(nranks=n, m=32, nonblocking=False,
+                                  work_per_cell_us=0.05, cores_per_node=2))
+            fractions.append(res.comm_fraction)
+        assert fractions[0] < fractions[-1]
+
+    def test_comm_us_has_one_entry_per_rank(self):
+        res = run_lu(LUConfig(nranks=3, m=12, work_per_cell_us=0.01))
+        assert len(res.comm_us) == 3
+        assert res.u_matrix is None  # modeled mode

@@ -1,0 +1,61 @@
+"""2-D GATS stencil: correctness across engines, grids, and overlap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Stencil2DConfig, reference_stencil2d, run_stencil2d
+
+
+def init_grid(rows, cols, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((rows, cols))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pr,pc", [(1, 1), (1, 4), (2, 2), (3, 2)])
+    @pytest.mark.parametrize("nonblocking", [False, True])
+    def test_matches_reference(self, pr, pc, nonblocking):
+        cfg = Stencil2DConfig(pr=pr, pc=pc, tile=4, iterations=3, nonblocking=nonblocking)
+        init = init_grid(pr * 4, pc * 4)
+        res = run_stencil2d(cfg, init)
+        np.testing.assert_allclose(res.grid, reference_stencil2d(init, 3), atol=1e-12)
+
+    @pytest.mark.parametrize("engine", ["mvapich", "adaptive"])
+    def test_blocking_engines(self, engine):
+        cfg = Stencil2DConfig(pr=2, pc=2, tile=5, iterations=4, engine=engine)
+        init = init_grid(10, 10)
+        res = run_stencil2d(cfg, init)
+        np.testing.assert_allclose(res.grid, reference_stencil2d(init, 4), atol=1e-12)
+
+    def test_bad_grid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            run_stencil2d(Stencil2DConfig(pr=2, pc=2, tile=4), np.zeros((3, 3)))
+
+    @given(
+        pr=st.integers(1, 3),
+        pc=st.integers(1, 3),
+        iterations=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_grids(self, pr, pc, iterations, seed):
+        cfg = Stencil2DConfig(pr=pr, pc=pc, tile=3, iterations=iterations,
+                              nonblocking=True)
+        init = init_grid(pr * 3, pc * 3, seed)
+        res = run_stencil2d(cfg, init)
+        np.testing.assert_allclose(
+            res.grid, reference_stencil2d(init, iterations), atol=1e-12
+        )
+
+
+class TestOverlap:
+    def test_nonblocking_overlaps_interior_work(self):
+        kw = dict(pr=2, pc=2, tile=16, iterations=6, interior_work_us=150.0,
+                  cores_per_node=1)
+        init = init_grid(32, 32)
+        blocking = run_stencil2d(Stencil2DConfig(**kw, nonblocking=False), init)
+        nonblocking = run_stencil2d(Stencil2DConfig(**kw, nonblocking=True), init)
+        np.testing.assert_allclose(blocking.grid, nonblocking.grid)
+        assert nonblocking.elapsed_us <= blocking.elapsed_us

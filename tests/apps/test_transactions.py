@@ -1,0 +1,82 @@
+"""Transactions workload: correctness, determinism, performance ordering."""
+
+import pytest
+
+from repro.apps import TransactionsConfig, run_transactions
+
+
+def cfg(**kw):
+    base = dict(nranks=8, txns_per_rank=20, cores_per_node=4)
+    base.update(kw)
+    return TransactionsConfig(**base)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "engine,nonblocking,reorder",
+        [
+            ("mvapich", False, False),
+            ("nonblocking", False, False),
+            ("nonblocking", True, False),
+            ("nonblocking", True, True),
+        ],
+    )
+    def test_every_update_lands_exactly_once(self, engine, nonblocking, reorder):
+        res = run_transactions(cfg(engine=engine, nonblocking=nonblocking, reorder=reorder))
+        assert res.applied == res.total_txns
+
+    def test_single_rank(self):
+        res = run_transactions(cfg(nranks=1, nonblocking=True))
+        assert res.applied == res.total_txns
+
+    def test_with_think_time(self):
+        res = run_transactions(cfg(nonblocking=True, think_time_us=5.0))
+        assert res.applied == res.total_txns
+
+    def test_with_in_epoch_work(self):
+        res = run_transactions(cfg(work_in_epoch_us=3.0))
+        assert res.applied == res.total_txns
+
+
+class TestDeterminism:
+    def test_same_seed_same_elapsed(self):
+        a = run_transactions(cfg(nonblocking=True, reorder=True, seed=11))
+        b = run_transactions(cfg(nonblocking=True, reorder=True, seed=11))
+        assert a.elapsed_us == b.elapsed_us
+        assert a.applied == b.applied
+
+    def test_different_seed_different_pattern(self):
+        a = run_transactions(cfg(seed=1))
+        b = run_transactions(cfg(seed=2))
+        assert a.elapsed_us != b.elapsed_us  # overwhelmingly likely
+
+
+class TestPerformanceShape:
+    def test_reorder_flag_beats_serialized(self):
+        """Fig. 12's key result: A_A_A_R contention avoidance."""
+        plain = run_transactions(cfg(nonblocking=True, txns_per_rank=30))
+        flagged = run_transactions(cfg(nonblocking=True, reorder=True, txns_per_rank=30))
+        assert flagged.throughput_txn_per_s > 1.2 * plain.throughput_txn_per_s
+
+    def test_eager_engines_beat_lazy_with_in_epoch_work(self):
+        """With work inside the epoch, the lazy baseline loses its
+        overlap (everything serializes at unlock)."""
+        lazy = run_transactions(cfg(engine="mvapich", work_in_epoch_us=20.0))
+        eager = run_transactions(cfg(engine="nonblocking", work_in_epoch_us=20.0))
+        assert eager.elapsed_us <= lazy.elapsed_us
+
+    def test_nonblocking_not_slower_than_blocking(self):
+        blocking = run_transactions(cfg(nonblocking=False))
+        nonblocking = run_transactions(cfg(nonblocking=True))
+        assert nonblocking.elapsed_us <= blocking.elapsed_us * 1.01
+
+    def test_flow_control_stalls_grow_with_pressure(self):
+        """Massive pending epochs exhaust per-peer credits (the §VIII-B
+        scaling limitation)."""
+        from repro.network import NetworkModel
+
+        tight = NetworkModel(credits_per_peer=2)
+        res = run_transactions(
+            cfg(nonblocking=True, reorder=True, txns_per_rank=40, model=tight)
+        )
+        assert res.fc_stalls > 0

@@ -1,0 +1,109 @@
+"""Shape assertions for every §VIII-A microbenchmark figure.
+
+These are the EXPERIMENTS.md acceptance checks: absolute numbers are
+model-dependent, the *shapes* (who waits, what overlaps, who wins) are
+the paper's claims.
+"""
+
+import pytest
+
+from repro.bench import SERIES
+from repro.bench.figures import (
+    MB,
+    fig02_late_post,
+    fig03_late_complete,
+    fig04_early_fence,
+    fig05_wait_at_fence,
+    fig06_late_unlock,
+)
+
+MV, NEW, NB = SERIES
+DELAY = 1000.0
+PUT_1MB = 345.0  # calibrated transfer incl. handshakes
+
+
+class TestFig02LatePost:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {s.name: fig02_late_post(s) for s in SERIES}
+
+    def test_access_epoch_cannot_avoid_delay(self, results):
+        """'The delay of the Late Post cannot be avoided by the
+        origin-side epoch': ~1340 µs for all three series."""
+        for series, r in results.items():
+            assert r["access_epoch"] == pytest.approx(DELAY + PUT_1MB, rel=0.05), series
+
+    def test_blocking_series_serialize(self, results):
+        for name in ("MVAPICH", "New"):
+            r = results[name]
+            assert r["cumulative"] == pytest.approx(
+                r["access_epoch"] + r["two_sided"], rel=0.02
+            )
+
+    def test_nonblocking_overlaps_subsequent_activity(self, results):
+        r = results["New nonblocking"]
+        assert r["two_sided"] == pytest.approx(PUT_1MB, rel=0.05)
+        assert r["cumulative"] == pytest.approx(r["access_epoch"], rel=0.02)
+
+
+class TestFig03LateComplete:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {s.name: fig03_late_complete(s, MB) for s in SERIES}
+
+    def test_blocking_series_propagate_delay(self, results):
+        assert results["MVAPICH"]["target_epoch"] > DELAY
+        assert results["New"]["target_epoch"] > 0.95 * DELAY
+
+    def test_nonblocking_target_waits_only_for_transfers(self, results):
+        assert results["New nonblocking"]["target_epoch"] < 1.3 * PUT_1MB
+
+    def test_small_messages_same_story(self):
+        from repro.bench.figures import fig03_late_complete
+
+        nb = fig03_late_complete(NB, 4)
+        mv = fig03_late_complete(MV, 4)
+        assert nb["target_epoch"] < 50.0
+        assert mv["target_epoch"] > 0.9 * DELAY
+
+
+class TestFig04EarlyFence:
+    def test_nonblocking_overlaps_work_with_epoch(self):
+        nb = fig04_early_fence(NB, MB)
+        assert nb["cumulative"] == pytest.approx(DELAY, rel=0.05)
+
+    def test_blocking_serializes(self):
+        for s in (MV, NEW):
+            r = fig04_early_fence(s, MB)
+            assert r["cumulative"] > DELAY + 0.9 * PUT_1MB
+
+
+class TestFig05WaitAtFence:
+    def test_blocking_propagates_origin_delay(self):
+        for s in (MV, NEW):
+            assert fig05_wait_at_fence(s, MB)["target_epoch"] > 0.95 * DELAY
+
+    def test_nonblocking_confines_delay(self):
+        assert fig05_wait_at_fence(NB, MB)["target_epoch"] < 1.3 * PUT_1MB
+
+
+class TestFig06LateUnlock:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {s.name: fig06_late_unlock(s) for s in SERIES}
+
+    def test_mvapich_lazy_immune_but_no_overlap(self, results):
+        r = results["MVAPICH"]
+        assert r["second_lock"] < 1.3 * PUT_1MB       # immune to Late Unlock
+        assert r["first_lock"] > DELAY + 0.9 * PUT_1MB  # but no overlap
+
+    def test_new_blocking_overlaps_but_inflicts_late_unlock(self, results):
+        r = results["New"]
+        assert r["first_lock"] == pytest.approx(DELAY, rel=0.05)  # overlap
+        assert r["second_lock"] > DELAY + 0.9 * PUT_1MB           # Late Unlock
+
+    def test_nonblocking_gets_both(self, results):
+        r = results["New nonblocking"]
+        assert r["first_lock"] == pytest.approx(DELAY, rel=0.05)
+        # O1 pays only both transfers, not the 1000 µs work.
+        assert r["second_lock"] < 2.3 * PUT_1MB

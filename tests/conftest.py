@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MPIRuntime
+from repro.simtime import Simulator
+
+BOTH_ENGINES = ("nonblocking", "mvapich")
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh DES kernel."""
+    return Simulator()
+
+
+@pytest.fixture(params=BOTH_ENGINES)
+def engine(request) -> str:
+    """Parametrize a test over both RMA engines."""
+    return request.param
+
+
+def make_runtime(nranks: int, engine: str = "nonblocking", **kwargs) -> MPIRuntime:
+    """Runtime with single-rank nodes (all-internode) unless overridden."""
+    kwargs.setdefault("cores_per_node", 1)
+    return MPIRuntime(nranks, engine=engine, **kwargs)
+
+
+def run_app(nranks: int, app, engine: str = "nonblocking", **kwargs):
+    """Run one app on a fresh runtime; returns per-rank results."""
+    return make_runtime(nranks, engine, **kwargs).run(app)
+
+
+def bytes_buf(n: int, fill: int = 0) -> np.ndarray:
+    """A uint8 buffer of n bytes."""
+    return np.full(n, fill, dtype=np.uint8)

@@ -1,0 +1,80 @@
+"""Barrier, broadcast, reduce, allreduce, gather."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_runtime
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+class TestBarrier:
+    def test_barrier_synchronizes(self, n):
+        rt = make_runtime(n)
+        exits = {}
+
+        def app(proc):
+            yield from proc.compute(100.0 * proc.rank)
+            yield from proc.barrier()
+            exits[proc.rank] = proc.wtime()
+
+        rt.run(app)
+        slowest_arrival = 100.0 * (n - 1)
+        assert all(t >= slowest_arrival for t in exits.values())
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 7])
+@pytest.mark.parametrize("root", [0, "last"])
+class TestBcast:
+    def test_bcast_delivers_everywhere(self, n, root):
+        root_rank = 0 if root == 0 else n - 1
+        rt = make_runtime(n)
+        payload = np.arange(16, dtype=np.int64)
+
+        def app(proc):
+            data = payload if proc.rank == root_rank else None
+            out = yield from proc.bcast(data, root=root_rank)
+            return np.asarray(out).view(np.int64).copy()
+
+        res = rt.run(app)
+        for r in range(n):
+            np.testing.assert_array_equal(res[r], payload)
+
+
+class TestReductions:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_allreduce_sum(self, n):
+        rt = make_runtime(n)
+
+        def app(proc):
+            out = yield from proc.allreduce_sum(np.int64([proc.rank + 1]))
+            return int(np.asarray(out).view(np.int64)[0])
+
+        res = rt.run(app)
+        expected = n * (n + 1) // 2
+        assert all(v == expected for v in res)
+
+    def test_allreduce_vector(self):
+        rt = make_runtime(4)
+
+        def app(proc):
+            v = np.full(3, float(proc.rank), dtype=np.float64)
+            out = yield from proc.allreduce_sum(v)
+            return np.asarray(out).view(np.float64).copy()
+
+        res = rt.run(app)
+        for r in res:
+            np.testing.assert_array_equal(r, [6.0, 6.0, 6.0])
+
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_gather(self, n):
+        rt = make_runtime(n)
+
+        def app(proc):
+            out = yield from proc.gather(np.int64([proc.rank * 10]))
+            if proc.rank == 0:
+                return [int(np.asarray(x).view(np.int64)[0]) for x in out]
+            return out
+
+        res = rt.run(app)
+        assert res[0] == [r * 10 for r in range(n)]
+        assert all(res[r] is None for r in range(1, n))

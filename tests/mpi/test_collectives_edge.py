@@ -1,0 +1,99 @@
+"""Collectives: timing-only paths, scale, and composition."""
+
+import numpy as np
+import pytest
+
+from repro import MPIRuntime
+from tests.conftest import make_runtime
+
+
+class TestBcastEdge:
+    def test_timing_only_bcast(self):
+        """bcast with data=None and an explicit size moves no payload
+        but still synchronizes the tree."""
+        rt = make_runtime(4)
+
+        def app(proc):
+            if proc.rank == 0:
+                yield from proc.compute(50.0)
+            out = yield from proc.bcast(None if proc.rank else np.int64([1]),
+                                        root=0, nbytes=1 << 16)
+            return proc.wtime()
+
+        res = rt.run(app)
+        # Everyone finishes after the root's delay plus a 64 KB hop.
+        assert min(res) > 50.0
+
+    def test_bcast_large_payload_through_rendezvous(self):
+        rt = make_runtime(5)
+        payload = np.arange(1 << 15, dtype=np.int64)  # 256 KB
+
+        def app(proc):
+            data = payload if proc.rank == 2 else None
+            out = yield from proc.bcast(data, root=2)
+            return np.asarray(out).view(np.int64).copy()
+
+        res = rt.run(app)
+        for r in res:
+            np.testing.assert_array_equal(r, payload)
+
+    def test_bcast_single_rank(self):
+        rt = make_runtime(1)
+
+        def app(proc):
+            out = yield from proc.bcast(np.int64([9]), root=0)
+            return int(np.asarray(out).view(np.int64)[0])
+
+        assert rt.run(app) == [9]
+
+
+class TestReduceEdge:
+    def test_reduce_nonroot_gets_none(self):
+        from repro.mpi.collectives import reduce_sum
+
+        rt = make_runtime(4)
+
+        def app(proc):
+            out = yield from reduce_sum(proc, np.int64([proc.rank]), root=2)
+            return None if out is None else int(np.asarray(out).view(np.int64)[0])
+
+        res = rt.run(app)
+        assert res[2] == 6
+        assert all(res[r] is None for r in (0, 1, 3))
+
+    def test_reduce_nonzero_root(self):
+        rt = make_runtime(3)
+
+        def app(proc):
+            out = yield from proc.allreduce_sum(np.float64([0.5]))
+            return float(np.asarray(out).view(np.float64)[0])
+
+        assert rt.run(app) == [1.5, 1.5, 1.5]
+
+
+class TestScaleSmoke:
+    def test_64_rank_transactions_with_flag(self):
+        """Moderate-scale smoke: 64 ranks of pipelined reordered epochs
+        finish, conserve every update, and stay deterministic."""
+        from repro.apps import TransactionsConfig, run_transactions
+
+        cfg = TransactionsConfig(
+            nranks=64, txns_per_rank=10, nonblocking=True, reorder=True,
+            cores_per_node=8,
+        )
+        a = run_transactions(cfg)
+        assert a.applied == a.total_txns == 640
+        b = run_transactions(cfg)
+        assert a.elapsed_us == b.elapsed_us
+
+    def test_48_rank_barrier_storm(self):
+        rt = MPIRuntime(48, cores_per_node=8)
+
+        def app(proc):
+            for _ in range(3):
+                yield from proc.barrier()
+            return proc.wtime()
+
+        res = rt.run(app)
+        # Dissemination barriers exit with only per-hop skew, not lockstep.
+        assert max(res) - min(res) < 5.0

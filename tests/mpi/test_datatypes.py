@@ -1,0 +1,36 @@
+"""Datatype model."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import BYTE, FLOAT64, INT32, INT64, Datatype, from_numpy
+
+
+class TestDatatypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT32.size == 4
+        assert INT64.size == 8
+        assert FLOAT64.size == 8
+
+    def test_view_reads_bytes_as_type(self):
+        buf = np.zeros(16, dtype=np.uint8)
+        v = INT32.view(buf, 4, 2)
+        v[:] = [7, -1]
+        assert buf[4:12].view(np.int32).tolist() == [7, -1]
+
+    def test_view_bounds_checked(self):
+        buf = np.zeros(8, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            INT64.view(buf, 4, 1)
+        with pytest.raises(ValueError):
+            INT32.view(buf, -1, 1)
+
+    def test_from_numpy_returns_predefined(self):
+        assert from_numpy(np.dtype(np.int64)) is INT64
+        assert from_numpy(np.dtype(np.uint8)) is BYTE
+
+    def test_from_numpy_custom(self):
+        dt = from_numpy(np.dtype(np.complex128))
+        assert isinstance(dt, Datatype)
+        assert dt.size == 16

@@ -1,0 +1,34 @@
+"""Info objects."""
+
+import pytest
+
+from repro.mpi.info import Info
+
+
+class TestInfo:
+    def test_mapping_protocol(self):
+        info = Info({"a": 1, "b": "x"})
+        assert info["a"] == "1"
+        assert len(info) == 2
+        assert set(info) == {"a", "b"}
+        with pytest.raises(KeyError):
+            info["missing"]
+
+    def test_empty(self):
+        assert len(Info()) == 0
+        assert len(Info(None)) == 0
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("TRUE", True), ("on", True), ("yes", True),
+        ("0", False), ("false", False), ("off", False), ("junk", False),
+    ])
+    def test_get_bool_values(self, raw, expected):
+        assert Info({"k": raw}).get_bool("k") is expected
+
+    def test_get_bool_default(self):
+        assert Info().get_bool("k") is False
+        assert Info().get_bool("k", default=True) is True
+
+    def test_values_coerced_to_str(self):
+        assert Info({"n": 42})["n"] == "42"
+        assert Info({"b": True}).get_bool("b")

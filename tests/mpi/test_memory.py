@@ -1,0 +1,62 @@
+"""Window memory buffer."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import FLOAT64, INT32
+from repro.mpi.memory import WindowMemory
+
+
+class TestWindowMemory:
+    def test_zero_initialized(self):
+        mem = WindowMemory(64, rank=0)
+        assert mem.nbytes == 64
+        assert not mem.buf.any()
+
+    def test_write_read_roundtrip(self):
+        mem = WindowMemory(64, 0)
+        data = np.arange(4, dtype=np.float64)
+        mem.write(16, data)
+        out = mem.read(16, 32).view(np.float64)
+        np.testing.assert_array_equal(out, data)
+
+    def test_read_returns_copy(self):
+        mem = WindowMemory(8, 0)
+        out = mem.read(0, 8)
+        out[:] = 0xFF
+        assert not mem.buf.any()
+
+    def test_view_is_live(self):
+        mem = WindowMemory(16, 0)
+        v = mem.view(INT32, 4, 2)
+        v[:] = [1, 2]
+        assert mem.read(4, 8).view(np.int32).tolist() == [1, 2]
+
+    def test_view_default_count(self):
+        mem = WindowMemory(32, 0)
+        assert mem.view(FLOAT64).shape == (4,)
+        assert mem.view(FLOAT64, offset=8).shape == (3,)
+
+    def test_bounds(self):
+        mem = WindowMemory(8, 0)
+        with pytest.raises(ValueError):
+            mem.read(4, 8)
+        with pytest.raises(ValueError):
+            mem.write(6, np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            mem.read(-1, 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WindowMemory(-1, 0)
+
+    def test_zero_size_window(self):
+        mem = WindowMemory(0, 0)
+        assert mem.nbytes == 0
+        assert mem.read(0, 0).size == 0
+
+    def test_write_non_contiguous_input(self):
+        mem = WindowMemory(32, 0)
+        data = np.arange(8, dtype=np.int32)[::2]  # strided
+        mem.write(0, data)
+        assert mem.read(0, 16).view(np.int32).tolist() == [0, 2, 4, 6]

@@ -1,0 +1,111 @@
+"""Reduction operations, including property checks against numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mpi.ops import (
+    ALL_OPS,
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    NO_OP,
+    PROD,
+    REPLACE,
+    SUM,
+)
+
+
+class TestBasicOps:
+    def test_sum(self):
+        t = np.array([1.0, 2.0])
+        SUM.apply(t, np.array([10.0, 20.0]))
+        assert t.tolist() == [11.0, 22.0]
+
+    def test_prod(self):
+        t = np.array([2, 3])
+        PROD.apply(t, np.array([4, 5]))
+        assert t.tolist() == [8, 15]
+
+    def test_min_max(self):
+        t = np.array([5, 1])
+        MIN.apply(t, np.array([3, 3]))
+        assert t.tolist() == [3, 1]
+        MAX.apply(t, np.array([4, 0]))
+        assert t.tolist() == [4, 1]
+
+    def test_replace(self):
+        t = np.array([1, 2])
+        REPLACE.apply(t, np.array([9, 9]))
+        assert t.tolist() == [9, 9]
+
+    def test_no_op_leaves_target(self):
+        t = np.array([1, 2])
+        NO_OP.apply(t, np.array([9, 9]))
+        assert t.tolist() == [1, 2]
+
+    def test_bitwise(self):
+        t = np.array([0b1100], dtype=np.int64)
+        BAND.apply(t, np.array([0b1010], dtype=np.int64))
+        assert t[0] == 0b1000
+        BOR.apply(t, np.array([0b0001], dtype=np.int64))
+        assert t[0] == 0b1001
+        BXOR.apply(t, np.array([0b1001], dtype=np.int64))
+        assert t[0] == 0
+
+    def test_logical(self):
+        t = np.array([1, 0, 2], dtype=np.int64)
+        LAND.apply(t, np.array([1, 1, 0], dtype=np.int64))
+        assert t.tolist() == [1, 0, 0]
+        LOR.apply(t, np.array([0, 1, 0], dtype=np.int64))
+        assert t.tolist() == [1, 1, 0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SUM.apply(np.zeros(2), np.zeros(3))
+
+    def test_all_ops_mutate_in_place(self):
+        for op in ALL_OPS:
+            t = np.array([1, 1], dtype=np.int64)
+            ref = t
+            op.apply(t, np.array([1, 1], dtype=np.int64))
+            assert t is ref
+
+
+ints = arrays(np.int64, st.integers(1, 16), elements=st.integers(-1000, 1000))
+
+
+class TestOpProperties:
+    @given(ints, ints)
+    def test_sum_matches_numpy(self, a, b):
+        if a.shape != b.shape:
+            return
+        t = a.copy()
+        SUM.apply(t, b)
+        np.testing.assert_array_equal(t, a + b)
+
+    @given(ints)
+    def test_sum_commutes_over_order(self, a):
+        t1 = np.zeros_like(a)
+        t2 = np.zeros_like(a)
+        for x in a:
+            SUM.apply(t1, np.full_like(t1, x))
+        for x in a[::-1]:
+            SUM.apply(t2, np.full_like(t2, x))
+        np.testing.assert_array_equal(t1, t2)
+
+    @given(ints, ints)
+    def test_min_max_idempotent(self, a, b):
+        if a.shape != b.shape:
+            return
+        t = a.copy()
+        MIN.apply(t, b)
+        again = t.copy()
+        MIN.apply(again, b)
+        np.testing.assert_array_equal(t, again)

@@ -1,0 +1,203 @@
+"""Two-sided messaging: protocols, matching, data movement."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, TruncationError
+from tests.conftest import make_runtime
+
+
+def run2(app0, app1, **kw):
+    rt = make_runtime(2, **kw)
+    return rt, rt.run_mixed({0: app0, 1: app1})
+
+
+class TestEagerPath:
+    def test_small_message_data(self):
+        data = np.arange(10, dtype=np.int32)
+
+        def sender(proc):
+            yield from proc.send(1, 0, tag=3, data=data)
+
+        def receiver(proc):
+            got = yield from proc.recv(0, tag=3)
+            return got.view(np.int32).copy()
+
+        _, res = run2(sender, receiver)
+        np.testing.assert_array_equal(res[1], data)
+
+    def test_unexpected_message_buffered(self):
+        def sender(proc):
+            yield from proc.send(1, 64, tag=1, data=np.int64([5]))
+
+        def receiver(proc):
+            yield from proc.compute(500.0)  # recv posted long after arrival
+            got = yield from proc.recv(0, tag=1)
+            return int(got.view(np.int64)[0])
+
+        _, res = run2(sender, receiver)
+        assert res[1] == 5
+
+
+class TestRendezvousPath:
+    def test_large_message_data(self):
+        data = np.arange(1 << 16, dtype=np.float64)  # 512 KB > eager threshold
+
+        def sender(proc):
+            yield from proc.send(1, 0, tag=9, data=data)
+
+        def receiver(proc):
+            got = yield from proc.recv(0, tag=9)
+            return got.view(np.float64).copy()
+
+        _, res = run2(sender, receiver)
+        np.testing.assert_array_equal(res[1], data)
+
+    def test_late_receiver_delays_transfer(self):
+        nbytes = 1 << 20
+
+        def sender(proc):
+            t0 = proc.wtime()
+            yield from proc.send(1, nbytes, tag=0)
+            return proc.wtime() - t0
+
+        def receiver(proc):
+            yield from proc.compute(1000.0)
+            yield from proc.recv(0, tag=0)
+            return proc.wtime()
+
+        _, res = run2(sender, receiver)
+        # Payload cannot start before the CTS, which needs the recv post.
+        assert res[1] > 1000.0 + 300.0
+
+    def test_rendezvous_into_buffer(self):
+        data = np.arange(1 << 15, dtype=np.int64)
+        out = {}
+
+        def sender(proc):
+            yield from proc.send(1, 0, tag=2, data=data)
+
+        def receiver(proc):
+            buf = np.zeros(1 << 15, dtype=np.int64)
+            yield from proc.recv(0, tag=2, buffer=buf)
+            out["buf"] = buf
+
+        run2(sender, receiver)
+        np.testing.assert_array_equal(out["buf"], data)
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        def sender(proc):
+            yield from proc.send(1, 0, tag=1, data=np.int64([1]))
+            yield from proc.send(1, 0, tag=2, data=np.int64([2]))
+
+        def receiver(proc):
+            got2 = yield from proc.recv(0, tag=2)
+            got1 = yield from proc.recv(0, tag=1)
+            return int(got2.view(np.int64)[0]), int(got1.view(np.int64)[0])
+
+        _, res = run2(sender, receiver)
+        assert res[1] == (2, 1)
+
+    def test_wildcards(self):
+        def sender(proc):
+            yield from proc.send(1, 0, tag=42, data=np.int64([7]))
+
+        def receiver(proc):
+            req = proc.irecv(ANY_SOURCE, ANY_TAG)
+            got = yield from req.wait()
+            return req.matched_source, req.matched_tag, int(got.view(np.int64)[0])
+
+        _, res = run2(sender, receiver)
+        assert res[1] == (0, 42, 7)
+
+    def test_same_tag_fifo_order(self):
+        def sender(proc):
+            for i in range(5):
+                yield from proc.send(1, 0, tag=0, data=np.int64([i]))
+
+        def receiver(proc):
+            got = []
+            for _ in range(5):
+                v = yield from proc.recv(0, tag=0)
+                got.append(int(v.view(np.int64)[0]))
+            return got
+
+        _, res = run2(sender, receiver)
+        assert res[1] == [0, 1, 2, 3, 4]
+
+    def test_posted_receive_priority_order(self):
+        rt = make_runtime(2)
+        reqs = {}
+
+        def receiver(proc):
+            reqs["a"] = proc.irecv(0, tag=ANY_TAG)
+            reqs["b"] = proc.irecv(0, tag=ANY_TAG)
+            yield from reqs["a"].wait()
+            yield from reqs["b"].wait()
+
+        def sender(proc):
+            yield from proc.send(1, 0, tag=1, data=np.int64([1]))
+            yield from proc.send(1, 0, tag=2, data=np.int64([2]))
+
+        rt.run_mixed({0: sender, 1: receiver})
+        assert reqs["a"].matched_tag == 1
+        assert reqs["b"].matched_tag == 2
+
+
+class TestErrors:
+    def test_truncation(self):
+        def sender(proc):
+            yield from proc.send(1, 0, tag=0, data=np.zeros(100, dtype=np.uint8))
+
+        def receiver(proc):
+            buf = np.zeros(10, dtype=np.uint8)
+            yield from proc.recv(0, tag=0, buffer=buf)
+
+        rt = make_runtime(2)
+        with pytest.raises(Exception) as exc:
+            rt.run_mixed({0: sender, 1: receiver})
+        # Raised either inside the app process (wrapped) or inside the
+        # fabric delivery handler (direct), depending on protocol path.
+        err = getattr(exc.value, "original", exc.value)
+        assert isinstance(err, TruncationError)
+
+    def test_rank_out_of_range(self):
+        rt = make_runtime(2)
+
+        def bad(proc):
+            yield from proc.send(5, 8)
+
+        with pytest.raises(Exception) as exc:
+            rt.run_mixed({0: bad})
+        assert isinstance(exc.value.original, ValueError)
+
+
+class TestTiming:
+    def test_send_completes_locally_before_delivery(self):
+        times = {}
+
+        def sender(proc):
+            req = proc.isend(1, 1 << 20)
+            yield from req.wait()
+            times["send_done"] = proc.wtime()
+
+        def receiver(proc):
+            yield from proc.recv(0)
+            times["recv_done"] = proc.wtime()
+
+        run2(sender, receiver)
+        assert times["send_done"] <= times["recv_done"]
+
+    def test_self_send(self):
+        def both(proc):
+            if proc.rank == 0:
+                req = proc.irecv(0, tag=0)
+                yield from proc.send(0, 0, tag=0, data=np.int64([9]))
+                got = yield from req.wait()
+                return int(got.view(np.int64)[0])
+
+        rt = make_runtime(1)
+        res = rt.run(both)
+        assert res[0] == 9

@@ -1,0 +1,97 @@
+"""Property tests of the two-sided layer: conservation and ordering
+under random message storms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_runtime
+
+storm = st.lists(
+    st.tuples(
+        st.integers(0, 3),            # tag
+        st.sampled_from([8, 1024, 20000, 1 << 17]),  # eager and rendezvous sizes
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(messages=storm)
+@settings(max_examples=20, deadline=None)
+def test_all_messages_arrive_fifo_per_tag(messages):
+    """Every sent message is received exactly once, and messages with
+    the same (source, tag) arrive in send order (MPI non-overtaking)."""
+    rt = make_runtime(2)
+    received = []
+
+    def sender(proc):
+        for i, (tag, size) in enumerate(messages):
+            yield from proc.send(1, 0, tag=tag, data=np.int64([i]))
+
+    def receiver(proc):
+        # Post receives tag by tag, in per-tag send order.
+        by_tag = {}
+        for i, (tag, _) in enumerate(messages):
+            by_tag.setdefault(tag, []).append(i)
+        reqs = []
+        for tag, ids in by_tag.items():
+            for _ in ids:
+                reqs.append((tag, proc.irecv(0, tag=tag)))
+        for tag, req in reqs:
+            data = yield from req.wait()
+            received.append((tag, int(np.asarray(data).view(np.int64)[0])))
+
+    rt.run_mixed({0: sender, 1: receiver})
+    assert len(received) == len(messages)
+    # FIFO per tag: sequence numbers for each tag are increasing.
+    per_tag: dict[int, list[int]] = {}
+    for tag, seq in received:
+        per_tag.setdefault(tag, []).append(seq)
+    for tag, seqs in per_tag.items():
+        assert seqs == sorted(seqs)
+    # Conservation: exactly the sent ids.
+    assert sorted(s for _, s in received) == list(range(len(messages)))
+
+
+@given(
+    nbytes=st.sampled_from([0, 8, 16384, 16385, 1 << 20]),
+    delay=st.floats(0, 200),
+)
+@settings(max_examples=20, deadline=None)
+def test_single_transfer_latency_monotone_in_size(nbytes, delay):
+    """A message takes at least the model's uncontended one-way time,
+    regardless of when the receive is posted."""
+    rt = make_runtime(2)
+    out = {}
+
+    def sender(proc):
+        yield from proc.send(1, nbytes, tag=0)
+
+    def receiver(proc):
+        yield from proc.compute(delay)
+        yield from proc.recv(0, tag=0)
+        out["t"] = proc.wtime()
+
+    rt.run_mixed({0: sender, 1: receiver})
+    minimum = rt.fabric.model.one_way(nbytes, intranode=False)
+    assert out["t"] >= min(minimum, out["t"])  # sanity
+    assert out["t"] >= minimum - 1e-9 or nbytes <= rt.fabric.model.eager_threshold
+
+
+@given(seed=st.integers(0, 2**16), n=st.integers(2, 5))
+@settings(max_examples=10, deadline=None)
+def test_barrier_is_a_barrier(seed, n):
+    rng = np.random.default_rng(seed)
+    delays = rng.uniform(0, 300, n)
+    rt = make_runtime(n)
+    exits = {}
+
+    def app(proc):
+        yield from proc.compute(float(delays[proc.rank]))
+        yield from proc.barrier()
+        exits[proc.rank] = proc.wtime()
+
+    rt.run(app)
+    assert min(exits.values()) >= max(delays) - 1e-9

@@ -1,0 +1,101 @@
+"""MPIProcess facade: compute, attention, wtime, runtime plumbing."""
+
+import pytest
+
+from repro import MPIRuntime
+from tests.conftest import make_runtime
+
+
+class TestCompute:
+    def test_compute_advances_time(self):
+        rt = make_runtime(1)
+
+        def app(proc):
+            t0 = proc.wtime()
+            yield from proc.compute(123.5)
+            return proc.wtime() - t0
+
+        assert rt.run(app)[0] == pytest.approx(123.5)
+
+    def test_zero_compute_no_yield(self):
+        rt = make_runtime(1)
+
+        def app(proc):
+            yield from proc.compute(0.0)
+            return proc.wtime()
+
+        assert rt.run(app)[0] == 0.0
+
+    def test_negative_compute_rejected(self):
+        rt = make_runtime(1)
+
+        def app(proc):
+            yield from proc.compute(-1.0)
+
+        with pytest.raises(Exception) as exc:
+            rt.run(app)
+        assert isinstance(exc.value.original, ValueError)
+
+    def test_compute_flips_attention_gate(self):
+        rt = make_runtime(2)
+        states = []
+
+        def watcher(proc):
+            gate = proc.middleware.attention
+            states.append(gate.attentive)  # before compute
+            yield from proc.compute(10.0)
+            states.append(gate.attentive)  # after compute
+
+        def observer(proc):
+            yield proc.runtime.sim.timeout(5.0)
+            states.append(("mid", proc.runtime.middlewares[0].attention.attentive))
+
+        rt.run_mixed({0: watcher, 1: observer})
+        assert states[0] is True
+        assert ("mid", False) in states
+        assert states[-1] is True
+
+
+class TestRuntime:
+    def test_run_returns_per_rank_values(self):
+        rt = make_runtime(3)
+
+        def app(proc):
+            yield from proc.compute(1.0)
+            return proc.rank * 2
+
+        assert rt.run(app) == [0, 2, 4]
+
+    def test_run_with_args(self):
+        rt = make_runtime(2)
+
+        def app(proc, base):
+            yield from proc.compute(1.0)
+            return base + proc.rank
+
+        assert rt.run(app, 100) == [100, 101]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            MPIRuntime(2, engine="nope")
+
+    def test_size_and_rank(self):
+        rt = make_runtime(4)
+
+        def app(proc):
+            yield from proc.compute(0.0)
+            return (proc.rank, proc.size)
+
+        assert rt.run(app) == [(r, 4) for r in range(4)]
+
+    def test_windows_match_by_creation_order(self):
+        rt = make_runtime(2)
+
+        def app(proc):
+            w1 = yield from proc.win_allocate(64, name="first")
+            w2 = yield from proc.win_allocate(128, name="second")
+            return (w1.group.gid, w2.group.gid, w1.size, w2.size)
+
+        res = rt.run(app)
+        assert res[0] == res[1] == (0, 1, 64, 128)
+        assert len(rt.window_groups) == 2

@@ -1,0 +1,108 @@
+"""Request objects and the test/wait families."""
+
+import pytest
+
+from repro.mpi.requests import CompletedRequest, Request, waitall, waitany
+from repro.mpi.requests import testall as probe_all
+from repro.mpi.requests import testany as probe_any
+from repro.simtime import Simulator
+
+
+class TestRequest:
+    def test_lifecycle(self, sim):
+        req = Request(sim, "r")
+        assert not req.done and not req.test()
+        req.complete("v")
+        assert req.done and req.test()
+        assert req.value == "v"
+
+    def test_completed_request_immediate(self, sim):
+        req = CompletedRequest(sim, value=3)
+        assert req.done and req.value == 3
+
+    def test_wait_resumes_on_completion(self, sim):
+        req = Request(sim)
+        sim.schedule(5.0, req.complete, "late")
+
+        def body():
+            v = yield from req.wait()
+            return (v, sim.now)
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value == ("late", 5.0)
+
+    def test_wait_on_done_request_is_instant(self, sim):
+        req = CompletedRequest(sim, value="x")
+
+        def body():
+            v = yield from req.wait()
+            return sim.now, v
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value == (0.0, "x")
+
+
+class TestFamilies:
+    def test_waitall_order_and_values(self, sim):
+        reqs = [Request(sim, f"r{i}") for i in range(3)]
+        for i, r in enumerate(reqs):
+            sim.schedule(float(3 - i), r.complete, i * 10)
+
+        def body():
+            vals = yield from waitall(reqs)
+            return vals, sim.now
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value == ([0, 10, 20], 3.0)
+
+    def test_waitall_empty(self, sim):
+        def body():
+            vals = yield from waitall([])
+            return vals
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value == []
+
+    def test_waitany_returns_first(self, sim):
+        reqs = [Request(sim), Request(sim)]
+        sim.schedule(2.0, reqs[1].complete, "fast")
+        sim.schedule(9.0, reqs[0].complete, "slow")
+
+        def body():
+            i, v = yield from waitany(reqs)
+            return i, v, sim.now
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value[:2] == (1, "fast")
+        assert proc.done.value[2] == 2.0
+
+    def test_waitany_prefers_lowest_done_index(self, sim):
+        reqs = [Request(sim), CompletedRequest(sim, value="b"), CompletedRequest(sim, value="c")]
+
+        def body():
+            i, v = yield from waitany(reqs)
+            return i, v
+
+        proc = sim.process(body())
+        sim.run_until_idle()
+        assert proc.done.value == (1, "b")
+
+    def test_waitany_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            list(waitany([]))
+
+    def test_testall_testany(self, sim):
+        reqs = [Request(sim), Request(sim)]
+        assert not probe_all(reqs)
+        assert probe_any(reqs) == (False, None)
+        reqs[1].complete()
+        assert not probe_all(reqs)
+        assert probe_any(reqs) == (True, 1)
+        reqs[0].complete()
+        assert probe_all(reqs)
+        assert probe_any(reqs) == (True, 0)

@@ -1,0 +1,75 @@
+"""Runtime statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.stats import RuntimeStats, collect_stats
+from tests.conftest import make_runtime
+
+
+def run_small_job(engine="nonblocking"):
+    rt = make_runtime(3, engine)
+
+    def app(proc):
+        win = yield from proc.win_allocate(1 << 20)
+        yield from proc.barrier()
+        if proc.rank == 0:
+            yield from win.lock(1)
+            win.put(np.zeros(1 << 19, dtype=np.uint8), 1, 0)
+            yield from win.unlock(1)
+        yield from proc.barrier()
+
+    rt.run(app)
+    return rt
+
+
+class TestCollect:
+    def test_counts_plausible(self):
+        stats = run_small_job().stats()
+        assert stats.virtual_time_us > 0
+        assert stats.messages_sent > 0
+        assert stats.bytes_sent >= 1 << 19
+        assert stats.windows == 1
+        assert stats.lock_grants == 1
+        assert stats.live_epochs == 0  # clean completion
+
+    def test_hit_rate_bounds(self):
+        stats = run_small_job().stats()
+        assert 0.0 <= stats.regcache_hit_rate <= 1.0
+
+    def test_hit_rate_zero_when_unused(self):
+        s = RuntimeStats(0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert s.regcache_hit_rate == 0.0
+
+    def test_format_mentions_key_fields(self):
+        text = run_small_job().stats().format()
+        for needle in ("virtual time", "messages sent", "lock grants", "regcache"):
+            assert needle in text
+
+    def test_both_engines(self, engine):
+        stats = run_small_job(engine).stats()
+        assert stats.lock_grants == 1
+
+    def test_collect_stats_function(self):
+        rt = run_small_job()
+        assert collect_stats(rt).messages_sent == rt.fabric.messages_sent
+
+
+class TestCliRunner:
+    def test_main_rejects_unknown_figure(self):
+        from repro.bench.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_main_runs_one_figure(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "A_A_A_R" in out
+
+    def test_registry_contains_exactly_the_ten_figures(self):
+        from repro.bench.__main__ import ALL
+
+        assert sorted(ALL) == [f"fig{n:02d}" for n in range(2, 12)]
+        assert all(callable(fn) for fn in ALL.values())

@@ -1,0 +1,71 @@
+"""Credit-based flow control."""
+
+import pytest
+
+from repro.network import CreditPool, FlowControl
+from repro.simtime import Simulator
+
+
+class TestCreditPool:
+    def test_grants_up_to_capacity(self):
+        pool = CreditPool(2)
+        granted = []
+        pool.acquire(lambda: granted.append(1))
+        pool.acquire(lambda: granted.append(2))
+        pool.acquire(lambda: granted.append(3))
+        assert granted == [1, 2]
+        assert pool.queued == 1
+        assert pool.stall_count == 1
+
+    def test_release_unblocks_fifo(self):
+        pool = CreditPool(1)
+        granted = []
+        for i in range(4):
+            pool.acquire(lambda i=i: granted.append(i))
+        assert granted == [0]
+        pool.release()
+        pool.release()
+        assert granted == [0, 1, 2]
+
+    def test_over_release_raises(self):
+        pool = CreditPool(1)
+        pool.acquire(lambda: None)
+        pool.release()
+        with pytest.raises(RuntimeError, match="more times"):
+            pool.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CreditPool(0)
+
+
+class TestFlowControl:
+    def test_disabled_always_grants(self):
+        sim = Simulator()
+        fc = FlowControl(sim, capacity=1, ack_latency=1.0, enabled=False)
+        granted = []
+        for i in range(100):
+            fc.acquire(0, 1, lambda i=i: granted.append(i))
+        assert len(granted) == 100
+
+    def test_pools_are_per_pair(self):
+        sim = Simulator()
+        fc = FlowControl(sim, capacity=1, ack_latency=1.0)
+        granted = []
+        fc.acquire(0, 1, lambda: granted.append("a"))
+        fc.acquire(0, 2, lambda: granted.append("b"))  # distinct pair
+        fc.acquire(0, 1, lambda: granted.append("c"))  # stalls
+        assert granted == ["a", "b"]
+        assert fc.total_queued() == 1
+        assert fc.total_stalls() == 1
+
+    def test_scheduled_release_returns_credit(self):
+        sim = Simulator()
+        fc = FlowControl(sim, capacity=1, ack_latency=2.0)
+        granted = []
+        fc.acquire(0, 1, lambda: granted.append("first"))
+        fc.acquire(0, 1, lambda: granted.append("second"))
+        fc.schedule_release(0, 1, delivered_at_delay=3.0)
+        sim.run()
+        assert granted == ["first", "second"]
+        assert sim.now == 5.0  # 3.0 delivery + 2.0 ack

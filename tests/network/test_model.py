@@ -1,0 +1,38 @@
+"""Network cost model and its paper calibration."""
+
+import pytest
+
+from repro.bench.calibration import PAPER_1MB_PUT_US
+from repro.network import NetworkModel
+
+
+class TestModel:
+    def test_default_calibration_1mb_put(self):
+        m = NetworkModel()
+        t = m.one_way(1 << 20, intranode=False)
+        # §VIII: "about 340 µs" — allow 3%.
+        assert abs(t - PAPER_1MB_PUT_US) / PAPER_1MB_PUT_US < 0.03
+
+    def test_intranode_faster_than_internode(self):
+        m = NetworkModel()
+        assert m.one_way(65536, True) < m.one_way(65536, False)
+
+    def test_transfer_time_linear(self):
+        m = NetworkModel()
+        assert m.transfer_time(2000, False) == pytest.approx(2 * m.transfer_time(1000, False))
+
+    def test_rendezvous_threshold(self):
+        m = NetworkModel()
+        assert not m.needs_rendezvous(m.eager_threshold)
+        assert m.needs_rendezvous(m.eager_threshold + 1)
+
+    def test_accumulate_rendezvous_threshold_8kb(self):
+        # §VIII-A: "more than 8 KB on our test system".
+        m = NetworkModel()
+        assert not m.accumulate_needs_rendezvous(8 * 1024)
+        assert m.accumulate_needs_rendezvous(8 * 1024 + 1)
+
+    def test_with_overrides(self):
+        m = NetworkModel().with_overrides(internode_bw=1000.0)
+        assert m.internode_bw == 1000.0
+        assert m.internode_latency == NetworkModel().internode_latency

@@ -1,0 +1,62 @@
+"""Registration-cache behaviour."""
+
+import pytest
+
+from repro.network import RegistrationCache
+
+
+def make(capacity=1024, base=1.0, per_kb=0.5):
+    return RegistrationCache(capacity, base, per_kb)
+
+
+class TestRegCache:
+    def test_miss_charges_cost(self):
+        c = make()
+        cost = c.pin_cost(0, 1024)
+        assert cost == pytest.approx(1.0 + 0.5)
+        assert c.misses == 1 and c.hits == 0
+
+    def test_hit_is_free(self):
+        c = make()
+        c.pin_cost(0, 512)
+        assert c.pin_cost(0, 512) == 0.0
+        assert c.hits == 1
+
+    def test_distinct_regions_are_distinct_entries(self):
+        c = make()
+        c.pin_cost(0, 512)
+        assert c.pin_cost(0, 256) > 0
+        assert c.pin_cost(64, 512) > 0
+
+    def test_lru_eviction(self):
+        c = make(capacity=1024)
+        c.pin_cost(0, 512)
+        c.pin_cost(1000, 512)
+        c.pin_cost(2000, 512)  # evicts (0, 512)
+        assert c.evictions == 1
+        assert c.pin_cost(0, 512) > 0  # miss again
+
+    def test_lru_refresh_on_hit(self):
+        c = make(capacity=1024)
+        c.pin_cost(0, 512)
+        c.pin_cost(1000, 512)
+        c.pin_cost(0, 512)       # refresh entry 0
+        c.pin_cost(2000, 512)    # should evict (1000, 512)
+        assert c.pin_cost(0, 512) == 0.0
+
+    def test_oversized_region_not_cached(self):
+        c = make(capacity=100)
+        assert c.pin_cost(0, 1000) > 0
+        assert len(c) == 0
+        assert c.used_bytes == 0
+
+    def test_invalidate(self):
+        c = make()
+        c.pin_cost(0, 128)
+        assert c.invalidate(0, 128)
+        assert not c.invalidate(0, 128)
+        assert c.pin_cost(0, 128) > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make().pin_cost(0, -1)

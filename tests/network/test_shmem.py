@@ -1,0 +1,81 @@
+"""64-bit notification packet codec and FIFO."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import (
+    ClusterTopology,
+    Fabric,
+    NotificationFifo,
+    NotificationPacket,
+    NotifyKind,
+    decode_notification,
+    encode_notification,
+)
+from repro.simtime import Simulator
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        pkt = encode_notification(NotifyKind.EPOCH_COMPLETE, 123, 456)
+        assert decode_notification(pkt) == (NotifyKind.EPOCH_COMPLETE, 123, 456)
+
+    def test_packet_fits_64_bits(self):
+        pkt = encode_notification(NotifyKind.UNLOCK, (1 << 20) - 1, (1 << 36) - 1)
+        assert 0 <= pkt < (1 << 64)
+
+    def test_rank_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_notification(NotifyKind.LOCK_GRANT, 1 << 20, 0)
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_notification(NotifyKind.LOCK_GRANT, 0, 1 << 36)
+
+    @given(
+        kind=st.sampled_from(list(NotifyKind)),
+        rank=st.integers(0, (1 << 20) - 1),
+        value=st.integers(0, (1 << 36) - 1),
+    )
+    def test_roundtrip_property(self, kind, rank, value):
+        assert decode_notification(encode_notification(kind, rank, value)) == (
+            kind,
+            rank,
+            value,
+        )
+
+    def test_lock_traffic_classification(self):
+        assert NotifyKind.LOCK_GRANT.is_lock_traffic
+        assert NotifyKind.UNLOCK.is_lock_traffic
+        assert not NotifyKind.EPOCH_COMPLETE.is_lock_traffic
+
+
+class TestFifo:
+    def _pair(self):
+        sim = Simulator()
+        fab = Fabric(sim, ClusterTopology(2, cores_per_node=2))
+        fifos = [NotificationFifo(fab, r) for r in range(2)]
+        for r in range(2):
+            fab.register_handler(
+                r, lambda p, s, r=r: fifos[r].push(p.packet, s) if isinstance(p, NotificationPacket) else None
+            )
+        return sim, fifos
+
+    def test_send_and_drain(self):
+        sim, fifos = self._pair()
+        fifos[0].send(1, NotifyKind.EPOCH_COMPLETE, 7)
+        fifos[0].send(1, NotifyKind.UNLOCK, 9)
+        sim.run_until_idle()
+        got = []
+        n = fifos[1].drain(lambda k, r, v: got.append((k, r, v)))
+        assert n == 2
+        assert got == [(NotifyKind.EPOCH_COMPLETE, 0, 7), (NotifyKind.UNLOCK, 0, 9)]
+        assert len(fifos[1]) == 0
+
+    def test_two_way_independent(self):
+        sim, fifos = self._pair()
+        fifos[0].send(1, NotifyKind.LOCK_GRANT, 1)
+        fifos[1].send(0, NotifyKind.LOCK_GRANT, 2)
+        sim.run_until_idle()
+        assert len(fifos[0]) == 1 and len(fifos[1]) == 1

@@ -1,0 +1,50 @@
+"""Cluster topology mapping."""
+
+import pytest
+
+from repro.network import ClusterTopology
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        topo = ClusterTopology(10, cores_per_node=4)
+        assert topo.node_of(0) == 0
+        assert topo.node_of(3) == 0
+        assert topo.node_of(4) == 1
+        assert topo.node_of(9) == 2
+
+    def test_nnodes_rounds_up(self):
+        assert ClusterTopology(10, cores_per_node=4).nnodes == 3
+        assert ClusterTopology(8, cores_per_node=4).nnodes == 2
+        assert ClusterTopology(1, cores_per_node=4).nnodes == 1
+
+    def test_same_node(self):
+        topo = ClusterTopology(8, cores_per_node=2)
+        assert topo.same_node(0, 1)
+        assert not topo.same_node(1, 2)
+        assert topo.same_node(6, 7)
+
+    def test_single_core_nodes_all_internode(self):
+        topo = ClusterTopology(4, cores_per_node=1)
+        assert not any(topo.same_node(a, b) for a in range(4) for b in range(4) if a != b)
+
+    def test_single_node_all_intranode(self):
+        topo = ClusterTopology(4, cores_per_node=8)
+        assert all(topo.same_node(a, b) for a in range(4) for b in range(4))
+
+    def test_ranks_on_node(self):
+        topo = ClusterTopology(10, cores_per_node=4)
+        assert topo.ranks_on_node(0) == [0, 1, 2, 3]
+        assert topo.ranks_on_node(2) == [8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0)
+        with pytest.raises(ValueError):
+            ClusterTopology(4, cores_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterTopology(4).node_of(4)
+        with pytest.raises(ValueError):
+            ClusterTopology(4).node_of(-1)
+        with pytest.raises(ValueError):
+            ClusterTopology(4, cores_per_node=2).ranks_on_node(5)

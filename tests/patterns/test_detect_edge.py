@@ -1,0 +1,92 @@
+"""Pattern-detector edge cases and taxonomy completeness."""
+
+import pytest
+
+from repro.patterns.detect import PATTERNS, detect_patterns
+from repro.patterns.trace import Tracer
+from repro.simtime import Simulator
+
+
+def make_tracer():
+    return Tracer(Simulator(), enabled=True)
+
+
+class TestTaxonomy:
+    def test_seven_patterns(self):
+        assert len(PATTERNS) == 7
+        assert "late_unlock" in PATTERNS  # the paper's new pattern
+
+    def test_early_transfer_never_detected(self):
+        """Early Transfer is structurally impossible here (communication
+        calls are nonblocking per MPI-3) — the detector can never emit
+        it, matching §III."""
+        from tests.conftest import make_runtime
+
+        import numpy as np
+
+        rt = make_runtime(2, trace=True)
+
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.start([1])
+                win.put(np.zeros(1 << 20, dtype=np.uint8), 1, 0)
+                yield from win.complete()
+            else:
+                yield from proc.compute(500.0)
+                yield from win.post([0])
+                yield from win.wait_epoch()
+
+        rt.run(app)
+        inst = detect_patterns(rt.tracer)
+        assert not any(i.pattern == "early_transfer" for i in inst)
+
+
+class TestBlockPairing:
+    def test_unmatched_enter_ignored(self):
+        tracer = make_tracer()
+        tracer.emit("block_enter", 0, 0, call="complete")
+        # no matching exit (rank still blocked at trace end)
+        assert detect_patterns(tracer) == []
+
+    def test_exit_without_enter_ignored(self):
+        tracer = make_tracer()
+        tracer.emit("block_exit", 0, 0, call="complete")
+        assert detect_patterns(tracer) == []
+
+    def test_min_duration_filters_slivers(self):
+        tracer = make_tracer()
+        tracer.emit("block_enter", 0, 0, call="wait")
+        tracer.emit("block_exit", 0, 0, call="wait")
+        # Zero-duration block: below any positive min_duration.
+        assert detect_patterns(tracer, min_duration=1.0) == []
+
+    def test_instances_sorted_by_time(self):
+        from tests.conftest import make_runtime
+
+        import numpy as np
+
+        rt = make_runtime(2, trace=True)
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            for _ in range(2):
+                yield from win.start([1])
+                win.put(np.int64([1]), 1, 0)
+                yield from proc.compute(300.0)
+                yield from win.complete()
+
+        def target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            for _ in range(2):
+                yield from win.post([0])
+                yield from win.wait_epoch()
+
+        rt.run_mixed({0: origin, 1: target})
+        inst = detect_patterns(rt.tracer)
+        starts = [i.start for i in inst]
+        assert starts == sorted(starts)
+        assert sum(1 for i in inst if i.pattern == "late_complete") == 2

@@ -1,0 +1,71 @@
+"""Chrome trace-viewer export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.patterns import detect_patterns, to_chrome_trace, write_chrome_trace
+from tests.conftest import make_runtime
+
+
+def traced_run():
+    rt = make_runtime(2, trace=True)
+
+    def app(proc):
+        win = yield from proc.win_allocate(64)
+        yield from proc.barrier()
+        if proc.rank == 0:
+            yield from win.start([1])
+            win.put(np.int64([1]), 1, 0)
+            yield from proc.compute(200.0)
+            yield from win.complete()
+        else:
+            yield from win.post([0])
+            yield from win.wait_epoch()
+        yield from proc.barrier()
+
+    rt.run(app)
+    return rt
+
+
+class TestChromeTrace:
+    def test_events_well_formed(self):
+        rt = traced_run()
+        events = to_chrome_trace(rt.tracer)
+        assert events
+        for ev in events:
+            assert ev["ph"] in ("B", "E", "i", "X")
+            assert isinstance(ev["ts"], float)
+            assert ev["tid"] in (0, 1)
+
+    def test_block_intervals_paired(self):
+        rt = traced_run()
+        events = to_chrome_trace(rt.tracer)
+        begins = sum(1 for e in events if e["ph"] == "B" and e["cat"] == "sync")
+        ends = sum(1 for e in events if e["ph"] == "E" and e["cat"] == "sync")
+        assert begins == ends > 0
+
+    def test_epoch_lifetimes_paired(self):
+        rt = traced_run()
+        events = to_chrome_trace(rt.tracer)
+        begins = [e for e in events if e["ph"] == "B" and e["cat"] == "epoch"]
+        ends = [e for e in events if e["ph"] == "E" and e["cat"] == "epoch"]
+        assert len(begins) == len(ends) >= 2  # access + exposure at least
+
+    def test_pattern_overlay(self):
+        rt = traced_run()
+        inst = detect_patterns(rt.tracer)
+        events = to_chrome_trace(rt.tracer, inst)
+        overlays = [e for e in events if e["cat"] == "inefficiency"]
+        assert len(overlays) == len(inst)
+        for ev in overlays:
+            assert ev["ph"] == "X" and ev["dur"] > 0
+
+    def test_write_file_is_valid_json(self, tmp_path):
+        rt = traced_run()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, rt.tracer, detect_patterns(rt.tracer))
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count
+        assert data["displayTimeUnit"] == "ms"

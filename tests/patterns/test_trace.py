@@ -1,0 +1,83 @@
+"""Tracer mechanics."""
+
+import pytest
+
+from repro.patterns.trace import EVENT_KINDS, Tracer
+from repro.simtime import Simulator
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self, sim):
+        t = Tracer(sim, enabled=False)
+        t.emit("epoch_open", 0, 0)
+        assert len(t) == 0
+
+    def test_enabled_records_with_time(self, sim):
+        t = Tracer(sim, enabled=True)
+        sim.schedule(5.0, t.emit, "epoch_open", 1, 0)
+        sim.run()
+        assert len(t) == 1
+        ev = t.events[0]
+        assert ev.time == 5.0 and ev.rank == 1 and ev.kind == "epoch_open"
+
+    def test_unknown_kind_rejected(self, sim):
+        t = Tracer(sim, enabled=True)
+        with pytest.raises(ValueError):
+            t.emit("bogus_event", 0, 0)
+
+    def test_kind_registry_covers_detector_needs(self):
+        for needed in ("block_enter", "block_exit", "grant_recv", "op_delivered"):
+            assert needed in EVENT_KINDS
+
+    def test_queries(self, sim):
+        t = Tracer(sim, enabled=True)
+        t.emit("epoch_open", 0, 0, epoch=1)
+        t.emit("epoch_open", 1, 0, epoch=2)
+        t.emit("epoch_complete", 0, 0, epoch=1)
+        assert len(t.of_kind("epoch_open")) == 2
+        assert len(t.for_rank(0)) == 2
+        assert len(t.for_epoch(0, 1)) == 2
+        t.clear()
+        assert len(t) == 0
+
+    def test_detail_kwargs_stored(self, sim):
+        t = Tracer(sim, enabled=True)
+        t.emit("block_enter", 0, 0, call="complete")
+        assert t.events[0].detail == {"call": "complete"}
+
+
+class TestRuntimeIntegration:
+    def test_runtime_traces_epochs(self):
+        import numpy as np
+
+        from tests.conftest import make_runtime
+
+        rt = make_runtime(2, trace=True)
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.put(np.int64([1]), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        rt.run(app)
+        kinds = {e.kind for e in rt.tracer.events}
+        assert "epoch_open" in kinds
+        assert "epoch_complete" in kinds
+        assert "op_issue" in kinds
+        assert "lock_grant" in kinds
+
+    def test_tracing_off_by_default(self):
+        from tests.conftest import make_runtime
+
+        rt = make_runtime(2)
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+
+        rt.run(app)
+        assert len(rt.tracer) == 0

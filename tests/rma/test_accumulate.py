@@ -1,0 +1,189 @@
+"""Accumulate family: reductions, atomics, fetch variants."""
+
+import numpy as np
+import pytest
+
+from repro import MAX, MIN, PROD, REPLACE, SUM
+from repro.network import NetworkModel
+from tests.conftest import make_runtime
+
+
+class TestAccumulate:
+    @pytest.mark.parametrize("op,expected", [(SUM, 15), (PROD, 50), (MAX, 10), (MIN, 5)])
+    def test_reduce_ops(self, engine, op, expected):
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            if proc.rank == 1:
+                win.view(np.int64)[0] = 10
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.accumulate(np.int64([5]), 1, 0, op=op)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res[1] == expected
+
+    def test_replace_op(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            if proc.rank == 1:
+                win.view(np.int64)[0] = 10
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.accumulate(np.int64([-3]), 1, 0, op=REPLACE)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        assert make_runtime(2, engine).run(app)[1] == -3
+
+    def test_concurrent_sums_all_land(self, engine):
+        """N origins each add 1 under exclusive locks: total must be N
+        (the elementwise-atomicity guarantee the paper's transaction
+        pattern relies on)."""
+        n = 8
+
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            if proc.rank != 0:
+                yield from win.lock(0)
+                win.accumulate(np.int64([1]), 0, 0)
+                yield from win.unlock(0)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(n, engine).run(app)
+        assert res[0] == n - 1
+
+    def test_vector_accumulate(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.accumulate(np.arange(8, dtype=np.float64), 1, 0)
+                win.accumulate(np.arange(8, dtype=np.float64), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return win.view(np.float64).copy()
+
+        res = make_runtime(2, engine).run(app)
+        np.testing.assert_array_equal(res[1], 2.0 * np.arange(8))
+
+    def test_large_accumulate_rendezvous_works(self, engine):
+        """> 8 KB accumulates take the rendezvous path; data must still
+        be correct."""
+        count = 4096  # 32 KB of float64
+
+        def app(proc):
+            win = yield from proc.win_allocate(count * 8)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.accumulate(np.ones(count), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return float(win.view(np.float64).sum())
+
+        res = make_runtime(2, engine).run(app)
+        assert res[1] == count
+
+    def test_large_accumulate_slower_than_put(self):
+        """The intermediate-buffer rendezvous (host attention) makes a
+        large accumulate to a busy target slower than to an idle one."""
+        times = {}
+
+        def target_busy(proc):
+            win = yield from proc.win_allocate(1 << 20)
+            yield from proc.barrier()
+            yield from proc.compute(500.0)
+            yield from proc.barrier()
+
+        def origin(proc):
+            win = yield from proc.win_allocate(1 << 20)
+            yield from proc.barrier()
+            t0 = proc.wtime()
+            yield from win.lock(1)
+            win.accumulate(np.zeros(1 << 17), 1, 0)  # 1 MB
+            yield from win.unlock(1)
+            times["epoch"] = proc.wtime() - t0
+            yield from proc.barrier()
+
+        make_runtime(2).run_mixed({0: origin, 1: target_busy})
+        # The CTS waits out the target's 500 µs of compute.
+        assert times["epoch"] > 500.0
+
+
+class TestFetchVariants:
+    def test_get_accumulate(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            if proc.rank == 1:
+                win.view(np.int64)[0] = 40
+            yield from proc.barrier()
+            if proc.rank == 0:
+                old = np.zeros(1, dtype=np.int64)
+                yield from win.lock(1)
+                win.get_accumulate(np.int64([2]), old, 1, 0)
+                yield from win.unlock(1)
+                yield from proc.barrier()
+                return int(old[0])
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res[0] == 40  # pre-reduction value fetched
+        assert res[1] == 42  # reduction applied
+
+    def test_fetch_and_op_serializes(self, engine):
+        """Each fetch-and-op sees a distinct old value: full atomicity."""
+        n = 6
+
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            old = np.zeros(1, dtype=np.int64)
+            if proc.rank != 0:
+                yield from win.lock(0)
+                win.fetch_and_op(np.int64(1), old, 0, 0)
+                yield from win.unlock(0)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                return int(win.view(np.int64)[0])
+            return int(old[0])
+
+        res = make_runtime(n, engine).run(app)
+        assert res[0] == n - 1
+        assert sorted(res[1:]) == list(range(n - 1))  # all distinct tickets
+
+    def test_compare_and_swap(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            if proc.rank == 1:
+                win.view(np.int64)[0] = 5
+            yield from proc.barrier()
+            results = []
+            if proc.rank == 0:
+                old = np.zeros(1, dtype=np.int64)
+                yield from win.lock(1)
+                win.compare_and_swap(np.int64(5), np.int64(9), old, 1, 0)
+                yield from win.unlock(1)
+                results.append(int(old[0]))
+                # Second CAS fails: compare no longer matches.
+                yield from win.lock(1)
+                win.compare_and_swap(np.int64(5), np.int64(77), old, 1, 0)
+                yield from win.unlock(1)
+                results.append(int(old[0]))
+            yield from proc.barrier()
+            if proc.rank == 1:
+                return int(win.view(np.int64)[0])
+            return results
+
+        res = make_runtime(2, engine).run(app)
+        assert res[0] == [5, 9]
+        assert res[1] == 9  # second swap did not apply

@@ -1,0 +1,150 @@
+"""Engine internals: deferred-epoch recording/replay, notification
+packing, progress-sweep behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.rma.engine.base import pack_win_value, unpack_win_value
+from repro.rma.epoch import EpochState
+from tests.conftest import make_runtime
+
+
+class TestNotificationPacking:
+    def test_roundtrip(self):
+        v = pack_win_value(5, 123456)
+        assert unpack_win_value(v) == (5, 123456)
+
+    def test_gid_overflow(self):
+        with pytest.raises(ValueError):
+            pack_win_value(64, 0)
+
+    def test_id_overflow(self):
+        with pytest.raises(ValueError):
+            pack_win_value(0, 1 << 30)
+
+    def test_fits_36_bits(self):
+        assert pack_win_value(63, (1 << 30) - 1) < (1 << 36)
+
+
+class TestDeferredRecording:
+    def test_ops_recorded_while_deferred_then_replayed(self):
+        """§VII-A: communication calls on a deferred epoch are recorded
+        and fulfilled on activation — verified through final memory."""
+        states = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            # Epoch 1: stuck until rank 1 posts (at 300 µs).
+            win.istart([1])
+            win.put(np.int64([1]), 1, 0)
+            r1 = win.icomplete()
+            # Epoch 2 to rank 2: deferred (no flags). Its put is recorded.
+            win.istart([2])
+            win.put(np.int64([2]), 2, 0)
+            ws = proc.runtime.engines[proc.rank].states[win.group.gid]
+            ep2 = [e for e in ws.epochs if e.state is EpochState.DEFERRED][0]
+            states["recorded_ops"] = len(ep2.ops)
+            states["issued_while_deferred"] = sum(1 for op in ep2.ops if op.issued)
+            r2 = win.icomplete()  # closed while still deferred
+            states["closed_while_deferred"] = ep2.app_closed and ep2.deferred
+            yield from proc.waitall([r1, r2])
+            yield from proc.barrier()
+
+        def late_target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(300.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            yield from proc.barrier()
+
+        def ready_target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(3).run_mixed({0: origin, 1: late_target, 2: ready_target})
+        assert states["recorded_ops"] == 1
+        assert states["issued_while_deferred"] == 0
+        assert states["closed_while_deferred"] is True
+        assert res[2] == 2  # replayed after activation
+
+    def test_deferred_epoch_closed_and_completed_in_one_go(self):
+        """An epoch that is opened, filled and closed while deferred
+        still runs its whole internal lifetime correctly."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                reqs = []
+                for i in range(3):
+                    win.ilock(1)
+                    win.put(np.int64([i + 1]), 1, 8 * i)
+                    reqs.append(win.iunlock(1))
+                # Epochs 2 and 3 were fully specified while deferred.
+                yield from proc.waitall(reqs)
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 3).copy()
+
+        res = make_runtime(2).run(app)
+        np.testing.assert_array_equal(res[1], [1, 2, 3])
+
+
+class TestProgressBehaviour:
+    def test_engine_states_isolated_per_rank(self):
+        rt = make_runtime(3)
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.put(np.int64([1]), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        rt.run(app)
+        # Rank 2 never participated: its counters stay empty.
+        ws2 = rt.engines[2].states[0]
+        assert sum(ws2.a.values()) == 0
+        assert sum(ws2.e.values()) == 0
+
+    def test_epoch_retirement_keeps_state_bounded(self):
+        """Completed + closed epochs are retired from the window state
+        (memory does not grow with epoch count)."""
+        rt = make_runtime(2)
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                for _ in range(20):
+                    yield from win.lock(1)
+                    win.accumulate(np.int64([1]), 1, 0)
+                    yield from win.unlock(1)
+            yield from proc.barrier()
+            ws = proc.runtime.engines[proc.rank].states[win.group.gid]
+            return len(ws.epochs)
+
+        res = rt.run(app)
+        assert res[0] <= 1  # nothing lingering
+
+    def test_poke_reentrancy_safe(self):
+        """poke() during a sweep re-runs rather than recursing."""
+        rt = make_runtime(2)
+        engine = rt.engines[0]
+        engine._sweeping = True
+        engine.poke()  # must not recurse into _sweep
+        assert engine._resweep
+        engine._sweeping = False
+        engine._resweep = False
+
+    def test_unroutable_packet_raises(self):
+        rt = make_runtime(2)
+        with pytest.raises(RuntimeError, match="unroutable"):
+            rt.middlewares[0].on_delivery(object(), 1)

@@ -1,0 +1,136 @@
+"""Fence epochs: rounds, asserts, barrier semantics."""
+
+import numpy as np
+import pytest
+
+from repro import MODE_NOPRECEDE, MODE_NOSUCCEED
+from tests.conftest import make_runtime
+
+
+class TestFenceBasics:
+    def test_iterative_fence_rounds(self, engine):
+        """Multiple rounds deliver each round's data before the next."""
+        rounds = 4
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            seen = []
+            yield from win.fence()
+            for r in range(rounds):
+                peer = 1 - proc.rank
+                win.put(np.int64([r * 10 + proc.rank]), peer, 0)
+                yield from win.fence()
+                seen.append(int(win.view(np.int64)[0]))
+            yield from win.fence(assert_=MODE_NOSUCCEED + MODE_NOPRECEDE)
+            return seen
+
+        res = make_runtime(2, engine).run(app)
+        assert res[0] == [1, 11, 21, 31]
+        assert res[1] == [0, 10, 20, 30]
+
+    def test_closing_fence_is_a_barrier(self, engine):
+        """No rank exits the closing fence before the last rank enters."""
+        exits = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.fence()
+            yield from proc.compute(100.0 * proc.rank)
+            win.put(np.int64([1]), (proc.rank + 1) % proc.size, 8)
+            yield from win.fence(assert_=MODE_NOSUCCEED)
+            exits[proc.rank] = proc.wtime()
+
+        make_runtime(4, engine).run(app)
+        assert min(exits.values()) >= 300.0  # slowest entered at 300
+
+    def test_first_fence_cheap(self, engine):
+        """An opening-only fence must not synchronize."""
+        times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 1:
+                yield from proc.compute(500.0)
+            t0 = proc.wtime()
+            yield from win.fence()
+            if proc.rank == 0:
+                times["first_fence"] = proc.wtime() - t0
+            # Drain: close the epoch collectively.
+            yield from win.fence(assert_=MODE_NOSUCCEED)
+
+        make_runtime(2, engine).run(app)
+        assert times["first_fence"] < 1.0
+
+    def test_noprecede_skips_sync(self, engine):
+        """NOPRECEDE on an empty epoch closes without the barrier."""
+        times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.fence()  # opens round 1 (empty)
+            if proc.rank == 1:
+                yield from proc.compute(500.0)
+            t0 = proc.wtime()
+            yield from win.fence(assert_=MODE_NOPRECEDE | MODE_NOSUCCEED)
+            if proc.rank == 0:
+                times["noprecede"] = proc.wtime() - t0
+
+        make_runtime(2, engine).run(app)
+        assert times["noprecede"] < 1.0
+
+    def test_single_rank_fence(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from win.fence()
+            win.put(np.int64([5]), 0, 0)
+            yield from win.fence(assert_=MODE_NOSUCCEED)
+            return int(win.view(np.int64)[0])
+
+        assert make_runtime(1, engine).run(app) == [5]
+
+
+class TestFenceData:
+    def test_all_to_all_puts(self, engine):
+        n = 4
+
+        def app(proc):
+            win = yield from proc.win_allocate(8 * n)
+            yield from proc.barrier()
+            yield from win.fence()
+            for peer in range(n):
+                if peer != proc.rank:
+                    win.put(np.int64([proc.rank + 1]), peer, 8 * proc.rank)
+            yield from win.fence(assert_=MODE_NOSUCCEED)
+            return win.view(np.int64).copy()
+
+        res = make_runtime(n, engine).run(app)
+        for r in range(n):
+            expected = [i + 1 for i in range(n)]
+            expected[r] = 0
+            np.testing.assert_array_equal(res[r], expected)
+
+    def test_data_not_visible_before_closing_fence(self):
+        """MPI-3 consistency: remote writes need not be visible until
+        the epoch-closing synchronization.  In this simulation a large
+        transfer genuinely arrives late, so a peek right after the put
+        call sees the old value."""
+        peek = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            yield from win.fence()
+            if proc.rank == 0:
+                win.put(np.full(1 << 20, 9, dtype=np.uint8), 1, 0)
+            else:
+                peek["early"] = int(win.view(np.uint8, 0, 1)[0])
+            yield from win.fence(assert_=MODE_NOSUCCEED)
+            if proc.rank == 1:
+                peek["late"] = int(win.view(np.uint8, 0, 1)[0])
+
+        make_runtime(2).run(app)
+        assert peek == {"early": 0, "late": 9}

@@ -1,0 +1,180 @@
+"""Flush routines: blocking, nonblocking (age-stamped), local variants."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_runtime
+
+
+class TestBlockingFlush:
+    def test_flush_makes_data_visible_without_closing(self, engine):
+        check = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.lock(1)
+            win.put(np.int64([11]), 1, 0)
+            yield from win.flush(1)
+            check["after_flush"] = int(win.group.window_of(1).view(np.int64)[0])
+            win.put(np.int64([22]), 1, 8)  # epoch still usable
+            yield from win.unlock(1)
+            yield from proc.barrier()
+
+        def target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 2).copy()
+
+        res = make_runtime(2, engine).run_mixed({0: origin, 1: target})
+        assert check["after_flush"] == 11
+        np.testing.assert_array_equal(res[1], [11, 22])
+
+    def test_flush_with_no_ops_returns_immediately(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                t0 = proc.wtime()
+                yield from win.flush(1)
+                assert proc.wtime() == t0
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        make_runtime(2, engine).run(app)
+
+    def test_flush_all_in_lock_all(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock_all()
+                for peer in range(proc.size):
+                    win.put(np.int64([peer]), peer, 0)
+                yield from win.flush_all()
+                vals = [
+                    int(win.group.window_of(p).view(np.int64)[0]) for p in range(proc.size)
+                ]
+                yield from win.unlock_all()
+                yield from proc.barrier()
+                return vals
+            yield from proc.barrier()
+
+        res = make_runtime(3, engine).run(app)
+        assert res[0] == [0, 1, 2]
+
+    def test_flush_local_faster_than_remote(self):
+        """flush_local returns at local completion; flush waits for the
+        remote completion — for a large internode put those differ by
+        the wire latency at least."""
+        times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                data = np.zeros(1 << 20, dtype=np.uint8)
+                yield from win.lock(1)
+                win.put(data, 1, 0)
+                yield from win.flush_local(1)
+                times["local"] = proc.wtime()
+                yield from win.flush(1)
+                times["remote"] = proc.wtime()
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        make_runtime(2).run(app)
+        # Same op: locally complete strictly before remotely complete.
+        assert times["local"] < times["remote"]
+
+
+class TestNonblockingFlush:
+    def test_iflush_allows_new_ops_before_completion(self):
+        """§VII-C: new RMA calls can be issued after an MPI_WIN_IFLUSH
+        that is yet to complete, and the flush only covers older ops."""
+        out = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(4 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                big = np.zeros(1 << 20, dtype=np.uint8)
+                win.ilock(1)
+                win.put(big, 1, 0)
+                freq = win.iflush(1)
+                win.put(big, 1, 1 << 20)  # younger than the flush stamp
+                win.put(big, 1, 2 << 20)
+                yield from freq.wait()
+                out["flush_done_at"] = proc.wtime()
+                req = win.iunlock(1)
+                yield from req.wait()
+                out["unlock_done_at"] = proc.wtime()
+            yield from proc.barrier()
+
+        make_runtime(2).run(app)
+        # The flush covered only the first put: it completes well before
+        # the unlock, which needs all three transfers.
+        assert out["flush_done_at"] < out["unlock_done_at"] - 300.0
+
+    def test_iflush_local(self):
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                win.ilock(1)
+                win.put(np.zeros(1 << 20, dtype=np.uint8), 1, 0)
+                fl = win.iflush_local(1)
+                fr = win.iflush(1)
+                yield from fl.wait()
+                t_local = proc.wtime()
+                yield from fr.wait()
+                t_remote = proc.wtime()
+                req = win.iunlock(1)
+                yield from req.wait()
+                yield from proc.barrier()
+                return (t_local, t_remote)
+            yield from proc.barrier()
+
+        res = make_runtime(2).run(app)
+        t_local, t_remote = res[0]
+        assert t_local < t_remote
+
+    def test_iflush_all_and_local_all(self):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                win.ilock_all()
+                for peer in range(proc.size):
+                    win.put(np.int64([7]), peer, 0)
+                fa = win.iflush_all()
+                fla = win.iflush_local_all()
+                yield from fa.wait()
+                yield from fla.wait()
+                vals = [
+                    int(win.group.window_of(p).view(np.int64)[0]) for p in range(proc.size)
+                ]
+                req = win.iunlock_all()
+                yield from req.wait()
+                yield from proc.barrier()
+                return vals
+            yield from proc.barrier()
+
+        res = make_runtime(3).run(app)
+        assert res[0] == [7, 7, 7]
+
+    def test_iflush_with_nothing_pending_completes_at_creation(self):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                win.ilock(1)
+                req = win.iflush(1)
+                assert req.done
+                r = win.iunlock(1)
+                yield from r.wait()
+            yield from proc.barrier()
+
+        make_runtime(2).run(app)

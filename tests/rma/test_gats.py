@@ -1,0 +1,179 @@
+"""GATS epochs: matching, groups, ordering, MPI_WIN_TEST."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_runtime
+
+
+class TestBasicGats:
+    def test_multi_target_group(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.start([1, 2])
+                win.put(np.int64([10]), 1, 0)
+                win.put(np.int64([20]), 2, 0)
+                yield from win.complete()
+            else:
+                yield from win.post([0])
+                yield from win.wait_epoch()
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(3, engine).run(app)
+        assert res[1:] == [10, 20]
+
+    def test_multi_origin_exposure(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 2:
+                yield from win.post([0, 1])
+                yield from win.wait_epoch()
+            else:
+                yield from win.start([2])
+                win.put(np.int64([proc.rank + 1]), 2, 8 * proc.rank)
+                yield from win.complete()
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 2).copy()
+
+        res = make_runtime(3, engine).run(app)
+        np.testing.assert_array_equal(res[2], [1, 2])
+
+    def test_empty_epoch_still_syncs(self, engine):
+        """An access epoch with no ops still matches the exposure (the
+        done packet carries the synchronization)."""
+        times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from proc.compute(200.0)
+                yield from win.start([1])
+                yield from win.complete()
+            else:
+                t0 = proc.wtime()
+                yield from win.post([0])
+                yield from win.wait_epoch()
+                times["wait"] = proc.wtime() - t0
+
+        make_runtime(2, engine).run(app)
+        assert times["wait"] >= 200.0
+
+    def test_back_to_back_epochs_match_fifo(self, engine):
+        """Rule 3 of §VI-A: epochs match in FIFO order per pair."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                for v in (1, 2, 3):
+                    yield from win.start([1])
+                    win.put(np.int64([v]), 1, 8 * v)
+                    yield from win.complete()
+            else:
+                for _ in range(3):
+                    yield from win.post([0])
+                    yield from win.wait_epoch()
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 4).copy()
+
+        res = make_runtime(2, engine).run(app)
+        np.testing.assert_array_equal(res[1], [0, 1, 2, 3])
+
+
+class TestWinTest:
+    def test_test_polls_to_completion(self, engine):
+        polls = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from proc.compute(100.0)
+                yield from win.start([1])
+                win.put(np.zeros(1 << 20, dtype=np.uint8), 1, 0)
+                yield from win.complete()
+            else:
+                yield from win.post([0])
+                count = 0
+                while not win.test():
+                    count += 1
+                    yield from proc.compute(50.0)
+                polls["count"] = count
+
+        make_runtime(2, engine).run(app)
+        assert polls["count"] >= 2  # put takes ~440 µs after the delay
+
+    def test_test_true_closes_epoch(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.start([1])
+                yield from win.complete()
+                yield from proc.barrier()
+            else:
+                yield from win.post([0])
+                while not win.test():
+                    yield from proc.compute(5.0)
+                yield from proc.barrier()
+                # A new exposure epoch can open now.
+                yield from win.post([0])
+                yield from win.wait_epoch()
+            if proc.rank == 0:
+                yield from win.start([1])
+                yield from win.complete()
+
+        make_runtime(2, engine).run(app)  # completing without deadlock is the assertion
+
+
+class TestLatePost:
+    def test_complete_blocks_until_post(self, engine):
+        times = {}
+
+        def target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(300.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.start([1])
+            win.put(np.int64([1]), 1, 0)
+            t0 = proc.wtime()
+            yield from win.complete()
+            times["complete"] = proc.wtime() - t0
+
+        make_runtime(2, engine).run_mixed({0: origin, 1: target})
+        assert times["complete"] >= 300.0 - 1.0
+
+    def test_start_does_not_block_on_late_post(self, engine):
+        """Modern-library behaviour (§III): the opening routine returns
+        immediately even when the target has not posted."""
+        times = {}
+
+        def target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(500.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            t0 = proc.wtime()
+            yield from win.start([1])
+            times["start"] = proc.wtime() - t0
+            win.put(np.int64([1]), 1, 0)
+            yield from win.complete()
+
+        make_runtime(2, engine).run_mixed({0: origin, 1: target})
+        assert times["start"] < 1.0

@@ -1,0 +1,194 @@
+"""Passive-target epochs: exclusive/shared semantics, queueing, lock_all."""
+
+import numpy as np
+import pytest
+
+from repro import LOCK_SHARED
+from tests.conftest import make_runtime
+
+
+class TestExclusive:
+    def test_exclusive_serializes_holders(self, engine):
+        """Two origins adding under exclusive locks never interleave:
+        final value is exact."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            if proc.rank != 0:
+                for _ in range(10):
+                    yield from win.lock(0)
+                    win.accumulate(np.int64([1]), 0, 0)
+                    yield from win.unlock(0)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(3, engine).run(app)
+        assert res[0] == 20
+
+    def test_unlock_waits_for_remote_completion(self, engine):
+        """After unlock returns, data is visible at the target."""
+        check = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            yield from win.lock(1)
+            win.put(np.full(1 << 20, 7, dtype=np.uint8), 1, 0)
+            yield from win.unlock(1)
+            # Probe target memory directly at this instant (simulation
+            # shortcut: both address spaces are visible to the test).
+            check["value"] = int(win.group.window_of(1).view(np.uint8, 0, 1)[0])
+            yield from proc.barrier()
+
+        def target(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            yield from proc.barrier()
+
+        make_runtime(2, engine).run_mixed({0: origin, 1: target})
+        assert check["value"] == 7
+
+
+class TestShared:
+    def test_shared_holders_concurrent(self, engine):
+        """Shared lock holders hold together: three origins each holding
+        the lock for 200 µs of work finish in ~200 µs, not ~600 µs.
+
+        The baseline engine acquires lazily at unlock, so it never holds
+        across the work at all — also concurrent.
+        """
+        times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            t0 = proc.wtime()
+            if proc.rank != 0:
+                yield from win.lock(0, LOCK_SHARED)
+                win.put(np.int64([proc.rank]), 0, 8 * proc.rank)
+                yield from proc.compute(200.0)
+                yield from win.unlock(0)
+                times[proc.rank] = proc.wtime() - t0
+            yield from proc.barrier()
+
+        make_runtime(4, engine).run(app)
+        assert max(times.values()) < 400.0  # serial holds would be >= 600
+
+    def test_exclusive_waits_for_all_shared(self):
+        """MPI_WIN_LOCK itself returns immediately (acquisition is
+        internal); what must wait until every shared holder releases is
+        the exclusive epoch's *transfers*.  Observed via a blocking
+        flush, which cannot return before the op is remotely complete.
+
+        Eager engine only: the lazy baseline's shared "holders" do not
+        actually hold the lock across their compute (that is exactly its
+        lazy-acquisition property), so there is nothing to wait for.
+        """
+        engine = "nonblocking"
+        order = []
+
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            if proc.rank in (1, 2):  # shared holders
+                yield from win.lock(0, LOCK_SHARED)
+                win.accumulate(np.int64([1]), 0, 0)
+                yield from proc.compute(200.0)
+                order.append(("shared_unlock", proc.rank, proc.wtime()))
+                yield from win.unlock(0)
+            elif proc.rank == 3:  # exclusive requester, arrives later
+                yield from proc.compute(10.0)
+                yield from win.lock(0)
+                win.accumulate(np.int64([1]), 0, 0)
+                yield from win.flush(0)
+                order.append(("exclusive_flushed", proc.rank, proc.wtime()))
+                yield from win.unlock(0)
+            yield from proc.barrier()
+
+        make_runtime(4, engine).run(app)
+        excl_time = next(t for (k, _, t) in order if k == "exclusive_flushed")
+        last_shared = max(t for (k, _, t) in order if k == "shared_unlock")
+        assert excl_time >= last_shared
+
+
+class TestLockAll:
+    def test_lock_all_puts_everywhere(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock_all()
+                for peer in range(proc.size):
+                    win.put(np.int64([peer * 3]), peer, 0)
+                yield from win.unlock_all()
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(4, engine).run(app)
+        assert res == [0, 3, 6, 9]
+
+    def test_lock_all_is_shared(self, engine):
+        """Two concurrent lock_all epochs must not deadlock (shared)."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(8 * proc.size)
+            yield from proc.barrier()
+            yield from win.lock_all()
+            for peer in range(proc.size):
+                win.accumulate(np.int64([1]), peer, 8 * proc.rank)
+            yield from win.unlock_all()
+            yield from proc.barrier()
+            return win.view(np.int64).copy()
+
+        res = make_runtime(3, engine).run(app)
+        for r in res:
+            np.testing.assert_array_equal(r, [1, 1, 1])
+
+
+class TestLockQueueing:
+    def test_fifo_grant_order(self):
+        """Requests queue FIFO at the target (eager engine)."""
+        grant_order = []
+
+        def target(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            yield from proc.barrier()
+
+        def make_origin(delay):
+            def origin(proc):
+                win = yield from proc.win_allocate(8)
+                yield from proc.barrier()
+                yield from proc.compute(delay)
+                yield from win.lock(0)
+                grant_order.append(proc.rank)
+                yield from proc.compute(50.0)
+                yield from win.unlock(0)
+                yield from proc.barrier()
+
+            return origin
+
+        rt = make_runtime(4)
+        rt.run_mixed({0: target, 1: make_origin(1.0), 2: make_origin(2.0), 3: make_origin(3.0)})
+        assert grant_order == [1, 2, 3]
+
+    def test_same_origin_back_to_back_epochs(self):
+        """Nonblocking: several lock epochs from one origin to one
+        target queue and complete in order."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                reqs = []
+                for _ in range(5):
+                    win.ilock(1)
+                    win.accumulate(np.int64([1]), 1, 0)
+                    reqs.append(win.iunlock(1))
+                yield from proc.waitall(reqs)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2).run(app)
+        assert res[1] == 5

@@ -1,0 +1,181 @@
+"""MPI_MODE_NOCHECK: protocol elision when the application guarantees
+the matching synchronization (MPI-3 §11.5.5)."""
+
+import numpy as np
+import pytest
+
+from repro import MODE_NOCHECK
+from tests.conftest import make_runtime
+
+
+class TestGatsNocheck:
+    def test_data_correct(self, engine):
+        """post-before-start guaranteed via a barrier; data still lands."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 1:
+                yield from win.post([0])
+            yield from proc.barrier()  # guarantees the post happened
+            if proc.rank == 0:
+                yield from win.start([1], assert_=MODE_NOCHECK)
+                win.put(np.int64([77]), 1, 0)
+                yield from win.complete()
+            else:
+                yield from win.wait_epoch()
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res[1] == 77
+
+    def test_complete_does_not_wait_for_grant(self):
+        """The whole point: with NOCHECK, complete() does not suffer
+        Late Post even when the grant is in flight."""
+        times = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            # The target will post 500 µs late, but the application
+            # "knows" the exposure is logically available (e.g. from
+            # out-of-band synchronization): with NOCHECK the epoch does
+            # not wait for the grant message.
+            t0 = proc.wtime()
+            yield from win.start([1], assert_=MODE_NOCHECK)
+            win.put(np.int64([1]), 1, 0)
+            yield from win.complete()
+            times["epoch"] = proc.wtime() - t0
+            yield from proc.barrier()
+
+        def target(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            yield from proc.compute(500.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            yield from proc.barrier()
+
+        make_runtime(2).run_mixed({0: origin, 1: target})
+        assert times["epoch"] < 100.0  # vs ~500+ without NOCHECK
+
+    def test_counters_stay_consistent_after_nocheck(self, engine):
+        """A normal GATS epoch after a NOCHECK one still matches (the
+        NOCHECK epoch participates in the ω counter stream)."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 1:
+                yield from win.post([0])
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.start([1], assert_=MODE_NOCHECK)
+                win.put(np.int64([1]), 1, 0)
+                yield from win.complete()
+                # Plain epoch follows:
+                yield from win.start([1])
+                win.put(np.int64([2]), 1, 8)
+                yield from win.complete()
+            else:
+                yield from win.wait_epoch()
+                yield from win.post([0])
+                yield from win.wait_epoch()
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 2).copy()
+
+        res = make_runtime(2, engine).run(app)
+        np.testing.assert_array_equal(res[1], [1, 2])
+
+
+class TestLockNocheck:
+    def test_data_correct(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1, assert_=MODE_NOCHECK)
+                win.put(np.int64([5]), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res[1] == 5
+
+    def test_no_lock_protocol_traffic(self):
+        """A NOCHECK lock epoch never touches the target's lock
+        manager."""
+        rt = make_runtime(2)
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1, assert_=MODE_NOCHECK)
+                win.put(np.int64([5]), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        rt.run(app)
+        assert rt.engines[1].states[0].lock_mgr.grants == 0
+
+    def test_epoch_faster_than_protocol_path(self):
+        """NOCHECK saves the attention-gated lock round trip when the
+        target is computing."""
+        results = {}
+
+        def make_origin(nocheck):
+            def origin(proc):
+                win = yield from proc.win_allocate(64)
+                yield from proc.barrier()
+                t0 = proc.wtime()
+                yield from win.lock(1, assert_=MODE_NOCHECK if nocheck else 0)
+                win.put(np.int64([1]), 1, 0)
+                yield from win.unlock(1)
+                results[nocheck] = proc.wtime() - t0
+                yield from proc.barrier()
+
+            return origin
+
+        def busy_target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(200.0)  # cannot grant during this
+            yield from proc.barrier()
+
+        for nocheck in (False, True):
+            make_runtime(2).run_mixed({0: make_origin(nocheck), 1: busy_target})
+        assert results[True] < 50.0
+        assert results[False] > 190.0
+
+    def test_lock_all_nocheck(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock_all(assert_=MODE_NOCHECK)
+                for peer in range(proc.size):
+                    win.put(np.int64([peer + 10]), peer, 0)
+                yield from win.unlock_all()
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(3, engine).run(app)
+        assert res == [10, 11, 12]
+
+    def test_nonblocking_variants_accept_assert(self):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                win.ilock(1, assert_=MODE_NOCHECK)
+                win.put(np.int64([9]), 1, 0)
+                req = win.iunlock(1)
+                yield from req.wait()
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2).run(app)
+        assert res[1] == 9

@@ -1,0 +1,225 @@
+"""The §V nonblocking synchronization API and §VI semantics."""
+
+import numpy as np
+import pytest
+
+from repro.rma.epoch import EpochState
+from tests.conftest import make_runtime
+
+
+class TestOpeningRequests:
+    @pytest.mark.parametrize(
+        "opener",
+        [
+            lambda w: w.istart([1]),
+            lambda w: w.ilock(1),
+            lambda w: w.ilock_all(),
+            lambda w: w.ipost([1]),
+        ],
+    )
+    def test_opening_requests_complete_at_creation(self, opener):
+        """§VII-C: epoch-opening routines return dummy requests flagged
+        complete, even when the epoch is not activated yet."""
+        checks = []
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                req = opener(win)
+                checks.append(req.done)
+            yield from proc.barrier()
+
+        make_runtime(2).run(app)
+        assert checks == [True]
+
+    def test_ipost_opening_completes_even_when_deferred(self):
+        """An ipost behind an incomplete epoch is deferred internally
+        but its request is still complete at creation."""
+        checks = []
+
+        def origin(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            # Exposure 1 (to rank 1, which never completes quickly).
+            win.ipost([1])
+            r1 = win.iwait()
+            win.ipost([1])  # deferred: exposure 1 still active
+            ws = proc.runtime.engines[proc.rank].states[win.group.gid]
+            deferred = [ep for ep in ws.epochs if ep.state is EpochState.DEFERRED]
+            checks.append(len(deferred))
+            r2 = win.iwait()
+            yield from proc.waitall([r1, r2])
+            yield from proc.barrier()
+
+        def peer(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            yield from proc.barrier()
+            for _ in range(2):
+                yield from win.start([0])
+                win.put(np.zeros(4, dtype=np.uint8), 0, 0)
+                yield from win.complete()
+            yield from proc.barrier()
+
+        make_runtime(2).run_mixed({0: origin, 1: peer})
+        assert checks == [1]
+
+
+class TestMixedBlockingNonblocking:
+    def test_rule1_any_combination(self):
+        """§VI-A rule 1: blocking open + nonblocking close and vice
+        versa all work."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                # blocking open, nonblocking close
+                yield from win.start([1])
+                win.put(np.int64([1]), 1, 0)
+                req = win.icomplete()
+                yield from req.wait()
+                # nonblocking open, blocking close
+                win.istart([1])
+                win.put(np.int64([2]), 1, 8)
+                yield from win.complete()
+            else:
+                win.ipost([0])
+                yield from win.wait_epoch()      # nb open, blocking close
+                yield from win.post([0])
+                req = win.iwait()                 # blocking open, nb close
+                yield from req.wait()
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 2).copy()
+
+        res = make_runtime(2).run(app)
+        np.testing.assert_array_equal(res[1], [1, 2])
+
+    def test_rule2_buffer_unsafe_until_completion_detected(self):
+        """§VI-A rule 2: an epoch closed nonblockingly is not complete
+        until test/wait says so — observed via the target memory."""
+        snapshots = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                win.ilock(1)
+                win.put(np.full(1 << 20, 3, dtype=np.uint8), 1, 0)
+                req = win.iunlock(1)
+                snapshots["at_close"] = int(win.group.window_of(1).view(np.uint8, 0, 1)[0])
+                assert not req.done
+                yield from req.wait()
+                snapshots["at_completion"] = int(
+                    win.group.window_of(1).view(np.uint8, 0, 1)[0]
+                )
+            yield from proc.barrier()
+
+        make_runtime(2).run(app)
+        assert snapshots == {"at_close": 0, "at_completion": 3}
+
+
+class TestSerialActivation:
+    def test_rule4_epochs_not_skipped(self):
+        """§VI-A rule 4: without flags, E_{k+1} is not progressed while
+        E_k is incomplete — observed through delivery order."""
+        deliveries = []
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            # Epoch 1 targets rank 1 (which posts late).
+            win.istart([1])
+            win.put(np.int64([1]), 1, 0)
+            r1 = win.icomplete()
+            # Epoch 2 targets rank 2 (ready immediately).
+            win.istart([2])
+            win.put(np.int64([2]), 2, 0)
+            r2 = win.icomplete()
+            yield from proc.waitall([r1, r2])
+            yield from proc.barrier()
+
+        def late_target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(300.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            deliveries.append(("late", proc.wtime()))
+            yield from proc.barrier()
+
+        def ready_target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            deliveries.append(("ready", proc.wtime()))
+            yield from proc.barrier()
+
+        make_runtime(3).run_mixed({0: origin, 1: late_target, 2: ready_target})
+        # The ready target still finishes after the late one: no skipping.
+        t = dict(deliveries)
+        assert t["ready"] >= t["late"] - 1.0
+
+    def test_iwait_enables_next_exposure_immediately(self):
+        """§V: MPI_WIN_IWAIT, unlike MPI_WIN_TEST, lets the application
+        open the next exposure epoch without waiting."""
+
+        def target(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            reqs = []
+            for _ in range(3):
+                win.ipost([0])
+                reqs.append(win.iwait())
+            yield from proc.waitall(reqs)
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 3).copy()
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            for i in range(3):
+                yield from win.start([1])
+                win.put(np.int64([i + 1]), 1, 8 * i)
+                yield from win.complete()
+            yield from proc.barrier()
+
+        res = make_runtime(2).run_mixed({1: target, 0: origin})
+        np.testing.assert_array_equal(res[1], [1, 2, 3])
+
+
+class TestIfenceBarrier:
+    def test_rule5_ifence_barrier_semantics(self):
+        """§VI-A rule 5: an epoch-closing IFENCE completes only after
+        every peer's round completes; the next fence epoch is not
+        activated before that."""
+        completion_times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.fence()
+            win.put(np.int64([proc.rank]), (proc.rank + 1) % proc.size, 0)
+            if proc.rank == 2:
+                yield from proc.compute(400.0)  # late closer
+            req = win.ifence(assert_=2)
+            yield from req.wait()
+            completion_times[proc.rank] = proc.wtime()
+
+        make_runtime(3).run(app)
+        assert min(completion_times.values()) >= 400.0
+
+    def test_ifence_request_not_done_at_close(self):
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            yield from win.fence()
+            win.put(np.zeros(1 << 20, dtype=np.uint8), 1 - proc.rank, 0)
+            req = win.ifence(assert_=2)
+            was_done = req.done
+            yield from req.wait()
+            return was_done
+
+        res = make_runtime(2).run(app)
+        assert res == [False, False]

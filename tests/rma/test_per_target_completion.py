@@ -1,0 +1,105 @@
+"""§VII-D: per-target completion notifications.
+
+"Completion notification packets are sent to each target epoch as soon
+as the last RMA transfer meant for the target is fulfilled.
+Consequently, the various target epochs linked to the same origin epoch
+can complete at noticeably different times."
+"""
+
+import numpy as np
+import pytest
+
+from repro import A_A_A_R
+from tests.conftest import make_runtime
+
+
+class TestPerTargetDones:
+    def test_ready_target_completes_before_late_target(self):
+        """One access epoch toward a ready and a late target: the ready
+        target's exposure ends ~1000 µs before the late one's."""
+        times = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            win.istart([1, 2])
+            win.put(np.int64([1]), 1, 0)
+            win.put(np.int64([2]), 2, 0)
+            req = win.icomplete()
+            yield from req.wait()
+            yield from proc.barrier()
+
+        def ready(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            times["ready"] = proc.wtime()
+            yield from proc.barrier()
+
+        def late(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(1000.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            times["late"] = proc.wtime()
+            yield from proc.barrier()
+
+        make_runtime(3).run_mixed({0: origin, 1: ready, 2: late})
+        assert times["ready"] < 100.0
+        assert times["late"] >= 1000.0
+
+    def test_mvapich_gates_instead(self):
+        """The baseline's all-targets-ready gating makes the ready
+        target wait for the late one — the contrast §VIII-B draws."""
+        times = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.start([1, 2])
+            win.put(np.int64([1]), 1, 0)
+            win.put(np.int64([2]), 2, 0)
+            yield from win.complete()
+            yield from proc.barrier()
+
+        def ready(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            times["ready"] = proc.wtime()
+            yield from proc.barrier()
+
+        def late(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from proc.compute(1000.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            times["late"] = proc.wtime()
+            yield from proc.barrier()
+
+        make_runtime(3, "mvapich").run_mixed({0: origin, 1: ready, 2: late})
+        assert times["ready"] >= 1000.0  # gated behind the late target
+
+
+class TestFlagsOnBaseline:
+    def test_reorder_flags_silently_ignored_by_mvapich(self):
+        """The §VI-B flags are progress-engine hints; the baseline has
+        no deferred queue, so they are inert — data stays correct."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64, info={A_A_A_R: 1})
+            yield from proc.barrier()
+            if proc.rank == 0:
+                for i in range(3):
+                    yield from win.lock(1)
+                    win.put(np.int64([i + 1]), 1, 8 * i)
+                    yield from win.unlock(1)
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 3).copy()
+
+        res = make_runtime(2, "mvapich").run(app)
+        np.testing.assert_array_equal(res[1], [1, 2, 3])

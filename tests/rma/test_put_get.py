@@ -1,0 +1,187 @@
+"""Data movement correctness: put/get across epoch styles and engines."""
+
+import numpy as np
+import pytest
+
+from repro import LOCK_SHARED
+from tests.conftest import make_runtime
+
+
+class TestPut:
+    @pytest.mark.parametrize("style", ["lock", "gats", "fence", "lock_all"])
+    def test_put_visible_after_epoch(self, engine, style):
+        data = np.arange(32, dtype=np.float64)
+
+        def app(proc):
+            win = yield from proc.win_allocate(512)
+            yield from proc.barrier()
+            if style == "lock":
+                if proc.rank == 0:
+                    yield from win.lock(1)
+                    win.put(data, 1, 64)
+                    yield from win.unlock(1)
+            elif style == "lock_all":
+                if proc.rank == 0:
+                    yield from win.lock_all()
+                    win.put(data, 1, 64)
+                    yield from win.unlock_all()
+            elif style == "gats":
+                if proc.rank == 0:
+                    yield from win.start([1])
+                    win.put(data, 1, 64)
+                    yield from win.complete()
+                else:
+                    yield from win.post([0])
+                    yield from win.wait_epoch()
+            else:  # fence
+                yield from win.fence()
+                if proc.rank == 0:
+                    win.put(data, 1, 64)
+                yield from win.fence(assert_=2)
+            yield from proc.barrier()
+            return win.view(np.float64, 64, 32).copy()
+
+        res = make_runtime(2, engine).run(app)
+        np.testing.assert_array_equal(res[1], data)
+
+    def test_put_to_self(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.lock(proc.rank)
+            win.put(np.int64([proc.rank + 100]), proc.rank, 0)
+            yield from win.unlock(proc.rank)
+            yield from proc.barrier()
+            return int(win.view(np.int64, 0, 1)[0])
+
+        res = make_runtime(3, engine).run(app)
+        assert res == [100, 101, 102]
+
+    def test_multiple_puts_last_writer_wins_in_order(self, engine):
+        """Puts inside one epoch to the same location apply in issue
+        order (single origin, FIFO path)."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                for v in range(5):
+                    win.put(np.int64([v]), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64, 0, 1)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res[1] == 4
+
+    def test_origin_buffer_captured_at_call(self, engine):
+        """Mutating the origin buffer after put() must not corrupt the
+        transfer (the runtime captures at call time)."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                buf = np.int64([7])
+                yield from win.lock(1)
+                win.put(buf, 1, 0)
+                buf[0] = 999  # illegal in real MPI; harmless here
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64, 0, 1)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res[1] == 7
+
+
+class TestGet:
+    def test_get_reads_target(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(256)
+            if proc.rank == 1:
+                win.view(np.float64)[:4] = [1.5, 2.5, 3.5, 4.5]
+            yield from proc.barrier()
+            out = None
+            if proc.rank == 0:
+                out = np.zeros(4, dtype=np.float64)
+                yield from win.lock(1, LOCK_SHARED)
+                win.get(out, 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return out
+
+        res = make_runtime(2, engine).run(app)
+        np.testing.assert_array_equal(res[0], [1.5, 2.5, 3.5, 4.5])
+
+    def test_get_in_gats(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            win.view(np.int64)[0] = proc.rank * 11
+            yield from proc.barrier()
+            if proc.rank == 0:
+                out = np.zeros(1, dtype=np.int64)
+                yield from win.start([1])
+                win.get(out, 1, 0)
+                yield from win.complete()
+                return int(out[0])
+            else:
+                yield from win.post([0])
+                yield from win.wait_epoch()
+
+        res = make_runtime(2, engine).run(app)
+        assert res[0] == 11
+
+    def test_get_buffer_filled_only_after_completion(self):
+        """Before the epoch completes, the get result must not be
+        available (data arrives with transfer latency)."""
+        observed = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(1 << 21)
+            if proc.rank == 1:
+                win.view(np.uint8)[:] = 5
+            yield from proc.barrier()
+            if proc.rank == 0:
+                out = np.zeros(1 << 20, dtype=np.uint8)
+                win.ilock(1, LOCK_SHARED)
+                win.get(out, 1, 0)
+                req = win.iunlock(1)
+                observed["before"] = int(out[0])
+                yield from req.wait()
+                observed["after"] = int(out[0])
+            yield from proc.barrier()
+
+        make_runtime(2).run(app)
+        assert observed == {"before": 0, "after": 5}
+
+
+class TestBidirectional:
+    def test_exchange_in_fence(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.fence()
+            peer = 1 - proc.rank
+            win.put(np.int64([proc.rank + 1]), peer, 0)
+            yield from win.fence(assert_=2)
+            return int(win.view(np.int64, 0, 1)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res == [2, 1]
+
+    def test_many_origins_one_target_disjoint_slots(self, engine):
+        n = 5
+
+        def app(proc):
+            win = yield from proc.win_allocate(8 * n)
+            yield from proc.barrier()
+            if proc.rank != 0:
+                yield from win.lock(0, LOCK_SHARED)
+                win.put(np.int64([proc.rank]), 0, 8 * proc.rank)
+                yield from win.unlock(0)
+            yield from proc.barrier()
+            return win.view(np.int64).copy()
+
+        res = make_runtime(n, engine).run(app)
+        np.testing.assert_array_equal(res[0], [0, 1, 2, 3, 4])

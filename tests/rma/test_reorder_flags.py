@@ -1,0 +1,170 @@
+"""§VI-B progress-engine optimization flags: semantics and exclusions."""
+
+import numpy as np
+import pytest
+
+from repro import A_A_A_R, A_A_E_R, E_A_A_R, E_A_E_R
+from repro.bench.figures import (
+    fig07_aaar_gats,
+    fig08_aaar_lock,
+    fig09_aaer,
+    fig10_eaer,
+    fig11_eaar,
+)
+from repro.rma.flags import ReorderFlags
+from tests.conftest import make_runtime
+
+DELAY = 1000.0
+TRANSFER = 345.0  # ~1 MB put incl. handshakes
+
+
+class TestFlagDecoding:
+    def test_defaults_off(self):
+        f = ReorderFlags.from_info(None)
+        assert not f.any_enabled
+
+    def test_each_key_decodes(self):
+        from repro.mpi.info import Info
+
+        for key, attr in [
+            (A_A_A_R, "access_after_access"),
+            (A_A_E_R, "access_after_exposure"),
+            (E_A_E_R, "exposure_after_exposure"),
+            (E_A_A_R, "exposure_after_access"),
+        ]:
+            f = ReorderFlags.from_info(Info({key: "1"}))
+            assert getattr(f, attr) is True
+            assert f.any_enabled
+
+    def test_allows_matrix(self):
+        f = ReorderFlags(access_after_access=True)
+        assert f.allows(True, True)
+        assert not f.allows(True, False)
+        assert not f.allows(False, True)
+        assert not f.allows(False, False)
+
+
+class TestFlagBehaviour:
+    """Each flag confines a late peer's delay (the Figs. 7-11 shapes)."""
+
+    def test_aaar_gats_shape(self):
+        off = fig07_aaar_gats(False)
+        on = fig07_aaar_gats(True)
+        assert off["target_T1"] > DELAY  # delay propagated transitively
+        assert on["target_T1"] < 1.5 * TRANSFER  # confined
+        assert on["origin_cumulative"] < off["origin_cumulative"]
+
+    def test_aaar_lock_shape(self):
+        off = fig08_aaar_lock(False)
+        on = fig08_aaar_lock(True)
+        assert on["o1_cumulative"] < off["o1_cumulative"] - 200.0
+
+    def test_aaer_shape(self):
+        off = fig09_aaer(False)
+        on = fig09_aaer(True)
+        assert off["target_P1"] > DELAY
+        assert on["target_P1"] < 1.5 * TRANSFER
+
+    def test_eaer_shape(self):
+        off = fig10_eaer(False)
+        on = fig10_eaer(True)
+        assert off["origin_O1"] > DELAY
+        assert on["origin_O1"] < 1.5 * TRANSFER
+
+    def test_eaar_shape(self):
+        off = fig11_eaar(False)
+        on = fig11_eaar(True)
+        assert off["origin_P1"] > DELAY
+        assert on["origin_P1"] < 1.5 * TRANSFER
+
+    def test_out_of_order_completion_preserves_data(self):
+        """With A_A_A_R, epochs complete out of order but every byte
+        still lands where it was aimed (disjoint regions)."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(256, info={A_A_A_R: 1})
+            yield from proc.barrier()
+            if proc.rank == 0:
+                reqs = []
+                for i in range(4):
+                    win.ilock(1)
+                    win.put(np.int64([i + 1]), 1, 8 * i)
+                    reqs.append(win.iunlock(1))
+                yield from proc.waitall(reqs)
+            yield from proc.barrier()
+            return win.view(np.int64, 0, 4).copy()
+
+        res = make_runtime(2).run(app)
+        np.testing.assert_array_equal(res[1], [1, 2, 3, 4])
+
+
+class TestFlagExclusions:
+    """§VI-B: flags never apply next to fence or lock_all epochs."""
+
+    def test_fence_epochs_not_reordered(self):
+        """A fence epoch opened behind a stuck access epoch must stay
+        deferred even with every flag on (its round cannot be closed
+        until the access epoch completes)."""
+        info = {A_A_A_R: 1, A_A_E_R: 1, E_A_E_R: 1, E_A_A_R: 1}
+        times = {}
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64, info=info)
+            yield from proc.barrier()
+            win.istart([1])  # rank 1 posts very late: epoch stuck
+            win.put(np.int64([1]), 1, 0)
+            r = win.icomplete()
+            yield from win.fence()  # opens a fence epoch (deferred)
+            freq = win.ifence(assert_=2)  # closes it: must wait
+            yield from freq.wait()
+            times["fence_done"] = proc.wtime()
+            yield from r.wait()
+            yield from proc.barrier()
+
+        def late(proc):
+            win = yield from proc.win_allocate(64, info=info)
+            yield from proc.barrier()
+            yield from proc.compute(500.0)
+            yield from win.post([0])
+            yield from win.wait_epoch()
+            yield from win.fence()
+            yield from win.fence(assert_=2)
+            yield from proc.barrier()
+
+        make_runtime(2).run_mixed({0: origin, 1: late})
+        assert times["fence_done"] >= 500.0
+
+    def test_lock_all_not_reordered_past_access(self):
+        """lock_all after a stuck lock epoch stays deferred despite
+        A_A_A_R."""
+        times = {}
+
+        def holder(proc):
+            win = yield from proc.win_allocate(64, info={A_A_A_R: 1})
+            yield from proc.barrier()
+            yield from win.lock(2)
+            yield from proc.compute(400.0)
+            yield from win.unlock(2)
+            yield from proc.barrier()
+
+        def origin(proc):
+            win = yield from proc.win_allocate(64, info={A_A_A_R: 1})
+            yield from proc.barrier()
+            yield from proc.compute(5.0)
+            win.ilock(2)  # queued behind the holder
+            win.put(np.int64([1]), 2, 0)
+            r1 = win.iunlock(2)
+            la = win.ilock_all()  # §VI-B: may not progress out of order
+            win.put(np.int64([2]), 0, 0)
+            r2 = win.iunlock_all()
+            yield from proc.waitall([r1, r2])
+            times["all_done"] = proc.wtime()
+            yield from proc.barrier()
+
+        def target(proc):
+            _win = yield from proc.win_allocate(64, info={A_A_A_R: 1})
+            yield from proc.barrier()
+            yield from proc.barrier()
+
+        make_runtime(3).run_mixed({0: holder, 1: origin, 2: target})
+        assert times["all_done"] >= 400.0

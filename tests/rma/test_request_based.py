@@ -1,0 +1,129 @@
+"""Request-based RMA communication (rput/rget/raccumulate/rget_accumulate)."""
+
+import numpy as np
+import pytest
+
+from repro import RmaUsageError
+from tests.conftest import make_runtime
+
+
+class TestRput:
+    def test_rput_completes_locally(self, engine):
+        """rput's request means local completion: it fires before the
+        remote delivery of a large transfer."""
+        times = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                req = win.rput(np.zeros(1 << 20, dtype=np.uint8), 1, 0)
+                yield from req.wait()
+                times["rput_done"] = proc.wtime()
+                yield from win.unlock(1)
+                times["unlock_done"] = proc.wtime()
+            yield from proc.barrier()
+
+        make_runtime(2, engine).run(app)
+        assert times["rput_done"] < times["unlock_done"]
+
+    def test_rput_data_lands(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                req = win.rput(np.int64([123]), 1, 0)
+                yield from req.wait()
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        assert make_runtime(2, engine).run(app)[1] == 123
+
+
+class TestRget:
+    def test_rget_completion_means_data_available(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            if proc.rank == 1:
+                win.view(np.int64)[0] = 55
+            yield from proc.barrier()
+            if proc.rank == 0:
+                out = np.zeros(1, dtype=np.int64)
+                yield from win.lock(1)
+                req = win.rget(out, 1, 0)
+                yield from req.wait()
+                value_at_completion = int(out[0])
+                yield from win.unlock(1)
+                yield from proc.barrier()
+                return value_at_completion
+            yield from proc.barrier()
+
+        assert make_runtime(2, engine).run(app)[0] == 55
+
+
+class TestRaccumulate:
+    def test_raccumulate(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                r1 = win.raccumulate(np.int64([4]), 1, 0)
+                r2 = win.raccumulate(np.int64([5]), 1, 0)
+                yield from proc.waitall([r1, r2])
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        assert make_runtime(2, engine).run(app)[1] == 9
+
+    def test_rget_accumulate(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(8)
+            if proc.rank == 1:
+                win.view(np.int64)[0] = 100
+            yield from proc.barrier()
+            if proc.rank == 0:
+                old = np.zeros(1, dtype=np.int64)
+                yield from win.lock(1)
+                req = win.rget_accumulate(np.int64([1]), old, 1, 0)
+                yield from req.wait()
+                yield from win.unlock(1)
+                yield from proc.barrier()
+                return int(old[0])
+            yield from proc.barrier()
+            return int(win.view(np.int64)[0])
+
+        res = make_runtime(2, engine).run(app)
+        assert res == [100, 101]
+
+
+class TestRestrictions:
+    @pytest.mark.parametrize("style", ["gats", "fence"])
+    def test_request_based_rejected_in_active_target(self, engine, style):
+        """MPI-3 §11.3: request-based ops only in passive-target epochs
+        (the constraint §I of the paper highlights)."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                if style == "gats":
+                    yield from win.start([1])
+                else:
+                    yield from win.fence()
+                win.rput(np.int64([1]), 1, 0)
+            else:
+                if style == "gats":
+                    yield from win.post([0])
+                else:
+                    yield from win.fence()
+
+        rt = make_runtime(2, engine)
+        with pytest.raises(Exception) as exc:
+            rt.run(app)
+        err = getattr(exc.value, "original", exc.value)
+        assert isinstance(err, RmaUsageError)

@@ -1,0 +1,86 @@
+"""MPI_WIN_FREE lifecycle validation."""
+
+import numpy as np
+import pytest
+
+from repro import RmaUsageError
+from tests.conftest import make_runtime
+
+
+class TestWinFree:
+    def test_clean_free(self, engine):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.put(np.int64([1]), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+            yield from proc.win_free(win)
+            return True
+
+        assert make_runtime(2, engine).run(app) == [True, True]
+
+    def test_free_with_open_lock_rejected(self):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                yield from proc.win_free(win)
+
+        rt = make_runtime(2)
+        with pytest.raises(Exception) as exc:
+            rt.run(app)
+        err = getattr(exc.value, "original", exc.value)
+        assert isinstance(err, RmaUsageError)
+
+    def test_free_with_open_fence_epoch_rejected(self):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            yield from win.fence()  # opens an epoch, never closed
+            yield from proc.win_free(win)
+
+        rt = make_runtime(2)
+        with pytest.raises(Exception) as exc:
+            rt.run(app)
+        err = getattr(exc.value, "original", exc.value)
+        assert isinstance(err, RmaUsageError)
+
+    def test_free_with_undetected_completion_rejected(self):
+        """A nonblockingly closed epoch whose completion was never
+        detected is still live internally: free must refuse."""
+
+        def app(proc):
+            win = yield from proc.win_allocate(2 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                win.ilock(1)
+                win.put(np.zeros(1 << 20, dtype=np.uint8), 1, 0)
+                win.iunlock(1)  # request dropped on the floor
+                yield from proc.win_free(win)
+
+        rt = make_runtime(2)
+        with pytest.raises(Exception) as exc:
+            rt.run(app)
+        err = getattr(exc.value, "original", exc.value)
+        assert isinstance(err, RmaUsageError)
+
+    def test_open_epoch_count(self):
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            counts = [win.open_epoch_count]
+            if proc.rank == 0:
+                yield from win.lock(1)
+                counts.append(win.open_epoch_count)
+                yield from win.unlock(1)
+                counts.append(win.open_epoch_count)
+                yield from proc.barrier()
+                return counts
+            yield from proc.barrier()
+
+        res = make_runtime(2).run(app)
+        assert res[0] == [0, 1, 0]

@@ -1,0 +1,134 @@
+"""Simulator kernel: scheduling, clock, determinism, deadlock."""
+
+import pytest
+
+from repro.simtime import SimulationDeadlock, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_callback_runs_at_scheduled_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_callbacks_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(3.0, seen.append, "c")
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(1.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_zero_delay_runs_at_current_time(self, sim):
+        times = []
+        sim.schedule(4.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [4.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_returns_final_time(self, sim):
+        sim.schedule(7.5, lambda: None)
+        assert sim.run() == 7.5
+
+    def test_run_until_stops_clock(self, sim):
+        seen = []
+        sim.schedule(10.0, seen.append, "late")
+        assert sim.run(until=5.0) == 5.0
+        assert seen == []
+        assert sim.pending_callbacks == 1
+        sim.run()
+        assert seen == ["late"]
+
+    def test_args_passed_to_callback(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+
+class TestProcessesInKernel:
+    def test_process_return_value_on_done_event(self, sim):
+        def body():
+            yield sim.timeout(3.0)
+            return 42
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.triggered
+        assert proc.done.value == 42
+        assert not proc.alive
+
+    def test_deadlock_detection(self, sim):
+        def body():
+            yield sim.event("never")
+
+        sim.process(body(), name="stuck")
+        with pytest.raises(SimulationDeadlock) as exc:
+            sim.run()
+        assert "stuck" in str(exc.value)
+
+    def test_run_until_idle_tolerates_block(self, sim):
+        def body():
+            yield sim.event("never")
+
+        sim.process(body())
+        sim.run_until_idle()  # no raise
+
+    def test_live_processes_listing(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+
+        def slow():
+            yield sim.timeout(10.0)
+
+        sim.process(quick(), name="q")
+        p2 = sim.process(slow(), name="s")
+        sim.run(until=5.0)
+        assert sim.live_processes == [p2]
+
+    def test_many_interleaved_processes_deterministic(self, sim):
+        order = []
+
+        def body(i):
+            yield sim.timeout(float(i % 3))
+            order.append(i)
+            yield sim.timeout(1.0)
+            order.append(100 + i)
+
+        for i in range(6):
+            sim.process(body(i))
+        sim.run()
+        # Two identical runs must give the same order.
+        sim2 = Simulator()
+        order2 = []
+
+        def body2(i):
+            yield sim2.timeout(float(i % 3))
+            order2.append(i)
+            yield sim2.timeout(1.0)
+            order2.append(100 + i)
+
+        for i in range(6):
+            sim2.process(body2(i))
+        sim2.run()
+        assert order == order2

@@ -1,0 +1,103 @@
+"""SimEvent, Timeout, AllOf, AnyOf semantics."""
+
+import pytest
+
+from repro.simtime import Simulator
+
+
+class TestSimEvent:
+    def test_trigger_sets_value_and_time(self, sim):
+        ev = sim.event("e")
+        sim.schedule(2.0, ev.trigger, "payload")
+        sim.run()
+        assert ev.triggered
+        assert ev.value == "payload"
+        assert ev.trigger_time == 2.0
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(RuntimeError, match="twice"):
+            ev.trigger()
+
+    def test_callback_after_trigger_still_fires(self, sim):
+        ev = sim.event()
+        ev.trigger(7)
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+    def test_callbacks_fifo(self, sim):
+        ev = sim.event()
+        seen = []
+        for i in range(5):
+            ev.add_callback(lambda e, i=i: seen.append(i))
+        sim.schedule(1.0, ev.trigger)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestTimeout:
+    def test_timeout_value(self, sim):
+        t = sim.timeout(4.0, value="v")
+        sim.run()
+        assert t.triggered and t.value == "v" and t.trigger_time == 4.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.5)
+
+    def test_zero_timeout(self, sim):
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.trigger_time == 0.0
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        evs = [sim.timeout(float(i), value=i) for i in (3, 1, 2)]
+        combo = sim.all_of(evs)
+        sim.run()
+        assert combo.trigger_time == 3.0
+        assert combo.value == [3, 1, 2]
+
+    def test_empty_list_triggers_immediately(self, sim):
+        combo = sim.all_of([])
+        sim.run()
+        assert combo.triggered
+
+    def test_with_pre_triggered_events(self, sim):
+        a = sim.event()
+        a.trigger("a")
+        b = sim.timeout(2.0, value="b")
+        combo = sim.all_of([a, b])
+        sim.run()
+        assert combo.value == ["a", "b"]
+
+
+class TestAnyOf:
+    def test_first_wins(self, sim):
+        evs = [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")]
+        combo = sim.any_of(evs)
+        sim.run()
+        assert combo.trigger_time == 1.0
+        assert combo.value == (1, "fast")
+
+    def test_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_pre_triggered_event(self, sim):
+        a = sim.event()
+        a.trigger("x")
+        combo = sim.any_of([sim.timeout(9.0), a])
+        sim.run(until=0.5)
+        assert combo.triggered
+        assert combo.value == (1, "x")
+
+    def test_only_fires_once(self, sim):
+        evs = [sim.timeout(1.0, value=1), sim.timeout(2.0, value=2)]
+        combo = sim.any_of(evs)
+        sim.run()
+        assert combo.value == (0, 1)  # second trigger ignored

@@ -1,0 +1,100 @@
+"""SimProcess lifecycle and error propagation."""
+
+import pytest
+
+from repro.simtime import InvalidYield, ProcessFailed, Simulator
+
+
+class TestLifecycle:
+    def test_yield_from_nesting(self, sim):
+        def inner():
+            yield sim.timeout(2.0)
+            return "inner-value"
+
+        def outer():
+            v = yield from inner()
+            yield sim.timeout(1.0)
+            return v + "!"
+
+        proc = sim.process(outer())
+        sim.run()
+        assert proc.done.value == "inner-value!"
+        assert sim.now == 3.0
+
+    def test_yield_receives_event_value(self, sim):
+        def body():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value == "hello"
+
+    def test_process_waits_on_another(self, sim):
+        def first():
+            yield sim.timeout(5.0)
+            return 99
+
+        p1 = sim.process(first())
+
+        def second():
+            v = yield p1.done
+            return v * 2
+
+        p2 = sim.process(second())
+        sim.run()
+        assert p2.done.value == 198
+
+    def test_immediate_return(self, sim):
+        def body():
+            return 1
+            yield  # pragma: no cover
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done.value == 1
+
+    def test_waiting_on_attribute(self, sim):
+        ev = sim.event("gate")
+
+        def body():
+            yield ev
+
+        proc = sim.process(body())
+        sim.run_until_idle()
+        assert proc.waiting_on is ev
+        ev.trigger()
+        sim.run()
+        assert proc.waiting_on is None
+
+
+class TestFailures:
+    def test_exception_wrapped_in_process_failed(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(body(), name="bad")
+        with pytest.raises(ProcessFailed) as exc:
+            sim.run()
+        assert isinstance(exc.value.original, ValueError)
+        assert "bad" in str(exc.value)
+
+    def test_invalid_yield_detected(self, sim):
+        def body():
+            yield 42  # not an event
+
+        sim.process(body(), name="wrong")
+        with pytest.raises(ProcessFailed) as exc:
+            sim.run()
+        assert isinstance(exc.value.original, InvalidYield)
+
+    def test_failure_stops_done_trigger(self, sim):
+        def body():
+            raise RuntimeError("x")
+            yield  # pragma: no cover
+
+        proc = sim.process(body())
+        with pytest.raises(ProcessFailed):
+            sim.run()
+        assert not proc.done.triggered

@@ -1,0 +1,158 @@
+"""Chaos property tests: randomized workloads must preserve the MPI-3
+data semantics regardless of engine, timing, topology or flags.
+
+These are the highest-level invariants of the system:
+
+- every atomic update lands exactly once;
+- disjoint puts land where they were aimed;
+- both engines (and the nonblocking/blocking APIs) compute identical
+  final memory for the same logical workload;
+- the virtual schedule is deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MPIRuntime
+from repro.rma.flags import A_A_A_R
+
+workload_params = st.fixed_dictionaries(
+    {
+        "nranks": st.integers(2, 6),
+        "updates": st.integers(1, 12),
+        "seed": st.integers(0, 2**20),
+        "cores_per_node": st.sampled_from([1, 2, 8]),
+        "engine": st.sampled_from(["nonblocking", "mvapich", "adaptive"]),
+    }
+)
+
+
+def random_accumulate_app(updates, seed, flags=False):
+    info = {A_A_A_R: 1} if flags else None
+
+    def app(proc):
+        win = yield from proc.win_allocate(8 * proc.size, info=info)
+        yield from proc.barrier()
+        rng = np.random.default_rng(seed + proc.rank * 101)
+        for _ in range(updates):
+            target = int(rng.integers(0, proc.size))
+            slot = int(rng.integers(0, proc.size))
+            yield from win.lock(target)
+            win.accumulate(np.int64([1 + proc.rank]), target, 8 * slot)
+            yield from win.unlock(target)
+        yield from proc.barrier()
+        return win.view(np.int64).copy()
+
+    return app
+
+
+@given(workload_params)
+@settings(max_examples=20, deadline=None)
+def test_atomic_updates_conserved(params):
+    """Sum over all windows equals the sum of all contributions."""
+    rt = MPIRuntime(params["nranks"], cores_per_node=params["cores_per_node"],
+                    engine=params["engine"])
+    res = rt.run(random_accumulate_app(params["updates"], params["seed"]))
+    total = sum(int(t.sum()) for t in res)
+    expected = params["updates"] * sum(1 + r for r in range(params["nranks"]))
+    assert total == expected
+
+
+@given(workload_params)
+@settings(max_examples=10, deadline=None)
+def test_engines_agree_on_final_memory(params):
+    """The same logical workload ends in the same memory on both
+    engines (timing differs; data must not)."""
+    tables = {}
+    for engine in ("nonblocking", "mvapich", "adaptive"):
+        rt = MPIRuntime(params["nranks"], cores_per_node=params["cores_per_node"],
+                        engine=engine)
+        res = rt.run(random_accumulate_app(params["updates"], params["seed"]))
+        tables[engine] = np.stack(res)
+    np.testing.assert_array_equal(tables["nonblocking"], tables["mvapich"])
+    np.testing.assert_array_equal(tables["nonblocking"], tables["adaptive"])
+
+
+@given(workload_params)
+@settings(max_examples=10, deadline=None)
+def test_runs_are_bit_identical(params):
+    """Full determinism: same parameters, same virtual end time and
+    same memory."""
+
+    def run_once():
+        rt = MPIRuntime(params["nranks"], cores_per_node=params["cores_per_node"],
+                        engine=params["engine"])
+        res = rt.run(random_accumulate_app(params["updates"], params["seed"]))
+        return rt.now, np.stack(res)
+
+    t1, m1 = run_once()
+    t2, m2 = run_once()
+    assert t1 == t2
+    np.testing.assert_array_equal(m1, m2)
+
+
+@given(
+    nranks=st.integers(2, 5),
+    epochs=st.integers(1, 8),
+    seed=st.integers(0, 2**20),
+)
+@settings(max_examples=15, deadline=None)
+def test_reordered_disjoint_puts_all_land(nranks, epochs, seed):
+    """With A_A_A_R and disjoint target slots, out-of-order completion
+    never loses or misplaces a byte (the §VI-C safe-usage contract)."""
+    rng = np.random.default_rng(seed)
+    plan = [
+        (int(rng.integers(0, nranks)), e)  # (target, slot index = epoch no.)
+        for e in range(epochs)
+    ]
+    rt = MPIRuntime(nranks, cores_per_node=2, engine="nonblocking")
+
+    def app(proc):
+        win = yield from proc.win_allocate(8 * epochs, info={A_A_A_R: 1})
+        yield from proc.barrier()
+        if proc.rank == 0:
+            reqs = []
+            for target, slot in plan:
+                win.ilock(target)
+                win.put(np.int64([100 + slot]), target, 8 * slot)
+                reqs.append(win.iunlock(target))
+            yield from proc.waitall(reqs)
+        yield from proc.barrier()
+        return win.view(np.int64).copy()
+
+    res = rt.run(app)
+    for target, slot in plan:
+        assert res[target][slot] == 100 + slot
+
+
+@given(
+    n=st.integers(2, 6),
+    rounds=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_fence_rounds_with_random_skew(n, rounds, seed):
+    """Fence barrier semantics hold under arbitrary per-rank skew: each
+    round's data is complete at every rank after its closing fence."""
+    rng = np.random.default_rng(seed)
+    skews = rng.uniform(0, 100, (rounds, n))
+    rt = MPIRuntime(n, cores_per_node=2, engine="nonblocking")
+
+    def app(proc):
+        win = yield from proc.win_allocate(8)
+        yield from proc.barrier()
+        observed = []
+        yield from win.fence()
+        for r in range(rounds):
+            yield from proc.compute(float(skews[r][proc.rank]))
+            win.put(np.int64([r + 1]), (proc.rank + 1) % n, 0)
+            yield from win.fence()
+            observed.append(int(win.view(np.int64)[0]))
+        yield from win.fence(assert_=2)
+        return observed
+
+    res = rt.run(app)
+    for per_rank in res:
+        assert per_rank == list(range(1, rounds + 1))

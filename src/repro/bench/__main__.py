@@ -12,6 +12,7 @@ Usage::
 
 from __future__ import annotations
 
+import re
 import sys
 
 from . import figures
@@ -88,12 +89,10 @@ def fig11() -> str:
                        ("origin_P1", "p2_cumulative"))
 
 
-import re as _re
-
 ALL = {
     name: fn
     for name, fn in list(globals().items())
-    if _re.fullmatch(r"fig\d+", name) and callable(fn)
+    if re.fullmatch(r"fig\d+", name) and callable(fn)
 }
 
 

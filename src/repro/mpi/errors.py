@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "MpiError",
     "RmaUsageError",
+    "RmaInternalError",
     "UnsupportedOperation",
     "TruncationError",
 ]
@@ -18,6 +19,12 @@ class RmaUsageError(MpiError):
     """An RMA call violated epoch/synchronization usage rules (e.g. a put
     outside any epoch, mismatched complete, double lock of the same
     target from one origin epoch)."""
+
+
+class RmaInternalError(MpiError):
+    """A middleware accounting invariant was violated (e.g. a flush
+    completion counter decremented below zero).  These indicate engine
+    bugs, not application misuse, and are raised unconditionally."""
 
 
 class UnsupportedOperation(MpiError):

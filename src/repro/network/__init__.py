@@ -14,6 +14,9 @@ from .nic import AttentionGate, NicPorts
 from .packets import Message, ServiceKind
 from .regcache import RegistrationCache
 from .shmem import (
+    NotificationAuthError,
+    NotificationDecodeError,
+    NotificationError,
     NotificationFifo,
     NotificationPacket,
     NotifyKind,
@@ -37,6 +40,9 @@ __all__ = [
     "NotificationFifo",
     "NotificationPacket",
     "NotifyKind",
+    "NotificationError",
+    "NotificationDecodeError",
+    "NotificationAuthError",
     "encode_notification",
     "decode_notification",
 ]

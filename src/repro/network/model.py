@@ -12,7 +12,7 @@ All times are microseconds; all sizes are bytes; bandwidths are bytes/µs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["NetworkModel"]
 

@@ -24,11 +24,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "NotifyKind",
+    "NotificationError",
+    "NotificationDecodeError",
+    "NotificationAuthError",
     "encode_notification",
     "decode_notification",
     "NotificationFifo",
     "NotificationPacket",
 ]
+
+
+class NotificationError(RuntimeError):
+    """Base class for malformed or misattributed notification packets."""
+
+
+class NotificationDecodeError(NotificationError):
+    """A 64-bit packet carried an unknown opcode or an out-of-range
+    field; the packet value is named so corruption can be diagnosed."""
+
+
+class NotificationAuthError(NotificationError):
+    """The rank encoded inside a packet disagrees with the rank the
+    fabric delivered it from (forged or corrupted sender field)."""
 
 
 class NotifyKind(enum.IntEnum):
@@ -74,8 +91,20 @@ def encode_notification(kind: NotifyKind, rank: int, value: int) -> int:
 
 
 def decode_notification(packet: int) -> tuple[NotifyKind, int, int]:
-    """Inverse of :func:`encode_notification`."""
-    kind = NotifyKind(packet >> _KIND_SHIFT)
+    """Inverse of :func:`encode_notification`.
+
+    Raises :class:`NotificationDecodeError` (naming the offending packet)
+    rather than a bare enum ``ValueError`` when the kind byte is unknown,
+    so a corrupted FIFO entry is diagnosable at the delivery site.
+    """
+    kind_byte = packet >> _KIND_SHIFT
+    try:
+        kind = NotifyKind(kind_byte)
+    except ValueError:
+        raise NotificationDecodeError(
+            f"unknown notification kind byte 0x{kind_byte:02x} "
+            f"in packet 0x{packet:016x}"
+        ) from None
     rank = (packet >> _RANK_SHIFT) & _RANK_MASK
     value = packet & _VALUE_MASK
     return kind, rank, value
@@ -116,14 +145,33 @@ class NotificationFifo:
 
     def drain(self, consume: Callable[[NotifyKind, int, int], None]) -> int:
         """Pop and decode every queued packet, invoking
-        ``consume(kind, sender_rank, value)``; returns the number drained."""
+        ``consume(kind, sender_rank, value)``; returns the number drained.
+
+        The rank encoded inside each packet is cross-checked against the
+        fabric-delivered source rank: a mismatch means the packet was
+        forged or corrupted in transit, and trusting the in-packet rank
+        would misattribute the notification (wrong ``done_id`` slot,
+        wrong lock waiter).  Such packets are rejected with
+        :class:`NotificationAuthError` instead.
+        """
         count = 0
         while self._incoming:
-            packet, _src = self._incoming.popleft()
+            packet, src = self._incoming.popleft()
             kind, rank, value = decode_notification(packet)
+            if rank != src:
+                raise NotificationAuthError(
+                    f"packet 0x{packet:016x} claims sender rank {rank} but was "
+                    f"delivered by the fabric from rank {src}"
+                )
             consume(kind, rank, value)
             count += 1
         return count
+
+    def pending(self) -> list[tuple[NotifyKind, int, int]]:
+        """Decode the queued packets without consuming them (diagnostics;
+        the semantics checker uses this to flag undrained notifications
+        at ``MPI_WIN_FREE``)."""
+        return [decode_notification(packet) for packet, _src in self._incoming]
 
     def __len__(self) -> int:
         return len(self._incoming)

@@ -3,10 +3,19 @@
 This package is the paper's contribution: windows, the five epoch
 styles, the proposed ``MPI_WIN_I*`` nonblocking synchronization API
 (§V), deferred epochs and ω-triple O(1) matching (§VII), the 7-step RMA
-progress engine (§VII-D), the §VI-B reorder flags and the §VI-C
-consistency tracker.
+progress engine (§VII-D), the §VI-B reorder flags, the §VI-C
+consistency tracker and the full semantics checker / race detector
+that subsumes it.
 """
 
+from .checker import (
+    SEMANTICS_CHECK_INFO_KEY,
+    SEMANTICS_MODE_INFO_KEY,
+    RmaChecker,
+    RmaSemanticsError,
+    Violation,
+    ViolationKind,
+)
 from .consistency import CONSISTENCY_INFO_KEY, ConsistencyTracker, Hazard
 from .epoch import Epoch, EpochKind, EpochState
 from .flags import A_A_A_R, A_A_E_R, E_A_A_R, E_A_E_R, ReorderFlags
@@ -50,4 +59,10 @@ __all__ = [
     "ConsistencyTracker",
     "Hazard",
     "CONSISTENCY_INFO_KEY",
+    "RmaChecker",
+    "RmaSemanticsError",
+    "Violation",
+    "ViolationKind",
+    "SEMANTICS_CHECK_INFO_KEY",
+    "SEMANTICS_MODE_INFO_KEY",
 ]

@@ -13,6 +13,12 @@ writes — are reported as hazards.
 
 Enable it with the window info key ``repro_consistency_check=1`` (off by
 default: Fig. 12-scale workloads issue millions of ops).
+
+This tracker is subsumed by the full semantics checker in
+:mod:`repro.rma.checker` (info key ``repro_semantics_check=1``), which
+embeds a :class:`ConsistencyTracker` and exposes its report through
+``RmaChecker.hazards()`` alongside five further violation classes.  The
+standalone info key remains supported for hazard-only tracking.
 """
 
 from __future__ import annotations

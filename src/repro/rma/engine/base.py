@@ -98,6 +98,12 @@ class RmaEngineBase:
         """This rank's 64-bit notification FIFO endpoint."""
         return self.runtime.middlewares[self.rank].fifo
 
+    @staticmethod
+    def _checker_of(ws: WindowState):
+        """The window group's semantics checker, or None (default path:
+        one attribute read + None test per hook site)."""
+        return ws.win.group.checker
+
     # -- wiring ---------------------------------------------------------------
     def register_window(self, win: "Window") -> None:
         """Create middleware state for a newly allocated window."""
@@ -396,6 +402,9 @@ class RmaEngineBase:
         locally and g_r remotely in the process it is granting the lock
         to." (§VII-B)
         """
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_lock_grant(ws, waiter)
         ws.next_exposure_id(waiter.origin)
         self._send(
             waiter.origin,
@@ -407,12 +416,29 @@ class RmaEngineBase:
 
     def _process_lock_backlog(self, ws: WindowState) -> None:
         """Step 6: batch-process queued lock/unlock requests."""
+        checker = self._checker_of(ws)
         while ws.lock_backlog:
             what, packet = ws.lock_backlog.popleft()
             if what == "lock":
                 ws.lock_mgr.request(packet.origin, packet.exclusive, packet.access_id)
             else:
-                ws.lock_mgr.release(packet.origin)
+                if not ws.lock_mgr.holds(packet.origin):
+                    # Unlock without lock: with the checker this is a
+                    # structured LOCK_MISUSE violation (report mode skips
+                    # the release and still acks so the origin does not
+                    # hang); without it, the lock manager's own error
+                    # propagates as before.
+                    if checker is not None:
+                        checker.on_unlock_without_hold(ws, packet.origin)
+                    else:
+                        ws.lock_mgr.release(packet.origin)
+                else:
+                    # Quiescence must be judged *before* release(): the
+                    # FIFO manager grants the next waiter inside it.
+                    others = [o for o in ws.lock_mgr.holders if o != packet.origin]
+                    ws.lock_mgr.release(packet.origin)
+                    if checker is not None:
+                        checker.on_lock_release(ws, packet.origin, quiesced=not others)
                 self._send(
                     packet.origin,
                     self.model.control_bytes,
@@ -427,6 +453,9 @@ class RmaEngineBase:
     def _issue_op(self, ws: WindowState, op: RmaOp) -> None:
         """Put one recorded op on the wire."""
         assert not op.issued, f"double issue of {op}"
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_op_issue(ws, op.epoch, op)
         op.issued = True
         op.issue_time = self.sim.now
         self._trace("op_issue", ws, op.epoch, op_kind=op.kind.value, target=op.target,
@@ -565,6 +594,9 @@ class RmaEngineBase:
         ep.state = EpochState.COMPLETED
         ep.complete_time = self.sim.now
         self._trace("epoch_complete", ws, ep)
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_epoch_complete(ws, ep)
         if ep.closing_request is not None and not ep.closing_request.done:
             ep.closing_request.complete()
 

@@ -340,6 +340,9 @@ class MvapichEngine(RmaEngineBase):
         from ...mpi.requests import Request
 
         ws = self.state_of(win)
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_flush(ws, ep)
         if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and not ep.active:
             self._activate_lock(ws, ep)
         ops = [

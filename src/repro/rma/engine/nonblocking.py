@@ -108,14 +108,20 @@ class NonblockingEngine(RmaEngineBase):
                 self._reorder_allows(ws, ep, prev) for prev in active_preceding
             ):
                 break
-            self._activate(ws, ep)
+            self._activate(ws, ep, tuple(active_preceding))
             active_preceding.append(ep)
             activated = True
         return activated
 
-    def _activate(self, ws: WindowState, ep: Epoch) -> None:
+    def _activate(
+        self, ws: WindowState, ep: Epoch, active_preceding: tuple[Epoch, ...] = ()
+    ) -> None:
         ep.state = EpochState.ACTIVE
         ep.activate_time = self.sim.now
+        ep.activated_past = tuple(p.uid for p in active_preceding)
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_epoch_activate(ws, ep, active_preceding)
         self._trace("epoch_activate", ws, ep)
         if ep.kind in (EpochKind.GATS_ACCESS, EpochKind.LOCK, EpochKind.LOCK_ALL):
             if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and ep.nocheck:
@@ -354,6 +360,9 @@ class NonblockingEngine(RmaEngineBase):
     ) -> FlushRequest:
         """The nonblocking flush of §V/§VII-C: age-stamped counter."""
         ws = self.state_of(win)
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_flush(ws, ep)
         stamp = ws.age_counter
         pending = [
             op
@@ -375,6 +384,9 @@ class NonblockingEngine(RmaEngineBase):
         from ...mpi.requests import Request
 
         ws = self.state_of(win)
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_flush(ws, ep)
         ops = [
             op
             for op in ep.ops

@@ -93,6 +93,11 @@ class Epoch:
         self.state = EpochState.DEFERRED
         #: Application already invoked the closing routine.
         self.app_closed = False
+        #: Uids of epochs still active when this one activated (§VI-B
+        #: reorder provenance: non-empty only when a reorder flag let the
+        #: activation jump ahead; the checker uses it to distinguish
+        #: races *introduced* by reordering from plain overlap races).
+        self.activated_past: tuple[int, ...] = ()
         #: Ops recorded in call order (issued lazily as targets allow).
         self.ops: list["RmaOp"] = []
         # Incremental op bookkeeping (the progress engine polls these on
@@ -142,6 +147,12 @@ class Epoch:
     def is_access(self) -> bool:
         """Side used by the reorder-flag predicate."""
         return self.kind.is_access
+
+    @property
+    def reordered(self) -> bool:
+        """Whether a §VI-B flag activated this epoch while a predecessor
+        was still active."""
+        return bool(self.activated_past)
 
     # -- op bookkeeping (engine-internal) --------------------------------
     def record_op(self, op: "RmaOp") -> None:

@@ -141,6 +141,33 @@ class RmaOp:
         """Byte range [start, end) touched in the target window."""
         return self.target_disp, self.target_disp + self.nbytes
 
+    def overlaps(self, other: "RmaOp") -> bool:
+        """Whether the two ops touch a common target byte."""
+        if self.target != other.target:
+            return False
+        a_start, a_end = self.target_range
+        b_start, b_end = other.target_range
+        return a_start < b_end and b_start < a_end
+
+    def conflicts_with(self, other: "RmaOp") -> bool:
+        """MPI-3 §11.7 conflicting-access test for the semantics checker.
+
+        Two ops conflict when they overlap at the target, at least one
+        writes target memory, and they are not both accumulate-family
+        ops using the same reduction (concurrent same-op accumulates are
+        the one overlap the standard blesses)."""
+        if not self.overlaps(other):
+            return False
+        if not (self.kind.writes_target or other.kind.writes_target):
+            return False
+        if (
+            self.kind.is_atomic
+            and other.kind.is_atomic
+            and self.reduce_op is other.reduce_op
+        ):
+            return False
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "delivered" if self.delivered else ("issued" if self.issued else "recorded")
         return (

@@ -96,13 +96,26 @@ class FlushRequest(Request):
         return op.epoch is self.epoch
 
     def op_completed(self, op: "RmaOp") -> None:
-        """Notify one qualifying op completion."""
+        """Notify one qualifying op completion.
+
+        The counter reaching exactly zero completes the request; going
+        *below* zero means the engine decremented for more ops than were
+        pending at creation (double-counted completion) and raises — a
+        ``<= 0`` test here would silently mask that accounting bug.
+        """
         if self.done:
             return
         if not self.qualifies(op):
             return
         self.counter -= 1
-        if self.counter <= 0:
+        if self.counter < 0:
+            from ..mpi.errors import RmaInternalError
+
+            raise RmaInternalError(
+                f"flush request {self.name!r} counter underflow: op {op.uid} "
+                f"decremented an already-drained counter (double-counted completion)"
+            )
+        if self.counter == 0:
             self.complete()
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import TYPE_CHECKING, Any
 
-from .locks import LockManager, LockWaiter
+from .locks import LockManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .epoch import Epoch
@@ -97,6 +97,32 @@ class WindowState:
         """Drop completed epochs from the head bookkeeping list (keeps
         memory bounded over long transaction runs)."""
         self.epochs = [ep for ep in self.epochs if not ep.completed]
+
+    def leak_report(self) -> dict[str, Any]:
+        """Middleware state that should be empty when the window is
+        freed.  Non-empty entries mean either application misuse (epochs
+        whose completion was never detected) or engine accounting bugs
+        (dangling flushes, orphaned response routing entries, hosted
+        locks never released).  The semantics checker turns a non-empty
+        report into an ``EPOCH_LEAK`` violation at ``MPI_WIN_FREE``."""
+        leaks: dict[str, Any] = {}
+        live = self.live_epochs()
+        if live:
+            leaks["epochs"] = [ep.uid for ep in live]
+        dangling = [fr.name for fr in self.flushes if not fr.done]
+        if dangling:
+            leaks["flushes"] = dangling
+        if self.ops_by_uid:
+            leaks["ops_in_flight"] = sorted(self.ops_by_uid)
+        holders = self.lock_mgr.holders
+        if holders:
+            leaks["hosted_locks"] = holders
+        queued = self.lock_mgr.queued
+        if queued:
+            leaks["queued_lock_requests"] = [w.origin for w in queued]
+        if self.lock_backlog:
+            leaks["lock_backlog"] = len(self.lock_backlog)
+        return leaks
 
     def notify_flushes(self, op: "RmaOp", local: bool) -> None:
         """Propagate one op completion event to live flush requests and

@@ -36,6 +36,7 @@ from ..mpi.info import Info
 from ..mpi.memory import WindowMemory
 from ..mpi.ops import SUM, ReduceOp
 from ..mpi.requests import CompletedRequest, Request
+from .checker import RmaChecker
 from .consistency import CONSISTENCY_INFO_KEY, ConsistencyTracker
 from .epoch import Epoch, EpochKind
 from .flags import ReorderFlags
@@ -81,6 +82,9 @@ class WindowGroup:
         self.consistency: ConsistencyTracker | None = (
             ConsistencyTracker() if info.get_bool(CONSISTENCY_INFO_KEY) else None
         )
+        #: Full semantics checker / race detector (None unless enabled by
+        #: the ``repro_semantics_check`` info key; see :mod:`.checker`).
+        self.checker: RmaChecker | None = RmaChecker.from_info(info)
 
     def attach(self, win: "Window") -> None:
         if win.rank in self.windows:
@@ -140,6 +144,11 @@ class Window:
         """Validate that the window may be freed: MPI_WIN_FREE requires
         no epoch to be open at any process (local half; the collective
         barrier half lives in :meth:`MPIProcess.win_free`)."""
+        if self.group.checker is not None:
+            # Structured leak detection first: it covers a superset of
+            # the checks below (plus dangling flushes, hosted locks and
+            # undrained notifications) and names every leaked item.
+            self.group.checker.on_win_free(self)
         if self.open_epoch_count:
             raise RmaUsageError(
                 f"MPI_WIN_FREE with {self.open_epoch_count} epoch(s) still open"

@@ -1,7 +1,6 @@
 """All application kernels run correctly on the adaptive engine too."""
 
 import numpy as np
-import pytest
 
 from repro.apps import (
     FactDbConfig,

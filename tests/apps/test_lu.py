@@ -41,7 +41,7 @@ class TestNumericalCorrectness:
         res = run_lu(cfg)
         a = _make_matrix(m, cfg.seed)
         # With strong diagonal dominance scipy does not permute:
-        p, l, u = scipy.lu(a)
+        p, lower, u = scipy.lu(a)
         np.testing.assert_allclose(p, np.eye(m))
         np.testing.assert_allclose(np.triu(res.u_matrix), u, rtol=1e-9, atol=1e-9)
 

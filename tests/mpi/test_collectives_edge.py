@@ -1,7 +1,6 @@
 """Collectives: timing-only paths, scale, and composition."""
 
 import numpy as np
-import pytest
 
 from repro import MPIRuntime
 from tests.conftest import make_runtime
@@ -16,8 +15,8 @@ class TestBcastEdge:
         def app(proc):
             if proc.rank == 0:
                 yield from proc.compute(50.0)
-            out = yield from proc.bcast(None if proc.rank else np.int64([1]),
-                                        root=0, nbytes=1 << 16)
+            yield from proc.bcast(None if proc.rank else np.int64([1]),
+                                  root=0, nbytes=1 << 16)
             return proc.wtime()
 
         res = rt.run(app)

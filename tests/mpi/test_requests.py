@@ -5,7 +5,6 @@ import pytest
 from repro.mpi.requests import CompletedRequest, Request, waitall, waitany
 from repro.mpi.requests import testall as probe_all
 from repro.mpi.requests import testany as probe_any
-from repro.simtime import Simulator
 
 
 class TestRequest:

@@ -1,7 +1,6 @@
 """Runtime statistics collection."""
 
 import numpy as np
-import pytest
 
 from repro.mpi.stats import RuntimeStats, collect_stats
 from tests.conftest import make_runtime

@@ -1,9 +1,7 @@
 """AttentionGate and NIC port bookkeeping units."""
 
-import pytest
 
 from repro.network.nic import AttentionGate, NicPorts
-from repro.simtime import Simulator
 
 
 class TestAttentionGate:

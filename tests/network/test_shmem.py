@@ -7,6 +7,9 @@ from hypothesis import strategies as st
 from repro.network import (
     ClusterTopology,
     Fabric,
+    NotificationAuthError,
+    NotificationDecodeError,
+    NotificationError,
     NotificationFifo,
     NotificationPacket,
     NotifyKind,
@@ -50,6 +53,49 @@ class TestCodec:
         assert NotifyKind.UNLOCK.is_lock_traffic
         assert not NotifyKind.EPOCH_COMPLETE.is_lock_traffic
 
+    def test_value_mask_boundary_roundtrips(self):
+        """Epoch uids approaching the 36-bit value mask: the boundary
+        values survive the codec exactly; one past it is rejected."""
+        mask = (1 << 36) - 1
+        for value in (mask - 1, mask):
+            pkt = encode_notification(NotifyKind.EPOCH_COMPLETE, 3, value)
+            assert decode_notification(pkt) == (NotifyKind.EPOCH_COMPLETE, 3, value)
+        with pytest.raises(ValueError):
+            encode_notification(NotifyKind.EPOCH_COMPLETE, 3, mask + 1)
+
+    def test_unknown_kind_byte_is_typed_and_names_packet(self):
+        """A corrupted kind byte raises NotificationDecodeError naming
+        the offending packet, not a bare enum ValueError."""
+        bogus = (0xEE << 56) | (4 << 36) | 17
+        with pytest.raises(NotificationDecodeError) as exc:
+            decode_notification(bogus)
+        msg = str(exc.value)
+        assert "0xee" in msg and f"0x{bogus:016x}" in msg
+        assert isinstance(exc.value, NotificationError)
+
+    def test_zero_packet_rejected(self):
+        """kind byte 0 is not a valid opcode (guards against zeroed
+        shared memory being consumed as a notification)."""
+        with pytest.raises(NotificationDecodeError):
+            decode_notification(0)
+
+    def test_pack_win_value_id_boundary(self):
+        """The [6-bit gid | 30-bit id] value packing enforces its own
+        sub-field boundaries before the 36-bit codec ever sees them."""
+        from repro.rma.engine.base import pack_win_value, unpack_win_value
+
+        id_mask = (1 << 30) - 1
+        assert unpack_win_value(pack_win_value(63, id_mask)) == (63, id_mask)
+        # The largest packed value still fits the 36-bit codec field.
+        pkt = encode_notification(
+            NotifyKind.EPOCH_COMPLETE, 0, pack_win_value(63, id_mask)
+        )
+        assert decode_notification(pkt)[2] == pack_win_value(63, id_mask)
+        with pytest.raises(ValueError):
+            pack_win_value(64, 0)
+        with pytest.raises(ValueError):
+            pack_win_value(0, id_mask + 1)
+
 
 class TestFifo:
     def _pair(self):
@@ -79,3 +125,34 @@ class TestFifo:
         fifos[1].send(0, NotifyKind.LOCK_GRANT, 2)
         sim.run_until_idle()
         assert len(fifos[0]) == 1 and len(fifos[1]) == 1
+
+    def test_forged_sender_rejected_on_drain(self):
+        """Regression: drain() used to trust the in-packet rank blindly.
+        A packet whose encoded rank disagrees with the fabric-delivered
+        source would then credit the wrong peer's done counter or lock
+        waiter; it must be rejected instead."""
+        sim, fifos = self._pair()
+        forged = encode_notification(NotifyKind.EPOCH_COMPLETE, 7, 42)
+        fifos[1].push(forged, 0)  # fabric says rank 0, packet claims 7
+        with pytest.raises(NotificationAuthError) as exc:
+            fifos[1].drain(lambda k, r, v: None)
+        msg = str(exc.value)
+        assert "rank 7" in msg and "rank 0" in msg
+
+    def test_honest_packets_before_forged_one_still_consumed(self):
+        sim, fifos = self._pair()
+        fifos[1].push(encode_notification(NotifyKind.EPOCH_COMPLETE, 0, 1), 0)
+        fifos[1].push(encode_notification(NotifyKind.EPOCH_COMPLETE, 7, 2), 0)
+        got = []
+        with pytest.raises(NotificationAuthError):
+            fifos[1].drain(lambda k, r, v: got.append(v))
+        assert got == [1]  # honest prefix delivered before the reject
+
+    def test_pending_peeks_without_consuming(self):
+        sim, fifos = self._pair()
+        fifos[0].send(1, NotifyKind.EPOCH_COMPLETE, 5)
+        sim.run_until_idle()
+        assert fifos[1].pending() == [(NotifyKind.EPOCH_COMPLETE, 0, 5)]
+        assert len(fifos[1]) == 1  # still queued
+        n = fifos[1].drain(lambda k, r, v: None)
+        assert n == 1 and fifos[1].pending() == []

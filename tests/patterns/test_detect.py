@@ -188,7 +188,7 @@ class TestReporting:
         rt = make_runtime(2, trace=True)
 
         def app(proc):
-            win = yield from proc.win_allocate(64)
+            _win = yield from proc.win_allocate(64)
             yield from proc.barrier()
 
         rt.run(app)

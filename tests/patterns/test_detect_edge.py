@@ -1,6 +1,5 @@
 """Pattern-detector edge cases and taxonomy completeness."""
 
-import pytest
 
 from repro.patterns.detect import PATTERNS, detect_patterns
 from repro.patterns.trace import Tracer

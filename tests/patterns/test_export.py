@@ -3,7 +3,6 @@
 import json
 
 import numpy as np
-import pytest
 
 from repro.patterns import detect_patterns, to_chrome_trace, write_chrome_trace
 from tests.conftest import make_runtime

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.patterns.trace import EVENT_KINDS, Tracer
-from repro.simtime import Simulator
 
 
 class TestTracer:
@@ -76,7 +75,7 @@ class TestRuntimeIntegration:
         rt = make_runtime(2)
 
         def app(proc):
-            win = yield from proc.win_allocate(64)
+            _win = yield from proc.win_allocate(64)
             yield from proc.barrier()
 
         rt.run(app)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import MAX, MIN, PROD, REPLACE, SUM
-from repro.network import NetworkModel
 from tests.conftest import make_runtime
 
 
@@ -99,7 +98,7 @@ class TestAccumulate:
         times = {}
 
         def target_busy(proc):
-            win = yield from proc.win_allocate(1 << 20)
+            _win = yield from proc.win_allocate(1 << 20)
             yield from proc.barrier()
             yield from proc.compute(500.0)
             yield from proc.barrier()

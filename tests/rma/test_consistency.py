@@ -1,7 +1,6 @@
 """§VI-C consistency tracker: hazard detection under reorder flags."""
 
 import numpy as np
-import pytest
 
 from repro import A_A_A_R
 from repro.rma.consistency import CONSISTENCY_INFO_KEY, ConsistencyTracker

@@ -1,7 +1,6 @@
 """Fence epochs: rounds, asserts, barrier semantics."""
 
 import numpy as np
-import pytest
 
 from repro import MODE_NOPRECEDE, MODE_NOSUCCEED
 from tests.conftest import make_runtime

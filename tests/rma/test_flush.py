@@ -1,7 +1,6 @@
 """Flush routines: blocking, nonblocking (age-stamped), local variants."""
 
 import numpy as np
-import pytest
 
 from tests.conftest import make_runtime
 

@@ -6,7 +6,6 @@ import pytest
 from repro.rma.epoch import Epoch, EpochKind
 from repro.rma.ops import OpKind, RmaOp
 from repro.rma.requests import FlushRequest
-from repro.simtime import Simulator
 from tests.conftest import make_runtime
 
 
@@ -69,13 +68,38 @@ class TestFlushRequestUnit:
         fr.op_completed(op)  # no double-complete crash
         assert fr.done
 
+    def test_counter_underflow_raises(self, sim):
+        """Regression: a double-counted completion used to drive the
+        counter negative silently, leaving the request stuck forever.
+        Underflow is unreachable through the normal flow (zero completes
+        the request, and done requests ignore further notifications), so
+        reproduce the inconsistent engine state directly."""
+        from repro.mpi.errors import RmaInternalError
+
+        ep = make_epoch()
+        op = make_op(ep, age=1)
+        fr = FlushRequest(sim, ep, stamp_age=1, target=None, local=False, counter=2)
+        fr.counter = 0  # accounting bug: counter drained without completion
+        with pytest.raises(RmaInternalError) as exc:
+            fr.op_completed(op)
+        assert "underflow" in str(exc.value)
+        assert not fr.done  # the bug is surfaced, not papered over
+
+    def test_underflow_error_is_not_a_usage_error(self):
+        """RmaInternalError indicts the middleware, not the application,
+        and is raised regardless of any error-handler setting."""
+        from repro.mpi.errors import MpiError, RmaInternalError, RmaUsageError
+
+        assert issubclass(RmaInternalError, MpiError)
+        assert not issubclass(RmaInternalError, RmaUsageError)
+
 
 class TestWindowStateUnits:
     def test_age_counter_monotonic(self):
         rt = make_runtime(2)
 
         def app(proc):
-            win = yield from proc.win_allocate(64)
+            _win = yield from proc.win_allocate(64)
             yield from proc.barrier()
             ws = proc.runtime.engines[proc.rank].states[0]
             ages = [ws.next_age() for _ in range(5)]
@@ -88,7 +112,7 @@ class TestWindowStateUnits:
         rt = make_runtime(3)
 
         def app(proc):
-            win = yield from proc.win_allocate(64)
+            _win = yield from proc.win_allocate(64)
             yield from proc.barrier()
             ws = proc.runtime.engines[proc.rank].states[0]
             assert ws.next_access_id(1) == 1

@@ -1,7 +1,6 @@
 """GATS epochs: matching, groups, ordering, MPI_WIN_TEST."""
 
 import numpy as np
-import pytest
 
 from tests.conftest import make_runtime
 

@@ -12,7 +12,6 @@ flag is ignored by the baseline engine.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

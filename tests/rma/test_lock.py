@@ -1,7 +1,6 @@
 """Passive-target epochs: exclusive/shared semantics, queueing, lock_all."""
 
 import numpy as np
-import pytest
 
 from repro import LOCK_SHARED
 from tests.conftest import make_runtime
@@ -42,7 +41,7 @@ class TestExclusive:
             yield from proc.barrier()
 
         def target(proc):
-            win = yield from proc.win_allocate(1 << 21)
+            _win = yield from proc.win_allocate(1 << 21)
             yield from proc.barrier()
             yield from proc.barrier()
 
@@ -152,7 +151,7 @@ class TestLockQueueing:
         grant_order = []
 
         def target(proc):
-            win = yield from proc.win_allocate(8)
+            _win = yield from proc.win_allocate(8)
             yield from proc.barrier()
             yield from proc.barrier()
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rma.locks import LockManager, LockWaiter
+from repro.rma.locks import LockManager
 
 
 def make():

@@ -2,7 +2,6 @@
 the matching synchronization (MPI-3 §11.5.5)."""
 
 import numpy as np
-import pytest
 
 from repro import MODE_NOCHECK
 from tests.conftest import make_runtime
@@ -140,7 +139,7 @@ class TestLockNocheck:
             return origin
 
         def busy_target(proc):
-            win = yield from proc.win_allocate(64)
+            _win = yield from proc.win_allocate(64)
             yield from proc.barrier()
             yield from proc.compute(200.0)  # cannot grant during this
             yield from proc.barrier()

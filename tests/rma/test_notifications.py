@@ -2,7 +2,6 @@
 internode dones travel as control packets."""
 
 import numpy as np
-import pytest
 
 from repro import MPIRuntime
 

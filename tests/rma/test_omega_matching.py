@@ -1,7 +1,6 @@
 """ω-triple epoch matching (§VII-B): invariants and property tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ can complete at noticeably different times."
 """
 
 import numpy as np
-import pytest
 
 from repro import A_A_A_R
 from tests.conftest import make_runtime

@@ -43,6 +43,25 @@ class TestFlagDecoding:
         assert not f.allows(False, True)
         assert not f.allows(False, False)
 
+    @pytest.mark.parametrize(
+        "attr, pair",
+        [
+            ("access_after_access", (True, True)),
+            ("access_after_exposure", (True, False)),
+            ("exposure_after_exposure", (False, False)),
+            ("exposure_after_access", (False, True)),
+        ],
+    )
+    def test_each_flag_gates_exactly_one_side_pair(self, attr, pair):
+        """Full 4x4 matrix: a single flag opens its own pair and no
+        other; no flags means no pair is allowed."""
+        f = ReorderFlags(**{attr: True})
+        for new_is_access in (True, False):
+            for active_is_access in (True, False):
+                expected = (new_is_access, active_is_access) == pair
+                assert f.allows(new_is_access, active_is_access) is expected
+        assert not ReorderFlags().allows(*pair)
+
 
 class TestFlagBehaviour:
     """Each flag confines a late peer's delay (the Figs. 7-11 shapes)."""
@@ -96,6 +115,94 @@ class TestFlagBehaviour:
 
         res = make_runtime(2).run(app)
         np.testing.assert_array_equal(res[1], [1, 2, 3, 4])
+
+
+class TestActivationPredicate:
+    """Unit coverage of ``_reorder_allows`` and the §VII-A scan-stop
+    rule of ``_try_activate``, driven on live engine state."""
+
+    @staticmethod
+    def _fresh_state(info):
+        from tests.rma.test_checker import make_group
+
+        _rt, wins = make_group(2, info=info)
+        return wins[0]._state, wins[0].engine
+
+    def test_reorder_allows_excludes_fence_and_lock_all(self):
+        from repro.rma.epoch import Epoch, EpochKind
+
+        all_on = {A_A_A_R: 1, A_A_E_R: 1, E_A_E_R: 1, E_A_A_R: 1}
+        ws, eng = self._fresh_state(all_on)
+        acc = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        fence = Epoch(EpochKind.FENCE, ws.gid, 0, targets=(0, 1), fence_round=1)
+        lock_all = Epoch(EpochKind.LOCK_ALL, ws.gid, 0, targets=(0, 1))
+        lock = Epoch(EpochKind.LOCK, ws.gid, 0, targets=(1,))
+        # Every flag on: ordinary side pairs allowed...
+        assert eng._reorder_allows(ws, acc, lock)
+        assert eng._reorder_allows(ws, lock, acc)
+        # ...but never next to a fence or lock_all epoch, either side.
+        assert not eng._reorder_allows(ws, acc, fence)
+        assert not eng._reorder_allows(ws, fence, acc)
+        assert not eng._reorder_allows(ws, acc, lock_all)
+        assert not eng._reorder_allows(ws, lock_all, acc)
+
+    def test_reorder_allows_consults_flag_side_pair(self):
+        from repro.rma.epoch import Epoch, EpochKind
+
+        ws, eng = self._fresh_state({A_A_A_R: 1})
+        acc = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        acc2 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        exp = Epoch(EpochKind.GATS_EXPOSURE, ws.gid, 0, origin_group=(1,))
+        assert eng._reorder_allows(ws, acc2, acc)
+        assert not eng._reorder_allows(ws, acc2, exp)  # A_A_E_R off
+        assert not eng._reorder_allows(ws, exp, acc)  # E_A_A_R off
+
+    def test_try_activate_scan_stops_at_first_failure(self):
+        """§VII-A: "the scan stops when the first deferred epoch is
+        encountered that fails activation conditions" — epochs behind
+        the stopper stay deferred even if their own pair is allowed."""
+        from repro.rma.epoch import Epoch, EpochKind
+
+        ws, eng = self._fresh_state({A_A_A_R: 1})
+        acc1 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        exp = Epoch(EpochKind.GATS_EXPOSURE, ws.gid, 0, origin_group=(1,))
+        acc2 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        ws.epochs.extend([acc1, exp, acc2])
+        eng._try_activate(ws)
+        assert acc1.active  # head of the list always activates
+        assert exp.deferred  # E_A_A_R off: fails, scan stops here
+        assert acc2.deferred  # would pass A_A_A_R, but never scanned
+
+    def test_try_activate_checks_all_active_predecessors(self):
+        """An epoch activates past *several* still-active predecessors
+        only when the flag pair holds against every one of them."""
+        from repro.rma.epoch import Epoch, EpochKind, EpochState
+
+        ws, eng = self._fresh_state({A_A_A_R: 1})
+        acc1 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        exp = Epoch(EpochKind.GATS_EXPOSURE, ws.gid, 0, origin_group=(1,))
+        acc2 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        # Force the exposure active as E_A_A_R would have, then ask the
+        # scan about acc2: allowed past acc1, not past exp.
+        ws.epochs.extend([acc1, exp, acc2])
+        acc1.state = EpochState.ACTIVE
+        exp.state = EpochState.ACTIVE
+        eng._try_activate(ws)
+        assert acc2.deferred
+
+    def test_activation_records_provenance(self):
+        """activated_past carries the uids of the epochs jumped over."""
+        from repro.rma.epoch import Epoch, EpochKind, EpochState
+
+        ws, eng = self._fresh_state({A_A_A_R: 1})
+        acc1 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        acc2 = Epoch(EpochKind.GATS_ACCESS, ws.gid, 0, targets=(1,))
+        ws.epochs.extend([acc1, acc2])
+        acc1.state = EpochState.ACTIVE
+        eng._try_activate(ws)
+        assert acc2.active and acc2.reordered
+        assert acc2.activated_past == (acc1.uid,)
+        assert not acc1.reordered
 
 
 class TestFlagExclusions:
@@ -154,7 +261,7 @@ class TestFlagExclusions:
             win.ilock(2)  # queued behind the holder
             win.put(np.int64([1]), 2, 0)
             r1 = win.iunlock(2)
-            la = win.ilock_all()  # §VI-B: may not progress out of order
+            win.ilock_all()  # §VI-B: may not progress out of order
             win.put(np.int64([2]), 0, 0)
             r2 = win.iunlock_all()
             yield from proc.waitall([r1, r2])

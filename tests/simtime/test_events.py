@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simtime import Simulator
 
 
 class TestSimEvent:

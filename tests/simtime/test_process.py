@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simtime import InvalidYield, ProcessFailed, Simulator
+from repro.simtime import InvalidYield, ProcessFailed
 
 
 class TestLifecycle:

@@ -11,12 +11,23 @@ These are the highest-level invariants of the system:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import MPIRuntime
-from repro.rma.flags import A_A_A_R
+from repro.rma import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
+from repro.rma.flags import A_A_A_R, A_A_E_R, E_A_A_R, E_A_E_R
+
+#: Every §VI-B reorder flag on, semantics checker armed in raise mode:
+#: any false positive the checker produced on a conforming workload
+#: would abort the run.
+ALL_FLAGS_CHECKED = {
+    A_A_A_R: 1,
+    A_A_E_R: 1,
+    E_A_E_R: 1,
+    E_A_A_R: 1,
+    SEMANTICS_CHECK_INFO_KEY: 1,
+}
 
 workload_params = st.fixed_dictionaries(
     {
@@ -29,8 +40,9 @@ workload_params = st.fixed_dictionaries(
 )
 
 
-def random_accumulate_app(updates, seed, flags=False):
-    info = {A_A_A_R: 1} if flags else None
+def random_accumulate_app(updates, seed, flags=False, info=None):
+    if info is None:
+        info = {A_A_A_R: 1} if flags else None
 
     def app(proc):
         win = yield from proc.win_allocate(8 * proc.size, info=info)
@@ -156,3 +168,111 @@ def test_fence_rounds_with_random_skew(n, rounds, seed):
     res = rt.run(app)
     for per_rank in res:
         assert per_rank == list(range(1, rounds + 1))
+
+
+# =====================================================================
+# Chaos under the semantics checker: the checker must stay silent on
+# conforming workloads (no false positives) with every flag enabled.
+# =====================================================================
+@given(workload_params)
+@settings(max_examples=15, deadline=None)
+def test_chaos_accumulates_clean_under_checker(params):
+    """Raise-mode checker + all four reorder flags: the conforming
+    atomic-update workload triggers no violation on any engine, and the
+    data invariant still holds."""
+    rt = MPIRuntime(params["nranks"], cores_per_node=params["cores_per_node"],
+                    engine=params["engine"])
+    res = rt.run(random_accumulate_app(params["updates"], params["seed"],
+                                       info=ALL_FLAGS_CHECKED))
+    total = sum(int(t.sum()) for t in res)
+    expected = params["updates"] * sum(1 + r for r in range(params["nranks"]))
+    assert total == expected
+
+
+@given(
+    nranks=st.integers(2, 5),
+    epochs=st.integers(1, 8),
+    seed=st.integers(0, 2**20),
+)
+@settings(max_examples=10, deadline=None)
+def test_reordered_disjoint_puts_clean_under_checker(nranks, epochs, seed):
+    """Disjoint-slot reordered puts are the §VI-C safe-usage contract;
+    the checker (which exists to catch overlapping ones) must not flag
+    them even when every epoch progresses concurrently."""
+    rng = np.random.default_rng(seed)
+    plan = [(int(rng.integers(0, nranks)), e) for e in range(epochs)]
+    rt = MPIRuntime(nranks, cores_per_node=2, engine="nonblocking")
+
+    def app(proc):
+        win = yield from proc.win_allocate(8 * epochs, info=ALL_FLAGS_CHECKED)
+        yield from proc.barrier()
+        if proc.rank == 0:
+            reqs = []
+            for target, slot in plan:
+                win.ilock(target)
+                win.put(np.int64([100 + slot]), target, 8 * slot)
+                reqs.append(win.iunlock(target))
+            yield from proc.waitall(reqs)
+        yield from proc.barrier()
+        return win.view(np.int64).copy()
+
+    res = rt.run(app)
+    for target, slot in plan:
+        assert res[target][slot] == 100 + slot
+
+
+@given(
+    n=st.integers(2, 6),
+    rounds=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=8, deadline=None)
+def test_fence_rounds_clean_under_checker(n, rounds, seed):
+    """Fence-round completion is a quiesce point: successive rounds
+    reuse the same target bytes without tripping the race detector."""
+    rng = np.random.default_rng(seed)
+    skews = rng.uniform(0, 100, (rounds, n))
+    rt = MPIRuntime(n, cores_per_node=2, engine="nonblocking")
+
+    def app(proc):
+        win = yield from proc.win_allocate(8, info=ALL_FLAGS_CHECKED)
+        yield from proc.barrier()
+        yield from win.fence()
+        for r in range(rounds):
+            yield from proc.compute(float(skews[r][proc.rank]))
+            win.put(np.int64([r + 1]), (proc.rank + 1) % n, 0)
+            yield from win.fence()
+        yield from win.fence(assert_=2)
+        return win.group.checker
+
+    res = rt.run(app)
+    assert res[0].report() == []
+
+
+@given(workload_params)
+@settings(max_examples=8, deadline=None)
+def test_chaos_report_mode_stays_empty(params):
+    """Report mode on the same workload: run completes and the report
+    is empty — silence is asserted, not just the absence of a crash."""
+    info = {**ALL_FLAGS_CHECKED, SEMANTICS_MODE_INFO_KEY: "report"}
+    rt = MPIRuntime(params["nranks"], cores_per_node=params["cores_per_node"],
+                    engine=params["engine"])
+
+    checkers = []
+
+    def app(proc):
+        win = yield from proc.win_allocate(8 * proc.size, info=info)
+        checkers.append(win.group.checker)
+        yield from proc.barrier()
+        rng = np.random.default_rng(params["seed"] + proc.rank * 101)
+        for _ in range(params["updates"]):
+            target = int(rng.integers(0, proc.size))
+            slot = int(rng.integers(0, proc.size))
+            yield from win.lock(target)
+            win.accumulate(np.int64([1 + proc.rank]), target, 8 * slot)
+            yield from win.unlock(target)
+        yield from proc.barrier()
+        return win.view(np.int64).copy()
+
+    rt.run(app)
+    assert checkers[0].report() == []

@@ -2,7 +2,6 @@
 engine result parity, end-to-end determinism."""
 
 import numpy as np
-import pytest
 
 from repro import MPIRuntime
 from tests.conftest import make_runtime

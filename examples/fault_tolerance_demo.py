@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fault tolerance demo: the transactions workload surviving a hostile
+fabric.
+
+Runs the §IV-B massive-transactions workload (Fig. 12) three times:
+
+1. on the lossless fabric (the reference answer),
+2. under ~1% packet drops plus occasional duplicates and delay spikes,
+3. the same chaos plus one uniformly slow rank.
+
+Every faulty run must produce the *identical* per-rank counter sums —
+the reliability layer (per-peer sequence numbers, ack/retransmit with
+exponential backoff, duplicate suppression) absorbs the adversity; only
+the timeline stretches.  The demo prints what the injector did and what
+the retry protocol paid to undo it.
+
+Run:  python examples/fault_tolerance_demo.py [nranks] [txns_per_rank]
+"""
+
+import sys
+
+from repro.apps import TransactionsConfig, run_transactions
+from repro.faults import FaultPlan, RankFault
+
+SEED = 2014
+
+
+def run(name, nranks, txns, plan):
+    cfg = TransactionsConfig(
+        nranks=nranks,
+        txns_per_rank=txns,
+        engine="nonblocking",
+        nonblocking=True,
+        fault_plan=plan,
+        semantics_check="raise",
+    )
+    res = run_transactions(cfg)
+    faults = sum((res.faults_injected or {}).values())
+    print(
+        f"{name:<26} {res.elapsed_us:>10.0f}µs {faults:>7} {res.retransmissions:>8} "
+        f"{res.dup_suppressed:>7} {'OK' if res.applied == res.total_txns else 'FAIL':>9}"
+    )
+    return res
+
+
+def main():
+    nranks = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    txns = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+
+    light = FaultPlan.light_chaos(seed=SEED)
+    slow = FaultPlan.light_chaos(
+        seed=SEED, ranks=(RankFault(rank=1, slow_extra_us=15.0),)
+    )
+
+    print(f"{nranks} ranks x {txns} exclusive-lock transactions, "
+          f"semantics checker in raise mode\n")
+    print(f"chaos plan: {light.describe()}")
+    print(f"slow plan:  {slow.describe()}\n")
+    print(f"{'fabric':<26} {'elapsed':>12} {'faults':>7} {'retries':>8} "
+          f"{'dups':>7} {'verified':>9}")
+    print("-" * 75)
+    base = run("lossless (reference)", nranks, txns, None)
+    faulty = run("1% drops + dups + delays", nranks, txns, light)
+    slowed = run("  ... + slow rank 1", nranks, txns, slow)
+
+    for label, res in (("faulty", faulty), ("slow", slowed)):
+        assert res.rank_sums == base.rank_sums, (
+            f"{label} run diverged from the lossless answer: "
+            f"{res.rank_sums} != {base.rank_sums}"
+        )
+        assert res.applied == res.total_txns
+
+    print(
+        "\nIdentical per-rank sums on all three fabrics: injected loss is\n"
+        "repaired below the middleware (retransmission + duplicate\n"
+        "suppression + in-order admission), so the RMA protocols — and the\n"
+        "semantics checker — never see it.  Only virtual time changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,8 @@ discrete-event MPI runtime (:mod:`repro.mpi` over :mod:`repro.network`
 and :mod:`repro.simtime`), the paper's redesigned RMA engine with
 deferred epochs, ω-triple O(1) matching and the ``MPI_WIN_I*`` API
 (:mod:`repro.rma`), the MVAPICH-style baseline it is evaluated against,
-the inefficiency-pattern detector (:mod:`repro.patterns`), and the
+the inefficiency-pattern detector (:mod:`repro.patterns`), seeded
+fault injection with a reliability layer (:mod:`repro.faults`), and the
 paper's application workloads (:mod:`repro.apps`).
 
 Quickstart::
@@ -28,6 +29,16 @@ Quickstart::
     results = MPIRuntime(nranks=2, engine="nonblocking").run(app)
 """
 
+from .faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    RankFault,
+    ReliabilityConfig,
+    RmaDeliveryError,
+    chaos_sweep,
+    default_schedule,
+)
 from .mpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -121,5 +132,13 @@ __all__ = [
     "MpiError",
     "RmaUsageError",
     "UnsupportedOperation",
+    "FaultPlan",
+    "FaultRule",
+    "FaultKind",
+    "RankFault",
+    "ReliabilityConfig",
+    "RmaDeliveryError",
+    "chaos_sweep",
+    "default_schedule",
     "__version__",
 ]

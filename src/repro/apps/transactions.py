@@ -29,9 +29,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..mpi.runtime import MPIRuntime
 from ..network.model import NetworkModel
+from ..rma.checker import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
 from ..rma.flags import A_A_A_R
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan
 
 __all__ = ["TransactionsConfig", "TransactionsResult", "run_transactions"]
 
@@ -60,6 +66,10 @@ class TransactionsConfig:
     work_in_epoch_us: float = 0.0
     flow_control: bool = True
     model: NetworkModel | None = None
+    #: Chaos schedule applied to the fabric (arms the reliability layer).
+    fault_plan: "FaultPlan | None" = None
+    #: Run the RMA semantics checker on every window ("raise"/"report").
+    semantics_check: str | None = None
 
     @property
     def window_bytes(self) -> int:
@@ -76,6 +86,15 @@ class TransactionsResult:
     applied: int
     #: Flow-control stalls observed (contention metric).
     fc_stalls: int
+    #: Per-rank window counter sums — the byte-comparable answer
+    #: (identical across faulty and fault-free runs of the same seed).
+    rank_sums: tuple = ()
+    #: Reliability-layer retransmissions (0 without a fault plan).
+    retransmissions: int = 0
+    #: Duplicate packets suppressed before the middleware.
+    dup_suppressed: int = 0
+    #: Injector counters snapshot (None without a fault plan).
+    faults_injected: dict | None = None
 
     @property
     def throughput_txn_per_s(self) -> float:
@@ -86,7 +105,12 @@ class TransactionsResult:
 
 
 def _make_app(cfg: TransactionsConfig, finish_times: list[float]):
-    info = {A_A_A_R: 1} if cfg.reorder else None
+    info = {}
+    if cfg.reorder:
+        info[A_A_A_R] = 1
+    if cfg.semantics_check:
+        info[SEMANTICS_CHECK_INFO_KEY] = 1
+        info[SEMANTICS_MODE_INFO_KEY] = cfg.semantics_check
 
     def app(proc):
         rng = np.random.default_rng(cfg.seed + proc.rank * 7919)
@@ -139,13 +163,20 @@ def run_transactions(cfg: TransactionsConfig) -> TransactionsResult:
         engine=cfg.engine,
         model=cfg.model,
         flow_control=cfg.flow_control,
+        fault_plan=cfg.fault_plan,
     )
     finish_times = [0.0] * cfg.nranks
     sums = runtime.run(_make_app(cfg, finish_times))
     total = cfg.nranks * cfg.txns_per_rank
+    injector = runtime.fabric.injector
+    rel = runtime.fabric.reliability
     return TransactionsResult(
         total_txns=total,
         elapsed_us=max(finish_times),
         applied=int(sum(sums)),
         fc_stalls=runtime.fabric.flow.total_stalls(),
+        rank_sums=tuple(int(s) for s in sums),
+        retransmissions=rel.retransmissions if rel is not None else 0,
+        dup_suppressed=rel.dup_suppressed if rel is not None else 0,
+        faults_injected=dict(injector.counters) if injector is not None else None,
     )

@@ -6,12 +6,24 @@ use ``pytest benchmarks/ --benchmark-only``.
 
 Usage::
 
-    python -m repro.bench            # every microbenchmark figure
-    python -m repro.bench fig02 fig06 ...
+    python -m repro.bench                    # every microbenchmark figure
+    python -m repro.bench fig02 fig06 ...    # a subset
+    python -m repro.bench --json out.json    # machine-readable rows
+    python -m repro.bench --json -           # JSON to stdout
+
+The JSON document is a list of figure objects, each carrying its
+per-series rows::
+
+    [{"figure": "fig02", "title": "Fig. 2: Late Post", "unit": "µs",
+      "columns": ["access_epoch", ...],
+      "rows": [{"series": "MVAPICH", "values": {"access_epoch": 12.0, ...}},
+               ...]},
+     ...]
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 
@@ -19,6 +31,9 @@ from . import figures
 from .harness import SERIES, format_table
 
 MB = 1 << 20
+
+#: (title, columns, rows) produced by one figure builder.
+FigData = tuple
 
 
 def _sweep_sizes(fn, metric: str) -> dict:
@@ -28,65 +43,115 @@ def _sweep_sizes(fn, metric: str) -> dict:
     }
 
 
-def fig02() -> str:
+def _fig02_data() -> FigData:
     rows = {s.name: figures.fig02_late_post(s) for s in SERIES}
-    return format_table(
-        "Fig. 2: Late Post", ("access_epoch", "two_sided", "cumulative"), rows
-    )
+    return "Fig. 2: Late Post", ("access_epoch", "two_sided", "cumulative"), rows
 
 
-def fig03() -> str:
+def _fig03_data() -> FigData:
     rows = _sweep_sizes(figures.fig03_late_complete, "target_epoch")
-    return format_table("Fig. 3: Late Complete (target epoch)", ("4B", "64KB", "1MB"), rows)
+    return "Fig. 3: Late Complete (target epoch)", ("4B", "64KB", "1MB"), rows
 
 
-def fig04() -> str:
+def _fig04_data() -> FigData:
     rows = {
         s.name: {"256KB": figures.fig04_early_fence(s, 256 * 1024)["cumulative"],
                  "1MB": figures.fig04_early_fence(s, MB)["cumulative"]}
         for s in SERIES
     }
-    return format_table("Fig. 4: Early Fence (cumulative)", ("256KB", "1MB"), rows)
+    return "Fig. 4: Early Fence (cumulative)", ("256KB", "1MB"), rows
 
 
-def fig05() -> str:
+def _fig05_data() -> FigData:
     rows = _sweep_sizes(figures.fig05_wait_at_fence, "target_epoch")
-    return format_table("Fig. 5: Wait at Fence (target epoch)", ("4B", "64KB", "1MB"), rows)
+    return "Fig. 5: Wait at Fence (target epoch)", ("4B", "64KB", "1MB"), rows
 
 
-def fig06() -> str:
+def _fig06_data() -> FigData:
     rows = {s.name: figures.fig06_late_unlock(s) for s in SERIES}
-    return format_table("Fig. 6: Late Unlock", ("first_lock", "second_lock"), rows)
+    return "Fig. 6: Late Unlock", ("first_lock", "second_lock"), rows
 
 
-def _flag_table(title: str, fn, columns: tuple[str, ...]) -> str:
-    rows = {"off": fn(False), "on": fn(True)}
+def _flag_rows(fn) -> dict:
+    return {"off": fn(False), "on": fn(True)}
+
+
+def _fig07_data() -> FigData:
+    return ("Fig. 7: A_A_A_R (GATS)", ("target_T1", "origin_cumulative"),
+            _flag_rows(figures.fig07_aaar_gats))
+
+
+def _fig08_data() -> FigData:
+    return ("Fig. 8: A_A_A_R (lock)", ("o1_cumulative",),
+            _flag_rows(figures.fig08_aaar_lock))
+
+
+def _fig09_data() -> FigData:
+    return ("Fig. 9: A_A_E_R", ("target_P1", "p2_cumulative"),
+            _flag_rows(figures.fig09_aaer))
+
+
+def _fig10_data() -> FigData:
+    return ("Fig. 10: E_A_E_R", ("origin_O1", "target_cumulative"),
+            _flag_rows(figures.fig10_eaer))
+
+
+def _fig11_data() -> FigData:
+    return ("Fig. 11: E_A_A_R", ("origin_P1", "p2_cumulative"),
+            _flag_rows(figures.fig11_eaar))
+
+
+#: Figure name -> builder of (title, columns, rows).
+BUILDERS = {
+    name[1:-5]: fn
+    for name, fn in list(globals().items())
+    if re.fullmatch(r"_fig\d+_data", name) and callable(fn)
+}
+
+
+def _render(name: str) -> str:
+    title, columns, rows = BUILDERS[name]()
     return format_table(title, columns, rows)
 
 
+def fig02() -> str:
+    return _render("fig02")
+
+
+def fig03() -> str:
+    return _render("fig03")
+
+
+def fig04() -> str:
+    return _render("fig04")
+
+
+def fig05() -> str:
+    return _render("fig05")
+
+
+def fig06() -> str:
+    return _render("fig06")
+
+
 def fig07() -> str:
-    return _flag_table("Fig. 7: A_A_A_R (GATS)", figures.fig07_aaar_gats,
-                       ("target_T1", "origin_cumulative"))
+    return _render("fig07")
 
 
 def fig08() -> str:
-    return _flag_table("Fig. 8: A_A_A_R (lock)", figures.fig08_aaar_lock,
-                       ("o1_cumulative",))
+    return _render("fig08")
 
 
 def fig09() -> str:
-    return _flag_table("Fig. 9: A_A_E_R", figures.fig09_aaer,
-                       ("target_P1", "p2_cumulative"))
+    return _render("fig09")
 
 
 def fig10() -> str:
-    return _flag_table("Fig. 10: E_A_E_R", figures.fig10_eaer,
-                       ("origin_O1", "target_cumulative"))
+    return _render("fig10")
 
 
 def fig11() -> str:
-    return _flag_table("Fig. 11: E_A_A_R", figures.fig11_eaar,
-                       ("origin_P1", "p2_cumulative"))
+    return _render("fig11")
 
 
 ALL = {
@@ -96,12 +161,58 @@ ALL = {
 }
 
 
+def collect_json(names: list[str]) -> list[dict]:
+    """Machine-readable per-series rows for the given figures."""
+    doc = []
+    for name in names:
+        title, columns, rows = BUILDERS[name]()
+        doc.append(
+            {
+                "figure": name,
+                "title": title,
+                "unit": "µs",
+                "columns": [str(c) for c in columns],
+                "rows": [
+                    {
+                        "series": series,
+                        "values": {str(c): cells.get(str(c), cells.get(c))
+                                   for c in columns},
+                    }
+                    for series, cells in rows.items()
+                ],
+            }
+        )
+    return doc
+
+
 def main(argv: list[str]) -> int:
-    wanted = argv or sorted(ALL)
+    json_path: str | None = None
+    wanted: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--json":
+            json_path = next(it, None)
+            if json_path is None:
+                print("--json needs a path (or '-' for stdout)", file=sys.stderr)
+                return 2
+        else:
+            wanted.append(arg)
+    wanted = wanted or sorted(ALL)
     unknown = [w for w in wanted if w not in ALL]
     if unknown:
         print(f"unknown figures: {unknown}; available: {sorted(ALL)}", file=sys.stderr)
         return 2
+    if json_path is not None:
+        doc = collect_json(wanted)
+        if json_path == "-":
+            json.dump(doc, sys.stdout, indent=2)
+            print()
+        else:
+            with open(json_path, "w") as fh:
+                json.dump(doc, fh, indent=2)
+            print(f"wrote {sum(len(f['rows']) for f in doc)} series rows "
+                  f"({len(doc)} figures) to {json_path}")
+        return 0
     for name in wanted:
         print(ALL[name]())
         print()

@@ -1,0 +1,52 @@
+"""repro.faults — deterministic fault injection and the reliability
+layer that lets the RMA stack survive it.
+
+The paper's own evaluation met its limits at the substrate: §VIII-B
+reports a flow-control issue capping transaction scaling past 512
+processes.  This package makes adversity a first-class, reproducible
+input to every experiment:
+
+- :class:`FaultPlan` / :class:`FaultRule` / :class:`RankFault` — a
+  seeded, immutable chaos schedule (drop, duplicate, corrupt, delay;
+  slow peers, host-attention stalls, fail-stop) with virtual-time and
+  match-count triggers (:mod:`repro.faults.plan`);
+- :class:`FaultInjector` — interprets a plan inside the fabric
+  (:mod:`repro.faults.injector`);
+- :class:`ReliabilityLayer` — per-peer sequence numbers, ack/timeout
+  retransmission with capped exponential backoff, duplicate
+  suppression and in-order admission, surfacing
+  :class:`~repro.mpi.errors.RmaDeliveryError` when retries exhaust
+  (:mod:`repro.faults.reliability`);
+- :func:`chaos_sweep` / :func:`default_schedule` — the chaos-schedule
+  driver comparing faulty runs against the fault-free answer
+  (:mod:`repro.faults.chaos`).
+
+Attach a plan to a runtime with
+``MPIRuntime(n, fault_plan=FaultPlan.light_chaos(seed=7))``; the
+reliability layer arms automatically whenever a plan is present.  See
+``docs/FAULTS.md`` for the fault model, determinism guarantees and the
+retry protocol.
+"""
+
+from ..mpi.errors import RmaDeliveryError
+from .chaos import ChaosOutcome, chaos_sweep, default_schedule, results_equal
+from .injector import Disposition, FaultInjector
+from .plan import FaultKind, FaultPlan, FaultRule, RankFault, fault_hash
+from .reliability import ReliabilityConfig, ReliabilityLayer
+
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "RankFault",
+    "FaultPlan",
+    "fault_hash",
+    "Disposition",
+    "FaultInjector",
+    "ReliabilityConfig",
+    "ReliabilityLayer",
+    "RmaDeliveryError",
+    "ChaosOutcome",
+    "chaos_sweep",
+    "default_schedule",
+    "results_equal",
+]

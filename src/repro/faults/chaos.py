@@ -1,0 +1,119 @@
+"""Chaos-schedule driver: run one workload under a ladder of seeded
+fault plans and verify it keeps producing the fault-free answer.
+
+The driver is deliberately workload-agnostic: you hand it a
+``run_fn(plan)`` that builds a fresh runtime with the given plan (or
+``None`` for the baseline) and returns the application-level result.
+The driver replays the workload under every plan in the schedule and
+compares each outcome against the baseline byte for byte (NumPy arrays
+included), which is exactly the acceptance contract of the subsystem:
+*faults may change the timeline, never the answer*.
+
+Typical use::
+
+    from repro.faults import chaos_sweep, default_schedule
+
+    outcomes = chaos_sweep(
+        lambda plan: MPIRuntime(8, fault_plan=plan).run(app),
+        default_schedule(seed=7),
+    )
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..mpi.errors import RmaDeliveryError
+from .plan import FaultPlan, RankFault
+
+__all__ = ["ChaosOutcome", "chaos_sweep", "default_schedule", "results_equal"]
+
+
+def results_equal(a: Any, b: Any) -> bool:
+    """Deep equality that treats NumPy arrays bytewise."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and bool(np.array_equal(a, b))
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(results_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(results_equal(a[k], b[k]) for k in a)
+    return bool(a == b)
+
+
+@dataclass
+class ChaosOutcome:
+    """What one plan of the schedule did to the workload."""
+
+    plan: FaultPlan
+    ok: bool
+    #: Human-readable mismatch/failure description (None when ok).
+    error: str | None = None
+    #: The faulty run's result (None when the run itself raised).
+    result: Any = None
+
+
+def chaos_sweep(
+    run_fn: Callable[[FaultPlan | None], Any],
+    schedule: Sequence[FaultPlan],
+    baseline: Any = None,
+) -> list[ChaosOutcome]:
+    """Run ``run_fn`` under every plan and compare against the baseline.
+
+    ``baseline`` is computed as ``run_fn(None)`` unless provided.  A
+    :class:`~repro.mpi.errors.RmaDeliveryError` from a faulty run is
+    recorded as a failed outcome (plans with fail-stop ranks are
+    *expected* to produce it — assert on ``outcome.error``); any other
+    exception propagates, since it signals a bug rather than injected
+    adversity.
+    """
+    if baseline is None:
+        baseline = run_fn(None)
+    outcomes: list[ChaosOutcome] = []
+    for plan in schedule:
+        try:
+            result = run_fn(plan)
+        except RmaDeliveryError as exc:
+            outcomes.append(ChaosOutcome(plan, ok=False, error=f"delivery: {exc}"))
+            continue
+        if results_equal(baseline, result):
+            outcomes.append(ChaosOutcome(plan, ok=True, result=result))
+        else:
+            outcomes.append(
+                ChaosOutcome(
+                    plan,
+                    ok=False,
+                    error=f"result diverged from fault-free run under {plan.describe()}",
+                    result=result,
+                )
+            )
+    return outcomes
+
+
+def default_schedule(seed: int, slow_rank: int | None = None) -> list[FaultPlan]:
+    """An escalating three-step ladder derived from one seed:
+
+    1. drops only (1%),
+    2. drops + duplicates + delay spikes (the acceptance mix),
+    3. the acceptance mix at double intensity, optionally with one
+       uniformly slow rank.
+    """
+    ranks: tuple[RankFault, ...] = ()
+    if slow_rank is not None:
+        ranks = (RankFault(rank=slow_rank, slow_extra_us=15.0),)
+    return [
+        FaultPlan.light_chaos(seed, drop=0.01, duplicate=0.0, delay_rate=0.0),
+        FaultPlan.light_chaos(seed + 1, drop=0.01, duplicate=0.005,
+                              delay_rate=0.01, delay_us=25.0),
+        FaultPlan.light_chaos(seed + 2, drop=0.02, duplicate=0.01,
+                              delay_rate=0.02, delay_us=40.0, ranks=ranks),
+    ]

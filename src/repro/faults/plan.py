@@ -1,0 +1,209 @@
+"""Deterministic fault plans: *what* goes wrong, *when*, and *to whom*.
+
+A :class:`FaultPlan` is a pure-data description of an adversarial
+substrate: per-packet fault rules (drop / duplicate / corrupt / delay)
+gated by virtual-time windows and match-count windows, plus per-rank
+faults (fixed slowdown, host-attention stalls, fail-stop).  The plan is
+immutable and seedable; all randomness is derived statelessly from
+``(seed, rule index, packet uid, match ordinal)`` via a splitmix64
+mix, so
+
+- the same plan on the same workload produces the *same* faults, byte
+  for byte, run after run (the DES kernel already guarantees a
+  deterministic packet stream);
+- decisions for different packets are independent — inserting one extra
+  message into a run does not reshuffle every later fault the way a
+  shared stream-consuming RNG would.
+
+The plan is interpreted by :class:`~repro.faults.injector.FaultInjector`
+inside the fabric; plans with message loss require the reliability
+layer (:mod:`repro.faults.reliability`) to remain livable.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..network.packets import ServiceKind
+
+__all__ = ["FaultKind", "FaultRule", "RankFault", "FaultPlan", "fault_hash"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def fault_hash(*parts: int) -> float:
+    """Stateless uniform draw in ``[0, 1)`` from integer coordinates.
+
+    Used for every per-packet fault decision; see the module docstring
+    for why this beats a shared consuming RNG.
+    """
+    h = 0x243F6A8885A308D3
+    for p in parts:
+        h = _splitmix64(h ^ (p & _MASK64))
+    return h / 2.0**64
+
+
+class FaultKind(enum.Enum):
+    """What a :class:`FaultRule` does to a matched packet."""
+
+    DROP = "drop"            # packet consumes wire time but never arrives
+    DUPLICATE = "duplicate"  # a ghost copy arrives shortly after the real one
+    CORRUPT = "corrupt"      # arrives damaged; the receiver's CRC discards it
+    DELAY = "delay"          # delivery is postponed by ``delay_us``
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One per-packet fault channel.
+
+    A packet *matches* when its source/destination/service filters agree
+    and the current virtual time lies in ``[start_us, stop_us)``.  Each
+    match increments the rule's ordinal counter; the fault *fires* when
+    the ordinal lies in ``[start_count, stop_count)`` and the stateless
+    draw for (plan seed, rule, packet uid, ordinal) falls below
+    ``rate``.  Retransmissions of a packet re-match with a fresh
+    ordinal, so a dropped packet is not doomed to be dropped forever.
+    """
+
+    kind: FaultKind
+    rate: float
+    delay_us: float = 0.0
+    src: int | None = None
+    dst: int | None = None
+    service: ServiceKind | None = None
+    start_us: float = 0.0
+    stop_us: float = math.inf
+    start_count: int = 0
+    stop_count: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.kind is FaultKind.DELAY and self.delay_us <= 0.0:
+            raise ValueError("DELAY rules need a positive delay_us")
+        if self.delay_us < 0.0:
+            raise ValueError(f"negative delay_us: {self.delay_us}")
+        if self.start_us > self.stop_us:
+            raise ValueError("start_us must not exceed stop_us")
+        if self.stop_count is not None and self.start_count > self.stop_count:
+            raise ValueError("start_count must not exceed stop_count")
+
+    def matches(self, src: int, dst: int, service: ServiceKind, now: float) -> bool:
+        """Packet-level filter (time window + endpoints + service)."""
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.service is None or self.service is service)
+            and self.start_us <= now < self.stop_us
+        )
+
+    def fires(self, ordinal: int) -> bool:
+        """Count-window gate for the rule's ``ordinal``-th match."""
+        if ordinal < self.start_count:
+            return False
+        return self.stop_count is None or ordinal < self.stop_count
+
+
+@dataclass(frozen=True)
+class RankFault:
+    """Per-rank misbehaviour.
+
+    Attributes
+    ----------
+    slow_extra_us:
+        Added to the delivery of every packet to or from the rank from
+        ``slow_start_us`` on — a uniformly slow peer (swapping host,
+        thermal throttling).
+    stalls:
+        ``(at_us, duration_us)`` pairs; at each ``at_us`` the rank's
+        host-attention gate is stalled for ``duration_us`` — control
+        packets needing the host queue up meanwhile.
+    fail_at_us:
+        Fail-stop instant: from this time on, every packet to or from
+        the rank is dropped.  With the reliability layer this surfaces
+        as :class:`~repro.mpi.errors.RmaDeliveryError` once retries
+        exhaust.
+    """
+
+    rank: int
+    slow_extra_us: float = 0.0
+    slow_start_us: float = 0.0
+    stalls: tuple[tuple[float, float], ...] = ()
+    fail_at_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"negative rank: {self.rank}")
+        if self.slow_extra_us < 0.0:
+            raise ValueError(f"negative slow_extra_us: {self.slow_extra_us}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable chaos schedule for one run."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    ranks: tuple[RankFault, ...] = ()
+    #: How far behind the genuine arrival an injected ghost copy lands.
+    duplicate_lag_us: float = 5.0
+
+    @property
+    def needs_reliability(self) -> bool:
+        """Whether the plan can lose packets (drop/corrupt/duplicate/
+        fail-stop) and therefore requires the reliability layer."""
+        lossy = (FaultKind.DROP, FaultKind.CORRUPT, FaultKind.DUPLICATE)
+        return any(r.kind in lossy and r.rate > 0 for r in self.rules) or any(
+            rf.fail_at_us is not None for rf in self.ranks
+        )
+
+    @classmethod
+    def light_chaos(
+        cls,
+        seed: int,
+        drop: float = 0.01,
+        duplicate: float = 0.005,
+        corrupt: float = 0.0,
+        delay_rate: float = 0.01,
+        delay_us: float = 25.0,
+        ranks: tuple[RankFault, ...] = (),
+    ) -> "FaultPlan":
+        """The acceptance-grade low-intensity plan: a few percent of
+        drops, duplicates and delay spikes across all traffic."""
+        rules = []
+        if drop > 0:
+            rules.append(FaultRule(FaultKind.DROP, drop))
+        if duplicate > 0:
+            rules.append(FaultRule(FaultKind.DUPLICATE, duplicate))
+        if corrupt > 0:
+            rules.append(FaultRule(FaultKind.CORRUPT, corrupt))
+        if delay_rate > 0:
+            rules.append(FaultRule(FaultKind.DELAY, delay_rate, delay_us=delay_us))
+        return cls(seed=seed, rules=tuple(rules), ranks=ranks)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used in diagnostics)."""
+        bits = [f"seed={self.seed}"]
+        for r in self.rules:
+            extra = f"+{r.delay_us}µs" if r.kind is FaultKind.DELAY else ""
+            bits.append(f"{r.kind.value}@{100 * r.rate:g}%{extra}")
+        for rf in self.ranks:
+            if rf.fail_at_us is not None:
+                bits.append(f"rank{rf.rank}:fail@{rf.fail_at_us}µs")
+            if rf.slow_extra_us:
+                bits.append(f"rank{rf.rank}:slow+{rf.slow_extra_us}µs")
+            if rf.stalls:
+                bits.append(f"rank{rf.rank}:{len(rf.stalls)}stalls")
+        return " ".join(bits)

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 __all__ = [
     "MpiError",
     "RmaUsageError",
     "RmaInternalError",
+    "RmaDeliveryError",
     "UnsupportedOperation",
     "TruncationError",
 ]
@@ -25,6 +28,18 @@ class RmaInternalError(MpiError):
     """A middleware accounting invariant was violated (e.g. a flush
     completion counter decremented below zero).  These indicate engine
     bugs, not application misuse, and are raised unconditionally."""
+
+
+class RmaDeliveryError(MpiError):
+    """The reliability layer exhausted its retry budget for one packet
+    (the destination fail-stopped, or loss outlasted the capped
+    exponential backoff).  ``details`` carries structured diagnostics:
+    endpoints, sequence number, attempt count, packet age, payload
+    class, and the fault-injector counters at failure time."""
+
+    def __init__(self, message: str, **details: Any):
+        super().__init__(message)
+        self.details = details
 
 
 class UnsupportedOperation(MpiError):

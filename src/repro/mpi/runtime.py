@@ -35,6 +35,7 @@ from .middleware import RankMiddleware
 from .process import MPIProcess
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan, ReliabilityConfig
     from ..rma.window import Window, WindowGroup
 
 __all__ = ["MPIRuntime", "ENGINES"]
@@ -73,10 +74,23 @@ class MPIRuntime:
         engine: str = "nonblocking",
         flow_control: bool = True,
         trace: bool = False,
+        fault_plan: "FaultPlan | None" = None,
+        reliability: "bool | ReliabilityConfig | None" = None,
     ):
         self.sim = Simulator()
         self.topology = ClusterTopology(nranks, cores_per_node)
-        self.fabric = Fabric(self.sim, self.topology, model, flow_control_enabled=flow_control)
+        injector, rel = self._build_fault_stack(self.sim, fault_plan, reliability)
+        self.fault_plan = fault_plan
+        self.fabric = Fabric(
+            self.sim,
+            self.topology,
+            model,
+            flow_control_enabled=flow_control,
+            injector=injector,
+            reliability=rel,
+        )
+        if injector is not None:
+            injector.install(self.fabric)
         self.engine_name = engine
         factory = _engine_factory(engine)
         self.middlewares = [RankMiddleware(self.sim, self.fabric, r) for r in range(nranks)]
@@ -93,6 +107,37 @@ class MPIRuntime:
         from ..patterns.trace import Tracer
 
         self.tracer = Tracer(self.sim, enabled=trace)
+        self.fabric.tracer = self.tracer
+
+    @staticmethod
+    def _build_fault_stack(sim, fault_plan, reliability):
+        """Resolve the optional fault injector + reliability layer.
+
+        The reliability layer arms automatically whenever a fault plan
+        is present; pass ``reliability=False`` to study raw loss (only
+        legal for plans that cannot lose packets) or a
+        :class:`~repro.faults.ReliabilityConfig` to tune the retry
+        protocol.
+        """
+        if fault_plan is None and not reliability:
+            return None, None
+        from ..faults import FaultInjector, ReliabilityConfig, ReliabilityLayer
+
+        if isinstance(reliability, ReliabilityConfig):
+            enabled, cfg = True, reliability
+        elif reliability is None:
+            enabled, cfg = fault_plan is not None, ReliabilityConfig()
+        else:
+            enabled, cfg = bool(reliability), ReliabilityConfig()
+
+        if fault_plan is not None and fault_plan.needs_reliability and not enabled:
+            raise ValueError(
+                "fault plan can lose packets (drop/corrupt/duplicate/fail-stop) "
+                "but reliability=False; the run could not terminate"
+            )
+        injector = FaultInjector(sim, fault_plan) if fault_plan is not None else None
+        rel = ReliabilityLayer(sim, cfg) if enabled else None
+        return injector, rel
 
     # -- introspection -----------------------------------------------------
     @property

@@ -2,12 +2,19 @@
 
 Collects the observability data a performance engineer would ask the
 middleware for: traffic volumes, flow-control pressure, registration
-cache efficiency, lock-manager activity, epoch counts.
+cache efficiency, lock-manager activity, epoch counts — and, when a
+fault plan is active, the fault/reliability counters (injected faults,
+retransmissions, suppressed duplicates, ack traffic).
+
+Flow-control pressure is reported both in aggregate (``fc_stalls``, the
+§VIII-B global symptom) and attributed: ``fc_max_queued`` is the deepest
+backlog any single directed pair reached, and ``fc_pair_stalls`` maps
+each pair that ever stalled to its ``(stall_count, max_queued)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,6 +38,22 @@ class RuntimeStats:
     #: Epochs still live in any window state (0 after clean completion).
     live_epochs: int
     windows: int
+    # -- flow-control attribution (§VIII-B) ------------------------------
+    #: Deepest credit-wait backlog any single directed pair reached.
+    fc_max_queued: int = 0
+    #: (src, dst) -> (stall_count, max_queued) for pairs that stalled.
+    fc_pair_stalls: dict = field(default_factory=dict)
+    # -- fault injection / reliability (zero when no plan is active) -----
+    #: Injector counters (drops, duplicates, corruptions, delays, ...).
+    faults_injected: dict = field(default_factory=dict)
+    retransmissions: int = 0
+    dup_suppressed: int = 0
+    acks_sent: int = 0
+    delivery_failures: int = 0
+    #: Replayed GrantUpdates discarded by the idempotent g = max(g, seq).
+    dup_grants_ignored: int = 0
+    #: True once the adaptive engine fell back to conservative mode.
+    degraded: bool = False
 
     @property
     def regcache_hit_rate(self) -> float:
@@ -38,13 +61,19 @@ class RuntimeStats:
         total = self.regcache_hits + self.regcache_misses
         return self.regcache_hits / total if total else 0.0
 
+    @property
+    def total_faults(self) -> int:
+        """Sum of all injector counters."""
+        return sum(self.faults_injected.values())
+
     def format(self) -> str:
         """Fixed-width human-readable rendering."""
         lines = [
             f"virtual time        {self.virtual_time_us:14.2f} µs",
             f"messages sent       {self.messages_sent:14d}",
             f"bytes sent          {self.bytes_sent:14d}",
-            f"flow-ctrl stalls    {self.fc_stalls:14d}",
+            f"flow-ctrl stalls    {self.fc_stalls:14d}"
+            f"  (deepest pair backlog {self.fc_max_queued})",
             f"regcache hit rate   {100 * self.regcache_hit_rate:13.1f} %"
             f"  ({self.regcache_hits} hits / {self.regcache_misses} misses,"
             f" {self.regcache_evictions} evictions)",
@@ -52,6 +81,19 @@ class RuntimeStats:
             f"windows             {self.windows:14d}",
             f"live epochs         {self.live_epochs:14d}",
         ]
+        if self.faults_injected or self.retransmissions or self.acks_sent:
+            faults = ", ".join(
+                f"{k}={v}" for k, v in self.faults_injected.items() if v
+            ) or "none fired"
+            lines += [
+                f"faults injected     {self.total_faults:14d}  ({faults})",
+                f"retransmissions     {self.retransmissions:14d}",
+                f"dup suppressed      {self.dup_suppressed:14d}",
+                f"acks sent           {self.acks_sent:14d}",
+                f"delivery failures   {self.delivery_failures:14d}",
+            ]
+            if self.degraded:
+                lines.append("adaptive engine     DEGRADED (conservative fallback)")
         return "\n".join(lines)
 
 
@@ -66,10 +108,16 @@ def collect_stats(runtime: "MPIRuntime") -> RuntimeStats:
         evictions += cache.evictions
     lock_grants = 0
     live_epochs = 0
+    dup_grants = 0
+    degraded = False
     for engine in runtime.engines:
         for ws in engine.states.values():
             lock_grants += ws.lock_mgr.grants
             live_epochs += len(ws.live_epochs())
+            dup_grants += ws.dup_grants_ignored
+        degraded = degraded or getattr(engine, "degraded", False)
+    injector = fabric.injector
+    rel = fabric.reliability
     return RuntimeStats(
         virtual_time_us=runtime.now,
         messages_sent=fabric.messages_sent,
@@ -81,4 +129,13 @@ def collect_stats(runtime: "MPIRuntime") -> RuntimeStats:
         lock_grants=lock_grants,
         live_epochs=live_epochs,
         windows=len(runtime.window_groups),
+        fc_max_queued=fabric.flow.max_queued(),
+        fc_pair_stalls=fabric.flow.pair_stats(),
+        faults_injected=dict(injector.counters) if injector is not None else {},
+        retransmissions=rel.retransmissions if rel is not None else 0,
+        dup_suppressed=rel.dup_suppressed if rel is not None else 0,
+        acks_sent=rel.acks_sent if rel is not None else 0,
+        delivery_failures=rel.delivery_failures if rel is not None else 0,
+        dup_grants_ignored=dup_grants,
+        degraded=degraded,
     )

@@ -5,6 +5,23 @@ registration-cache and host-attention constraints.
 The fabric is *omniscient* (it sees both endpoints' port schedules), which
 is the standard trick that lets a discrete-event model enforce cut-through
 port occupancy without simulating switches.
+
+Fault injection and reliability
+-------------------------------
+The fabric optionally hosts a :class:`~repro.faults.injector.FaultInjector`
+(decides per transmission attempt: drop / corrupt / duplicate / delay /
+fail-stop) and a :class:`~repro.faults.reliability.ReliabilityLayer`
+(per-pair sequencing, ack/retransmit, duplicate suppression, in-order
+admission).  Both default to ``None`` and cost one attribute test per
+send when absent.  The wire pipeline with both present::
+
+    send ──► track(seq) ──► _dispatch ──► flow control ──► _start_transfer
+                  ▲                                             │ ports, injector
+                  │ retransmit (rel. timer)                     ▼
+                  └──────────────────────────────  _arrive (wire arrival)
+                                                        │ ack, dedupe, reorder
+                                                        ▼
+                                          _admit ──► attention gate ──► _deliver
 """
 
 from __future__ import annotations
@@ -19,6 +36,9 @@ from .regcache import RegistrationCache
 from .topology import ClusterTopology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+    from ..faults.reliability import ReliabilityLayer
+    from ..patterns.trace import Tracer
     from ..simtime import SimEvent, Simulator
 
 __all__ = ["Fabric", "SendTicket"]
@@ -38,14 +58,20 @@ class SendTicket:
     delivered:
         Triggers when the payload has been handled at the destination
         (after the attention gate, for attention-requiring messages).
+        Under the reliability layer this is the *first successful*
+        delivery; retransmissions and ghost duplicates never retrigger.
+    rel_seq:
+        Per-(src, dst) sequence number assigned by the reliability
+        layer (``None`` when the layer is absent or for loopback).
     """
 
-    __slots__ = ("message", "local_complete", "delivered")
+    __slots__ = ("message", "local_complete", "delivered", "rel_seq")
 
     def __init__(self, sim: "Simulator", message: Message):
         self.message = message
         self.local_complete: "SimEvent" = sim.event(f"msg{message.uid}.local")
         self.delivered: "SimEvent" = sim.event(f"msg{message.uid}.delivered")
+        self.rel_seq: int | None = None
 
 
 class Fabric:
@@ -57,6 +83,8 @@ class Fabric:
         topology: ClusterTopology,
         model: NetworkModel | None = None,
         flow_control_enabled: bool = True,
+        injector: "FaultInjector | None" = None,
+        reliability: "ReliabilityLayer | None" = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -78,6 +106,17 @@ class Fabric:
             for _ in range(topology.nranks)
         ]
         self._handlers: dict[int, DeliveryHandler] = {}
+        self.injector = injector
+        self.reliability = reliability
+        if reliability is not None:
+            reliability.bind(self)
+        #: Set by the runtime once the tracer exists; fault/retry events
+        #: are emitted through it.
+        self.tracer: "Tracer | None" = None
+        #: Per-message transmission attempt counts (uid -> attempts);
+        #: only maintained when an injector or the reliability layer is
+        #: active.
+        self._attempts: dict[int, int] = {}
         # Traffic accounting (used by benchmarks and tests).
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -112,7 +151,8 @@ class Fabric:
 
         Loopback (``src == dst``) is delivered at the current instant
         with no port occupancy, matching self-communication shortcuts in
-        real MPI middleware.
+        real MPI middleware; it bypasses fault injection and reliability
+        (nothing crosses a wire).
         """
         message = Message(src, dst, nbytes, kind, payload, needs_attention)
         ticket = SendTicket(self.sim, message)
@@ -124,10 +164,19 @@ class Fabric:
             self._deliver(ticket)
             return ticket
 
-        self.flow.acquire(src, dst, lambda: self._start_transfer(ticket))
+        if self.reliability is not None:
+            self.reliability.track(ticket)
+        self._dispatch(ticket)
         return ticket
 
     # -- internals ---------------------------------------------------------
+    def _dispatch(self, ticket: SendTicket) -> None:
+        """Acquire a flow-control credit and put one transmission attempt
+        on the wire.  Also the reliability layer's retransmission entry
+        point — every attempt pays credits and port occupancy."""
+        msg = ticket.message
+        self.flow.acquire(msg.src, msg.dst, lambda: self._start_transfer(ticket))
+
     def _start_transfer(self, ticket: SendTicket) -> None:
         msg = ticket.message
         intranode = self.topology.same_node(msg.src, msg.dst)
@@ -148,11 +197,67 @@ class Fabric:
         ports_src.out_free = out_done
         ports_dst.in_free = delivery
 
-        self.sim.schedule(out_done - now, ticket.local_complete.trigger)
-        self.sim.schedule(delivery - now, self._arrive, ticket)
+        self.sim.schedule(out_done - now, self._local_complete, ticket)
+        # The ack travels back after the wire-level arrival whether or
+        # not the packet is usable there (link-level credits are below
+        # the loss model), so dropped packets never leak credits.
         self.flow.schedule_release(msg.src, msg.dst, delivery - now)
 
+        if self.injector is None:
+            self.sim.schedule(delivery - now, self._arrive, ticket)
+            if self.reliability is not None and ticket.rel_seq is not None:
+                self.reliability.on_attempt(ticket, delivery - now)
+            return
+
+        attempt = self._attempts.get(msg.uid, 0)
+        self._attempts[msg.uid] = attempt + 1
+        disp = self.injector.disposition(msg, attempt, now)
+        if disp.lost or disp.duplicate or disp.delay_us:
+            self._trace_fault(msg, disp)
+        arrival_delay = delivery - now + disp.delay_us
+        if not disp.lost:
+            self.sim.schedule(arrival_delay, self._arrive, ticket)
+            if disp.duplicate:
+                self.sim.schedule(
+                    arrival_delay + self.injector.plan.duplicate_lag_us,
+                    self._arrive,
+                    ticket,
+                )
+        if self.reliability is not None and ticket.rel_seq is not None:
+            self.reliability.on_attempt(ticket, arrival_delay)
+
+    def _trace_fault(self, msg: Message, disp) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(
+            "fault_inject",
+            msg.src,
+            -1,
+            dst=msg.dst,
+            uid=msg.uid,
+            drop=disp.drop,
+            corrupt=disp.corrupt,
+            duplicate=disp.duplicate,
+            delay_us=disp.delay_us,
+            reason=disp.reason,
+        )
+
+    def _local_complete(self, ticket: SendTicket) -> None:
+        # Retransmissions re-serialize the same buffer; the application
+        # notion of "buffer reusable" fired at the first serialization.
+        if not ticket.local_complete.triggered:
+            ticket.local_complete.trigger()
+
     def _arrive(self, ticket: SendTicket) -> None:
+        """Wire-level arrival at the destination NIC."""
+        if self.reliability is not None and ticket.rel_seq is not None:
+            self.reliability.on_wire_arrival(ticket)
+        else:
+            self._admit(ticket)
+
+    def _admit(self, ticket: SendTicket) -> None:
+        """Deliver one (deduplicated, in-order) packet, gating on host
+        attention when the payload needs the destination CPU."""
         msg = ticket.message
         if msg.needs_attention:
             overhead = self.model.host_attention_overhead
@@ -163,7 +268,31 @@ class Fabric:
 
     def _deliver(self, ticket: SendTicket) -> None:
         msg = ticket.message
+        self._attempts.pop(msg.uid, None)
         handler = self._handlers.get(msg.dst)
         if handler is not None:
             handler(msg.payload, msg.src)
-        ticket.delivered.trigger(msg.payload)
+        if not ticket.delivered.triggered:
+            ticket.delivered.trigger(msg.payload)
+
+    # -- reliability-layer ack transport -----------------------------------
+    def _send_ack(self, src: int, dst: int, seq: int) -> None:
+        """Carry one reliability ack ``src -> dst`` for sequence ``seq``.
+
+        Acks are link-level control: they bypass ports and flow-control
+        credits (pure latency), but remain subject to injected drops and
+        delays — a lost ack is exactly how retransmission-made
+        duplicates reach the receiver.
+        """
+        assert self.reliability is not None
+        self.messages_sent += 1
+        self.bytes_sent += self.reliability.cfg.ack_bytes
+        delay = self.model.latency(self.topology.same_node(src, dst))
+        if self.injector is not None:
+            disp = self.injector.ack_disposition(src, dst, self.sim.now)
+            if disp.drop:
+                return
+            delay += disp.delay_us
+        # Note the argument order: the ack for pair (dst -> src) keys the
+        # sender-side pending entry (original src, original dst, seq).
+        self.sim.schedule(delay, self.reliability.on_ack, dst, src, seq)

@@ -22,7 +22,7 @@ __all__ = ["CreditPool", "FlowControl"]
 class CreditPool:
     """Credits for one directed (src → dst) pair."""
 
-    __slots__ = ("capacity", "available", "_waiters", "stall_count")
+    __slots__ = ("capacity", "available", "_waiters", "stall_count", "max_queued")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
@@ -32,6 +32,9 @@ class CreditPool:
         self._waiters: deque[Callable[[], None]] = deque()
         #: Number of sends that had to wait for a credit (contention metric).
         self.stall_count = 0
+        #: High-water mark of concurrently stalled sends (§VIII-B: the
+        #: depth the pending-epoch backlog reached on this pair).
+        self.max_queued = 0
 
     def acquire(self, on_granted: Callable[[], None]) -> None:
         """Take one credit, invoking ``on_granted`` immediately if one is
@@ -42,6 +45,8 @@ class CreditPool:
         else:
             self.stall_count += 1
             self._waiters.append(on_granted)
+            if len(self._waiters) > self.max_queued:
+                self.max_queued = len(self._waiters)
 
     def release(self) -> None:
         """Return one credit, unblocking the oldest waiter if any."""
@@ -105,3 +110,17 @@ class FlowControl:
     def total_queued(self) -> int:
         """Sends currently stalled across all pairs."""
         return sum(p.queued for p in self._pools.values())
+
+    def max_queued(self) -> int:
+        """Deepest backlog any single pair ever reached."""
+        return max((p.max_queued for p in self._pools.values()), default=0)
+
+    def pair_stats(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Per-pair ``(stall_count, max_queued)`` for every pair that
+        ever stalled — the attribution §VIII-B lacked: *which* directed
+        pair's credits ran dry, and how deep its backlog got."""
+        return {
+            key: (pool.stall_count, pool.max_queued)
+            for key, pool in sorted(self._pools.items())
+            if pool.stall_count
+        }

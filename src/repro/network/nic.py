@@ -64,20 +64,32 @@ class AttentionGate:
     network's point of view, pollable).  The MPI process facade flips the
     gate off for the duration of modeled compute and back on when the rank
     re-enters the MPI library.
+
+    Independently of the application-driven flag, fault injection can
+    *stall* the gate (:meth:`force_stall`): the host is nominally inside
+    the MPI library but makes no control progress — a seized NIC driver,
+    an OS jitter burst.  The gate is open only when attentive *and* not
+    stalled.
     """
 
-    __slots__ = ("sim", "rank", "_attentive", "_queue")
+    __slots__ = ("sim", "rank", "_attentive", "_stalled", "_stall_gen", "_queue",
+                 "stalls_injected")
 
     def __init__(self, sim: "Simulator", rank: int):
         self.sim = sim
         self.rank = rank
         self._attentive = True
+        self._stalled = False
+        #: Generation counter so overlapping stalls extend, not truncate.
+        self._stall_gen = 0
         self._queue: deque[Callable[[], None]] = deque()
+        #: Number of injected stalls observed (diagnostics).
+        self.stalls_injected = 0
 
     @property
     def attentive(self) -> bool:
         """Whether gated deliveries run immediately."""
-        return self._attentive
+        return self._attentive and not self._stalled
 
     def set_attentive(self, value: bool) -> None:
         """Flip the gate; turning it on drains the pending queue in FIFO
@@ -85,22 +97,42 @@ class AttentionGate:
         if value == self._attentive:
             return
         self._attentive = value
-        if value:
-            while self._queue:
-                fn = self._queue.popleft()
-                self.sim.schedule(0.0, self._run_if_still_attentive, fn)
+        if value and not self._stalled:
+            self._drain()
+
+    def force_stall(self, duration: float) -> None:
+        """Fault injection: suspend control processing for ``duration``
+        regardless of the application-driven attention flag.  A stall
+        arriving while another is active extends the outage."""
+        self.stalls_injected += 1
+        self._stalled = True
+        self._stall_gen += 1
+        gen = self._stall_gen
+        self.sim.schedule(duration, self._clear_stall, gen)
+
+    def _clear_stall(self, gen: int) -> None:
+        if gen != self._stall_gen:
+            return  # a newer stall superseded this one
+        self._stalled = False
+        if self._attentive:
+            self._drain()
+
+    def _drain(self) -> None:
+        while self._queue:
+            fn = self._queue.popleft()
+            self.sim.schedule(0.0, self._run_if_still_attentive, fn)
 
     def _run_if_still_attentive(self, fn: Callable[[], None]) -> None:
-        # The host may have gone inattentive again between the drain
-        # scheduling and this callback; requeue in that case.
-        if self._attentive:
+        # The host may have gone inattentive (or been stalled) again
+        # between the drain scheduling and this callback; requeue then.
+        if self.attentive:
             fn()
         else:
             self._queue.append(fn)
 
     def submit(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` now if attentive, else queue it."""
-        if self._attentive:
+        if self.attentive:
             fn()
         else:
             self._queue.append(fn)

@@ -42,6 +42,10 @@ EVENT_KINDS = frozenset(
         "fence_open",
         "fence_done",
         "flush_complete",
+        "fault_inject",        # injector perturbed a transmission attempt
+        "retry",               # reliability layer retransmitted a packet
+        "delivery_fail",       # retries exhausted -> RmaDeliveryError
+        "degrade",             # adaptive engine fell back to conservative mode
     }
 )
 

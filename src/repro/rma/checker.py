@@ -46,6 +46,17 @@ exists and the hot path pays a single ``is None`` test per hook.
 The checker subsumes the older §VI-C
 :class:`~repro.rma.consistency.ConsistencyTracker`: it embeds one and
 exposes its hazard report through :meth:`RmaChecker.hazards`.
+
+Interaction with fault injection
+--------------------------------
+The checker's invariants assume each protocol packet is observed
+exactly once, in per-pair FIFO order — the guarantee the fabric gives
+natively and the :mod:`repro.faults` reliability layer restores under
+an active :class:`~repro.faults.FaultPlan` (retransmission, duplicate
+suppression, in-order admission below the middleware).  The checker
+therefore needs no fault-awareness: a faulty-but-reliable run must
+produce *zero* violations, and the chaos acceptance tests run it in
+``raise`` mode to prove it.
 """
 
 from __future__ import annotations

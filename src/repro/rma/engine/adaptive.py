@@ -18,6 +18,18 @@ reverse (§VIII-A, Fig. 6).  The adaptive strategy learns per
 Everything else (GATS, fence, blocking-only API) is inherited from the
 baseline, which keeps the comparison honest: the only difference is the
 lock-acquisition policy.
+
+Graceful degradation under faults
+---------------------------------
+Eager acquisition buys overlap by spending extra wire traffic early.
+Under heavy loss that trade inverts: every eagerly issued packet is
+another retransmission candidate, and speculative lock traffic competes
+with recovery traffic for credits.  When the reliability layer's
+retransmission count crosses :data:`DEGRADE_RETRY_THRESHOLD` the engine
+*degrades*: all eager pairs are demoted, promotion is disabled, and
+epochs fall back to the baseline's conservative activate-at-close
+behaviour for the rest of the run (a one-way fuse, traced as
+``degrade``).
 """
 
 from __future__ import annotations
@@ -31,11 +43,15 @@ from .mvapich import MvapichEngine
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..window import Window
 
-__all__ = ["AdaptiveEngine", "ADAPT_THRESHOLD_US"]
+__all__ = ["AdaptiveEngine", "ADAPT_THRESHOLD_US", "DEGRADE_RETRY_THRESHOLD"]
 
 #: Gap between the last RMA call and the closing call above which the
 #: epoch is judged to have had overlappable work.
 ADAPT_THRESHOLD_US = 5.0
+
+#: Job-wide reliability-layer retransmission count past which the engine
+#: abandons eager acquisition for the rest of the run.
+DEGRADE_RETRY_THRESHOLD = 16
 
 
 class AdaptiveEngine(MvapichEngine):
@@ -49,6 +65,8 @@ class AdaptiveEngine(MvapichEngine):
         self._eager_pairs: set[tuple[int, int]] = set()
         #: Promotion/demotion events, for tests and diagnostics.
         self.mode_switches: list[tuple[float, int, int, str]] = []
+        #: Set once retry pressure forces conservative-only operation.
+        self.degraded = False
 
     # -- mode bookkeeping -----------------------------------------------
     def is_eager(self, gid: int, target: int) -> bool:
@@ -64,11 +82,34 @@ class AdaptiveEngine(MvapichEngine):
             self._eager_pairs.discard(key)
             self.mode_switches.append((self.sim.now, gid, target, "lazy"))
 
+    def _retry_pressure(self) -> int:
+        rel = self.fabric.reliability
+        return rel.retransmissions if rel is not None else 0
+
+    def _check_degrade(self) -> bool:
+        """Trip the fuse when retry pressure crosses the threshold."""
+        if self.degraded:
+            return True
+        if self._retry_pressure() < DEGRADE_RETRY_THRESHOLD:
+            return False
+        self.degraded = True
+        now = self.sim.now
+        for gid, target in sorted(self._eager_pairs):
+            self.mode_switches.append((now, gid, target, "lazy"))
+        self._eager_pairs.clear()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "degrade", self.rank, -1, retransmissions=self._retry_pressure()
+            )
+        return True
+
     # -- policy hooks -----------------------------------------------------
     def open_lock(
         self, win: "Window", target: int, exclusive: bool, nocheck: bool = False
     ) -> Epoch:
         ep = super().open_lock(win, target, exclusive, nocheck)
+        if self._check_degrade():
+            return ep
         if not nocheck and self.is_eager(win.group.gid, target):
             # Eager mode: acquire at the opening call so recorded ops can
             # issue (and overlap application work) as soon as granted.
@@ -87,7 +128,7 @@ class AdaptiveEngine(MvapichEngine):
     def _learn(self, win: "Window", ep: Epoch) -> None:
         """Promote/demote the epoch's targets based on the observed gap
         between the last communication call and this closing call."""
-        if ep.nocheck or not ep.ops:
+        if ep.nocheck or not ep.ops or self._check_degrade():
             return
         gid = win.group.gid
         last_call = max(op.call_time or 0.0 for op in ep.ops)

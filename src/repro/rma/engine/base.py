@@ -246,7 +246,15 @@ class RmaEngineBase:
         self._op_delivered(ws, op)
 
     def _on_grant(self, ws: WindowState, p: GrantUpdate, src: int) -> None:
-        ws.g[p.granter] += 1
+        if p.grant_seq is not None:
+            # Idempotent form: the packet carries its position in the
+            # granter's grant stream, so replays cannot over-increment g.
+            if p.grant_seq <= ws.g[p.granter]:
+                ws.dup_grants_ignored += 1
+                return
+            ws.g[p.granter] = p.grant_seq
+        else:
+            ws.g[p.granter] += 1
         if p.lock_access_id is not None:
             for ep in ws.epochs:
                 if (
@@ -346,8 +354,10 @@ class RmaEngineBase:
 
     def _send_grant(self, ws: WindowState, origin: int) -> None:
         """Exposure/lock grant: ``e++`` locally, ``g++`` remotely (RDMA)."""
-        ws.next_exposure_id(origin)
-        self._send(origin, 8, GrantUpdate(ws.gid, granter=self.rank), ServiceKind.RDMA)
+        seq = ws.next_exposure_id(origin)
+        self._send(
+            origin, 8, GrantUpdate(ws.gid, granter=self.rank, grant_seq=seq), ServiceKind.RDMA
+        )
         self._trace("grant_sent", ws, origin=origin, e=ws.e[origin])
 
     def _send_done(self, ws: WindowState, epoch: Epoch, target: int) -> None:
@@ -405,11 +415,13 @@ class RmaEngineBase:
         checker = self._checker_of(ws)
         if checker is not None:
             checker.on_lock_grant(ws, waiter)
-        ws.next_exposure_id(waiter.origin)
+        seq = ws.next_exposure_id(waiter.origin)
         self._send(
             waiter.origin,
             8,
-            GrantUpdate(ws.gid, granter=self.rank, lock_access_id=waiter.access_id),
+            GrantUpdate(
+                ws.gid, granter=self.rank, lock_access_id=waiter.access_id, grant_seq=seq
+            ),
             ServiceKind.RDMA,
         )
         self._trace("lock_grant", ws, origin=waiter.origin, access_id=waiter.access_id)

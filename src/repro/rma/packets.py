@@ -160,10 +160,19 @@ class GrantUpdate(RmaPayload):
     ``lock_access_id`` carries the access id of the lock epoch being
     granted so the origin can mark that specific epoch as holding the
     lock (GATS matching alone cannot distinguish grant provenance).
+
+    ``grant_seq`` is the granter-side value of ``e[origin]`` *after*
+    the increment that produced this grant — i.e. the grant's position
+    in the granter→origin grant stream.  Because the receiver applies
+    it as ``g[granter] = max(g[granter], grant_seq)``, replaying a
+    GrantUpdate is a no-op: the counter update is idempotent, which is
+    what makes the packet safe to retransmit under the reliability
+    layer even if duplicate suppression were bypassed.
     """
 
     granter: int
     lock_access_id: int | None = None
+    grant_seq: int | None = None
 
 
 @dataclass

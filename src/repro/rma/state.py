@@ -43,6 +43,9 @@ class WindowState:
         self.g: dict[int, int] = defaultdict(int)
         #: Highest done-packet access id received per origin (target side).
         self.done_id: dict[int, int] = defaultdict(int)
+        #: Replayed GrantUpdates discarded by the idempotent ``max``
+        #: application (nonzero only if duplicate suppression is bypassed).
+        self.dup_grants_ignored = 0
 
         # -- epochs ---------------------------------------------------------
         #: All epochs not yet retired, in application open order.

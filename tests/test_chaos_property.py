@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import MPIRuntime
+from repro.faults import FaultPlan
 from repro.rma import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
 from repro.rma.flags import A_A_A_R, A_A_E_R, E_A_A_R, E_A_E_R
 
@@ -276,3 +277,84 @@ def test_chaos_report_mode_stays_empty(params):
 
     rt.run(app)
     assert checkers[0].report() == []
+
+
+# =====================================================================
+# Chaos under injected faults: seeded drops/duplicates/delays on top of
+# the randomized workloads.  The reliability layer must make the faulty
+# fabric indistinguishable at the data level — same sums, same memory,
+# zero checker violations — while the fault counters prove the plan
+# actually fired.
+# =====================================================================
+fault_params = st.fixed_dictionaries(
+    {
+        "nranks": st.integers(2, 5),
+        "updates": st.integers(1, 10),
+        "seed": st.integers(0, 2**20),
+        "fault_seed": st.integers(0, 2**20),
+        "engine": st.sampled_from(["nonblocking", "mvapich", "adaptive"]),
+    }
+)
+
+
+@given(fault_params)
+@settings(max_examples=10, deadline=None)
+def test_faulty_fabric_preserves_atomic_sums(params):
+    """Under light chaos every atomic update still lands exactly once."""
+    plan = FaultPlan.light_chaos(seed=params["fault_seed"])
+    rt = MPIRuntime(params["nranks"], cores_per_node=1, engine=params["engine"],
+                    fault_plan=plan)
+    res = rt.run(random_accumulate_app(params["updates"], params["seed"]))
+    total = sum(int(t.sum()) for t in res)
+    expected = params["updates"] * sum(1 + r for r in range(params["nranks"]))
+    assert total == expected
+
+
+@given(fault_params)
+@settings(max_examples=8, deadline=None)
+def test_faulty_run_matches_fault_free_memory(params):
+    """Byte-identical final memory with and without the fault plan."""
+    app = lambda: random_accumulate_app(params["updates"], params["seed"])  # noqa: E731
+    clean = MPIRuntime(params["nranks"], cores_per_node=1,
+                       engine=params["engine"]).run(app())
+    plan = FaultPlan.light_chaos(seed=params["fault_seed"])
+    faulty = MPIRuntime(params["nranks"], cores_per_node=1,
+                        engine=params["engine"], fault_plan=plan).run(app())
+    np.testing.assert_array_equal(np.stack(clean), np.stack(faulty))
+
+
+@given(fault_params)
+@settings(max_examples=8, deadline=None)
+def test_faulty_chaos_clean_under_checker(params):
+    """Raise-mode checker + all reorder flags + injected faults: the
+    reliability layer hides every fault from the middleware, so the
+    checker must stay as silent as on the lossless fabric."""
+    plan = FaultPlan.light_chaos(seed=params["fault_seed"])
+    rt = MPIRuntime(params["nranks"], cores_per_node=1, engine=params["engine"],
+                    fault_plan=plan)
+    res = rt.run(random_accumulate_app(params["updates"], params["seed"],
+                                       info=ALL_FLAGS_CHECKED))
+    total = sum(int(t.sum()) for t in res)
+    expected = params["updates"] * sum(1 + r for r in range(params["nranks"]))
+    assert total == expected
+
+
+@given(fault_params)
+@settings(max_examples=6, deadline=None)
+def test_faulty_runs_are_bit_identical(params):
+    """Same workload seed + same fault seed = same virtual end time,
+    same memory, same fault and retry counters."""
+    plan = FaultPlan.light_chaos(seed=params["fault_seed"])
+
+    def run_once():
+        rt = MPIRuntime(params["nranks"], cores_per_node=1,
+                        engine=params["engine"], fault_plan=plan)
+        res = rt.run(random_accumulate_app(params["updates"], params["seed"]))
+        rel = rt.fabric.reliability
+        return (rt.now, np.stack(res), dict(rt.fabric.injector.counters),
+                rel.retransmissions, rel.dup_suppressed)
+
+    t1, m1, c1, r1, d1 = run_once()
+    t2, m2, c2, r2, d2 = run_once()
+    assert (t1, c1, r1, d1) == (t2, c2, r2, d2)
+    np.testing.assert_array_equal(m1, m2)

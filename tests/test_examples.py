@@ -22,6 +22,7 @@ CASES = {
     "pattern_analysis.py": [],
     "halo_exchange.py": ["4", "16", "5"],
     "fact_database.py": ["6", "10"],
+    "fault_tolerance_demo.py": ["6", "10"],
     "stencil2d_gats.py": ["2", "2", "8", "4"],
 }
 

@@ -68,6 +68,7 @@ from .mpi import (
     waitany,
 )
 from .network import ClusterTopology, NetworkModel
+from .obs import MetricsRegistry, format_obs_report
 from .patterns import Tracer, detect_patterns, format_report
 from .rma import (
     A_A_A_R,
@@ -104,6 +105,8 @@ __all__ = [
     "Tracer",
     "detect_patterns",
     "format_report",
+    "MetricsRegistry",
+    "format_obs_report",
     "EpochKind",
     "ReorderFlags",
     "A_A_A_R",

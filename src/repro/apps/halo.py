@@ -39,6 +39,10 @@ class HaloConfig:
     interior_work_us: float = 0.0
     cores_per_node: int = 8
     model: NetworkModel | None = None
+    #: Collect :mod:`repro.obs` telemetry (see :class:`HaloResult.runtime`).
+    metrics: bool = False
+    #: Record the event trace (needed for Chrome trace export).
+    trace: bool = False
 
 
 @dataclass
@@ -47,6 +51,9 @@ class HaloResult:
 
     elapsed_us: float
     field: np.ndarray  # concatenated strips, shape (nranks*cells,)
+    #: The finished runtime (for ``metrics_summary()`` / trace export);
+    #: ``None`` unless the config asked for metrics or tracing.
+    runtime: MPIRuntime | None = None
 
 
 def reference_halo(initial: np.ndarray, nranks: int, cells: int, iterations: int) -> np.ndarray:
@@ -108,7 +115,10 @@ def run_halo(cfg: HaloConfig, initial: np.ndarray | None = None) -> HaloResult:
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        metrics=cfg.metrics,
+        trace=cfg.trace,
     )
     strips = runtime.run(app)
     field = np.concatenate(strips)
-    return HaloResult(elapsed_us=max(stats.values()), field=field)
+    keep = runtime if (cfg.metrics or cfg.trace) else None
+    return HaloResult(elapsed_us=max(stats.values()), field=field, runtime=keep)

@@ -11,21 +11,31 @@ Usage::
     python -m repro.bench --json out.json    # machine-readable rows
     python -m repro.bench --json -           # JSON to stdout
 
-The JSON document is a list of figure objects, each carrying its
-per-series rows::
+The JSON document carries run metadata plus a list of figure objects,
+each with its per-series rows::
 
-    [{"figure": "fig02", "title": "Fig. 2: Late Post", "unit": "µs",
-      "columns": ["access_epoch", ...],
-      "rows": [{"series": "MVAPICH", "values": {"access_epoch": 12.0, ...}},
-               ...]},
-     ...]
+    {"meta": {"seed": null, "engines": [...], "fault_plan": null,
+              "git_rev": "6dbadd1", "python": "3.12.3"},
+     "figures": [
+       {"figure": "fig02", "title": "Fig. 2: Late Post", "unit": "µs",
+        "columns": ["access_epoch", ...],
+        "rows": [{"series": "MVAPICH", "values": {"access_epoch": 12.0, ...}},
+                 ...]},
+       ...]}
+
+The committed ``BENCH_seed.json`` at the repo root is one such document
+(every figure), the baseline the CI ``bench-smoke`` job and regression
+hunts diff against.
 """
 
 from __future__ import annotations
 
 import json
+import platform
 import re
+import subprocess
 import sys
+from pathlib import Path
 
 from . import figures
 from .harness import SERIES, format_table
@@ -161,6 +171,33 @@ ALL = {
 }
 
 
+def run_meta() -> dict:
+    """Reproducibility metadata for one benchmark document.
+
+    The simulation is a deterministic discrete-event model with no RNG,
+    so ``seed`` is ``None`` by construction; it is recorded anyway so
+    the schema stays stable if stochastic workloads are ever added.
+    ``git_rev`` is best-effort (``None`` outside a git checkout).
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).parent,
+            timeout=5,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        rev = None
+    return {
+        "seed": None,
+        "engines": [s.name for s in SERIES],
+        "fault_plan": None,  # the §VIII microbenchmarks run fault-free
+        "git_rev": rev,
+        "python": platform.python_version(),
+    }
+
+
 def collect_json(names: list[str]) -> list[dict]:
     """Machine-readable per-series rows for the given figures."""
     doc = []
@@ -203,15 +240,16 @@ def main(argv: list[str]) -> int:
         print(f"unknown figures: {unknown}; available: {sorted(ALL)}", file=sys.stderr)
         return 2
     if json_path is not None:
-        doc = collect_json(wanted)
+        doc = {"meta": run_meta(), "figures": collect_json(wanted)}
         if json_path == "-":
             json.dump(doc, sys.stdout, indent=2)
             print()
         else:
             with open(json_path, "w") as fh:
                 json.dump(doc, fh, indent=2)
-            print(f"wrote {sum(len(f['rows']) for f in doc)} series rows "
-                  f"({len(doc)} figures) to {json_path}")
+            figs = doc["figures"]
+            print(f"wrote {sum(len(f['rows']) for f in figs)} series rows "
+                  f"({len(figs)} figures) to {json_path}")
         return 0
     for name in wanted:
         print(ALL[name]())

@@ -110,6 +110,9 @@ class ReliabilityLayer:
         self.out_of_order = 0
         self.acks_sent = 0
         self.delivery_failures = 0
+        #: Optional :class:`repro.obs.MetricsRegistry`, set by the
+        #: runtime when built with ``metrics=True``.
+        self.metrics = None
 
     def bind(self, fabric: "Fabric") -> None:
         """Install the fabric this layer serves (done by the runtime)."""
@@ -142,6 +145,9 @@ class ReliabilityLayer:
         st.last_sent_us = self.sim.now
         if st.attempts > 1:
             self.retransmissions += 1
+            m = self.metrics
+            if m is not None:
+                m.inc("rel.retransmissions")
             self._trace("retry", msg, st.seq, attempts=st.attempts)
         patience = delivery_delay_us + self.cfg.rto_for_attempt(st.attempts)
         self.sim.schedule(patience, self._check, msg.src, msg.dst, ticket.rel_seq,
@@ -160,6 +166,9 @@ class ReliabilityLayer:
 
     def _fail(self, st: _SendState) -> None:
         self.delivery_failures += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("rel.delivery_failures")
         msg = st.ticket.message
         self._trace("delivery_fail", msg, st.seq, attempts=st.attempts)
         assert self.fabric is not None
@@ -190,12 +199,17 @@ class ReliabilityLayer:
         self._send_ack(msg.dst, msg.src, seq)
         nxt = self._recv_next.get(key, 0)
         buf = self._recv_buffer.setdefault(key, {})
+        m = self.metrics
         if seq < nxt or seq in buf:
             self.dup_suppressed += 1
+            if m is not None:
+                m.inc("rel.dup_suppressed")
             return
         buf[seq] = ticket
         if seq != nxt:
             self.out_of_order += 1
+            if m is not None:
+                m.inc("rel.out_of_order")
             return
         assert self.fabric is not None
         while nxt in buf:
@@ -205,12 +219,19 @@ class ReliabilityLayer:
 
     def _send_ack(self, from_rank: int, to_rank: int, seq: int) -> None:
         self.acks_sent += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("rel.acks_sent")
         assert self.fabric is not None
         self.fabric._send_ack(from_rank, to_rank, seq)
 
     def on_ack(self, src: int, dst: int, seq: int) -> None:
         """The sender's credit: stop retransmitting ``(src, dst, seq)``."""
-        self._pending.pop((src, dst, seq), None)
+        st = self._pending.pop((src, dst, seq), None)
+        if st is not None:
+            m = self.metrics
+            if m is not None:
+                m.observe("rel.ack_rtt_us", self.sim.now - st.last_sent_us)
 
     # -- diagnostics -----------------------------------------------------
     @property

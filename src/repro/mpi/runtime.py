@@ -74,11 +74,22 @@ class MPIRuntime:
         engine: str = "nonblocking",
         flow_control: bool = True,
         trace: bool = False,
+        metrics: bool = False,
         fault_plan: "FaultPlan | None" = None,
         reliability: "bool | ReliabilityConfig | None" = None,
     ):
         self.sim = Simulator()
         self.topology = ClusterTopology(nranks, cores_per_node)
+        # Telemetry first: every layer below captures these references at
+        # construction (None when disabled: one attribute check per event).
+        if metrics:
+            from ..obs import EngineProfiler, MetricsRegistry
+
+            self.metrics: "MetricsRegistry | None" = MetricsRegistry(self.sim)
+            self.profiler: "EngineProfiler | None" = EngineProfiler(self.sim)
+        else:
+            self.metrics = None
+            self.profiler = None
         injector, rel = self._build_fault_stack(self.sim, fault_plan, reliability)
         self.fault_plan = fault_plan
         self.fabric = Fabric(
@@ -91,6 +102,13 @@ class MPIRuntime:
         )
         if injector is not None:
             injector.install(self.fabric)
+        if self.metrics is not None:
+            self.fabric.metrics = self.metrics
+            self.fabric.flow.metrics = self.metrics
+            for gate in self.fabric.attention:
+                gate.metrics = self.metrics
+            if rel is not None:
+                rel.metrics = self.metrics
         self.engine_name = engine
         factory = _engine_factory(engine)
         self.middlewares = [RankMiddleware(self.sim, self.fabric, r) for r in range(nranks)]
@@ -108,6 +126,9 @@ class MPIRuntime:
 
         self.tracer = Tracer(self.sim, enabled=trace)
         self.fabric.tracer = self.tracer
+        if self.metrics is not None:
+            for mw in self.middlewares:
+                mw.fifo.metrics = self.metrics
 
     @staticmethod
     def _build_fault_stack(sim, fault_plan, reliability):
@@ -199,3 +220,24 @@ class MPIRuntime:
         from .stats import collect_stats
 
         return collect_stats(self)
+
+    def metrics_summary(self) -> dict | None:
+        """JSON-stable snapshot of the :mod:`repro.obs` telemetry, or
+        ``None`` when the runtime was built without ``metrics=True``.
+
+        Combines the registry (counters / gauges / histograms), the
+        §VII-D 7-step profile under ``"profile"``, and — when a fault
+        plan is active — the injector's fault counters folded in as
+        ``faults.*`` counters (zero hot-path cost: the injector keeps
+        its own counts and they are merged here, at snapshot time).
+        """
+        if self.metrics is None:
+            return None
+        summary = self.metrics.summary()
+        assert self.profiler is not None
+        summary["profile"] = self.profiler.summary()
+        if self.fabric.injector is not None:
+            for name, value in self.fabric.injector.counters.items():
+                summary["counters"][f"faults.{name}"] = value
+            summary["counters"] = dict(sorted(summary["counters"].items()))
+        return summary

@@ -10,11 +10,19 @@ Flow-control pressure is reported both in aggregate (``fc_stalls``, the
 §VIII-B global symptom) and attributed: ``fc_max_queued`` is the deepest
 backlog any single directed pair reached, and ``fc_pair_stalls`` maps
 each pair that ever stalled to its ``(stall_count, max_queued)``.
+
+The snapshot is genuinely frozen: the dict-valued fields are deep-copied
+at collect time and wrapped in :class:`types.MappingProxyType`, so later
+runtime activity (or caller mutation attempts) cannot silently alter a
+stats object captured mid-run.  When the runtime was built with
+``metrics=True``, :attr:`RuntimeStats.metrics` carries the full
+:meth:`MPIRuntime.metrics_summary` dict.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,6 +62,9 @@ class RuntimeStats:
     dup_grants_ignored: int = 0
     #: True once the adaptive engine fell back to conservative mode.
     degraded: bool = False
+    #: :meth:`MPIRuntime.metrics_summary` snapshot (None unless the
+    #: runtime was built with ``metrics=True``).
+    metrics: dict | None = None
 
     @property
     def regcache_hit_rate(self) -> float:
@@ -94,6 +105,12 @@ class RuntimeStats:
             ]
             if self.degraded:
                 lines.append("adaptive engine     DEGRADED (conservative fallback)")
+        if self.metrics is not None:
+            profile = self.metrics.get("profile", {})
+            lines.append(
+                f"obs metrics         {len(self.metrics.get('counters', {})):14d} counters"
+                f"  ({profile.get('sweeps', 0)} progress sweeps profiled)"
+            )
         return "\n".join(lines)
 
 
@@ -130,12 +147,17 @@ def collect_stats(runtime: "MPIRuntime") -> RuntimeStats:
         live_epochs=live_epochs,
         windows=len(runtime.window_groups),
         fc_max_queued=fabric.flow.max_queued(),
-        fc_pair_stalls=fabric.flow.pair_stats(),
-        faults_injected=dict(injector.counters) if injector is not None else {},
+        # Snapshot-time deep freeze: pair_stats()/counters return fresh
+        # dicts, but the proxy also blocks caller-side mutation.
+        fc_pair_stalls=MappingProxyType(dict(fabric.flow.pair_stats())),
+        faults_injected=MappingProxyType(
+            dict(injector.counters) if injector is not None else {}
+        ),
         retransmissions=rel.retransmissions if rel is not None else 0,
         dup_suppressed=rel.dup_suppressed if rel is not None else 0,
         acks_sent=rel.acks_sent if rel is not None else 0,
         delivery_failures=rel.delivery_failures if rel is not None else 0,
         dup_grants_ignored=dup_grants,
         degraded=degraded,
+        metrics=runtime.metrics_summary(),
     )

@@ -65,13 +65,15 @@ class SendTicket:
         layer (``None`` when the layer is absent or for loopback).
     """
 
-    __slots__ = ("message", "local_complete", "delivered", "rel_seq")
+    __slots__ = ("message", "local_complete", "delivered", "rel_seq", "sent_us")
 
     def __init__(self, sim: "Simulator", message: Message):
         self.message = message
         self.local_complete: "SimEvent" = sim.event(f"msg{message.uid}.local")
         self.delivered: "SimEvent" = sim.event(f"msg{message.uid}.delivered")
         self.rel_seq: int | None = None
+        #: Virtual time of the originating send() call (metrics).
+        self.sent_us: float = sim.now
 
 
 class Fabric:
@@ -113,6 +115,9 @@ class Fabric:
         #: Set by the runtime once the tracer exists; fault/retry events
         #: are emitted through it.
         self.tracer: "Tracer | None" = None
+        #: Optional :class:`repro.obs.MetricsRegistry`, set by the
+        #: runtime when built with ``metrics=True``.
+        self.metrics = None
         #: Per-message transmission attempt counts (uid -> attempts);
         #: only maintained when an injector or the reliability layer is
         #: active.
@@ -158,6 +163,12 @@ class Fabric:
         ticket = SendTicket(self.sim, message)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        m = self.metrics
+        if m is not None:
+            from ..obs.metrics import BYTES_BUCKETS
+
+            m.inc(f"fabric.sends.{kind.name.lower()}")
+            m.observe("fabric.msg_bytes", nbytes, BYTES_BUCKETS)
 
         if src == dst:
             ticket.local_complete.trigger()
@@ -269,6 +280,9 @@ class Fabric:
     def _deliver(self, ticket: SendTicket) -> None:
         msg = ticket.message
         self._attempts.pop(msg.uid, None)
+        m = self.metrics
+        if m is not None:
+            m.observe("fabric.delivery_us", self.sim.now - ticket.sent_us)
         handler = self._handlers.get(msg.dst)
         if handler is not None:
             handler(msg.payload, msg.src)

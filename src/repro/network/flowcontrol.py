@@ -78,6 +78,8 @@ class FlowControl:
         self.ack_latency = ack_latency
         self.enabled = enabled and capacity > 0
         self._pools: dict[tuple[int, int], CreditPool] = {}
+        #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
+        self.metrics = None
 
     def pool(self, src: int, dst: int) -> CreditPool:
         """The credit pool for the directed pair (created on demand)."""
@@ -93,7 +95,19 @@ class FlowControl:
         if not self.enabled:
             on_granted()
             return
-        self.pool(src, dst).acquire(on_granted)
+        pool = self.pool(src, dst)
+        m = self.metrics
+        if m is not None and (pool.available <= 0 or pool.queued):
+            # This send will stall; wrap the grant to time the wait.
+            m.inc("fc.stalls")
+            start = self.sim.now
+            inner = on_granted
+
+            def on_granted() -> None:
+                m.observe("fc.credit_wait_us", self.sim.now - start)
+                inner()
+
+        pool.acquire(on_granted)
 
     def schedule_release(self, src: int, dst: int, delivered_at_delay: float) -> None:
         """Schedule the credit return ``delivered_at_delay + ack_latency``

@@ -73,7 +73,7 @@ class AttentionGate:
     """
 
     __slots__ = ("sim", "rank", "_attentive", "_stalled", "_stall_gen", "_queue",
-                 "stalls_injected")
+                 "stalls_injected", "metrics")
 
     def __init__(self, sim: "Simulator", rank: int):
         self.sim = sim
@@ -85,6 +85,8 @@ class AttentionGate:
         self._queue: deque[Callable[[], None]] = deque()
         #: Number of injected stalls observed (diagnostics).
         self.stalls_injected = 0
+        #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
+        self.metrics = None
 
     @property
     def attentive(self) -> bool:
@@ -105,6 +107,9 @@ class AttentionGate:
         regardless of the application-driven attention flag.  A stall
         arriving while another is active extends the outage."""
         self.stalls_injected += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("nic.attention_stalls")
         self._stalled = True
         self._stall_gen += 1
         gen = self._stall_gen
@@ -136,6 +141,9 @@ class AttentionGate:
             fn()
         else:
             self._queue.append(fn)
+            m = self.metrics
+            if m is not None:
+                m.inc("nic.attention_deferred")
 
     @property
     def pending(self) -> int:

@@ -122,6 +122,8 @@ class NotificationFifo:
         self.fabric = fabric
         self.rank = rank
         self._incoming: deque[tuple[int, int]] = deque()  # (packet, from_rank)
+        #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
+        self.metrics = None
 
     def send(self, dst: int, kind: NotifyKind, value: int) -> None:
         """Send one 64-bit notification packet to ``dst``.
@@ -131,6 +133,9 @@ class NotificationFifo:
         FIFO (see :meth:`push`).
         """
         packet = encode_notification(kind, self.rank, value)
+        m = self.metrics
+        if m is not None:
+            m.inc("fifo.sent")
         self.fabric.send(
             self.rank,
             dst,
@@ -142,6 +147,9 @@ class NotificationFifo:
     def push(self, packet: int, from_rank: int) -> None:
         """Called at delivery time by the middleware handler."""
         self._incoming.append((packet, from_rank))
+        m = self.metrics
+        if m is not None:
+            m.set_gauge("fifo.depth", len(self._incoming))
 
     def drain(self, consume: Callable[[NotifyKind, int, int], None]) -> int:
         """Pop and decode every queued packet, invoking
@@ -165,6 +173,10 @@ class NotificationFifo:
                 )
             consume(kind, rank, value)
             count += 1
+        if count:
+            m = self.metrics
+            if m is not None:
+                m.inc("fifo.drained", count)
         return count
 
     def pending(self) -> list[tuple[NotifyKind, int, int]]:

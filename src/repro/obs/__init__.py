@@ -1,0 +1,62 @@
+"""repro.obs — unified telemetry for the simulated RMA stack.
+
+Three cooperating pieces, all opt-in via ``MPIRuntime(metrics=True)``:
+
+- :mod:`~repro.obs.metrics` — a virtual-time-aware registry of
+  counters, gauges and fixed-bucket histograms, wired through the
+  progress engines, fabric/NIC, notification FIFO, flow control, lock
+  managers and the reliability layer (one attribute check per event
+  when disabled);
+- :mod:`~repro.obs.profiler` — the §VII-D 7-step progress-engine
+  profiler (per-step invocation/work/wall-clock accounting);
+- :mod:`~repro.obs.chrometrace` — a schema-checked Chrome
+  trace-event JSON exporter combining the
+  :class:`~repro.patterns.trace.Tracer` stream with metric samples
+  (loads in chrome://tracing and Perfetto).
+
+``python -m repro.obs`` runs an instrumented halo-exchange demo and
+prints the per-step / per-epoch report or writes a trace file; see
+``docs/OBSERVABILITY.md`` for the model and a walkthrough.
+"""
+
+from .chrometrace import (
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace_file,
+)
+from .metrics import (
+    BYTES_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_snapshot,
+)
+from .profiler import PROGRESS_STEPS, EngineProfiler, StepStat
+from .report import (
+    format_counters,
+    format_epoch_profile,
+    format_obs_report,
+    format_step_profile,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "BYTES_BUCKETS",
+    "quantile_from_snapshot",
+    "EngineProfiler",
+    "StepStat",
+    "PROGRESS_STEPS",
+    "export_chrome_trace",
+    "write_chrome_trace_file",
+    "validate_chrome_trace",
+    "format_obs_report",
+    "format_step_profile",
+    "format_epoch_profile",
+    "format_counters",
+]

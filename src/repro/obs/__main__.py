@@ -1,0 +1,100 @@
+"""Observability CLI: ``python -m repro.obs``.
+
+Runs a halo-exchange workload with metrics and tracing enabled, then
+prints the 7-step / per-epoch report or writes artifacts::
+
+    python -m repro.obs                         # report to stdout
+    python -m repro.obs --ranks 8 --iters 20    # bigger run
+    python -m repro.obs --engine mvapich        # baseline engine profile
+    python -m repro.obs --nonblocking           # drive the §V i* API
+    python -m repro.obs --trace trace.json      # Chrome trace-event JSON
+    python -m repro.obs --json metrics.json     # metrics summary as JSON
+    python -m repro.obs --validate trace.json   # schema-check an existing trace
+
+The trace file loads in chrome://tracing or https://ui.perfetto.dev;
+``--validate`` runs the same schema check CI applies (job
+``bench-smoke``) and exits nonzero on a malformed document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .chrometrace import validate_chrome_trace, write_chrome_trace_file
+from .report import format_obs_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run an instrumented halo exchange and report where time goes.",
+    )
+    p.add_argument("--ranks", type=int, default=4, help="ranks in the job (default 4)")
+    p.add_argument("--cells", type=int, default=32, help="cells per rank (default 32)")
+    p.add_argument("--iters", type=int, default=8, help="halo iterations (default 8)")
+    p.add_argument("--cores-per-node", type=int, default=2,
+                   help="ranks per node; >1 exercises the intranode FIFO path (default 2)")
+    p.add_argument("--engine", default="nonblocking",
+                   choices=("nonblocking", "mvapich", "adaptive"))
+    p.add_argument("--nonblocking", action="store_true",
+                   help="drive the §V MPI_WIN_I* API (nonblocking engine only)")
+    p.add_argument("--trace", metavar="FILE", help="write Chrome trace-event JSON")
+    p.add_argument("--json", dest="json_path", metavar="FILE",
+                   help="write the metrics summary as JSON ('-' for stdout)")
+    p.add_argument("--validate", metavar="FILE",
+                   help="schema-check an existing trace file and exit")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, encoding="utf-8") as fh:
+                count = validate_chrome_trace(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"INVALID {args.validate}: {exc}", file=sys.stderr)
+            return 1
+        print(f"OK {args.validate}: {count} valid trace events")
+        return 0
+
+    from ..apps.halo import HaloConfig, run_halo
+
+    result = run_halo(
+        HaloConfig(
+            nranks=args.ranks,
+            cells_per_rank=args.cells,
+            iterations=args.iters,
+            engine=args.engine,
+            nonblocking=args.nonblocking,
+            cores_per_node=args.cores_per_node,
+            metrics=True,
+            trace=True,
+        )
+    )
+    runtime = result.runtime
+    assert runtime is not None
+
+    print(format_obs_report(runtime))
+
+    if args.json_path is not None:
+        summary = runtime.metrics_summary()
+        if args.json_path == "-":
+            json.dump(summary, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2)
+            print(f"\nwrote metrics summary to {args.json_path}")
+    if args.trace is not None:
+        count = write_chrome_trace_file(args.trace, runtime)
+        print(f"wrote {count} trace events to {args.trace} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Chrome trace-event JSON export of a run's timeline + metrics.
+
+Builds on the tracer-stream exporter of :mod:`repro.patterns.export`
+(per-rank timelines: epoch lifetimes as async events, blocking
+intervals as duration events, everything else instant) and folds in the
+:mod:`repro.obs` metric samples:
+
+- one ``C`` (counter) sample per registry counter at the run's final
+  virtual time, so Perfetto shows end-of-run totals as counter tracks;
+- the 7-step progress profile as per-step ``C`` samples (``work`` and
+  ``invocations`` series);
+- the full metrics summary (histograms included) under
+  ``otherData.metrics`` for downstream tooling.
+
+The produced document loads in ``chrome://tracing`` and
+https://ui.perfetto.dev (the JSON flavour of the trace-event format);
+:func:`validate_chrome_trace` schema-checks it, and CI runs that check
+on every push (job ``bench-smoke``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import os
+
+    from ..mpi.runtime import MPIRuntime
+
+__all__ = ["export_chrome_trace", "write_chrome_trace_file", "validate_chrome_trace"]
+
+#: Trace-event phases this exporter may produce.
+_EMITTED_PHASES = frozenset("BEXibenMC")
+
+
+def export_chrome_trace(runtime: "MPIRuntime") -> dict:
+    """Build the full trace document for one (finished) runtime.
+
+    Works with any combination of ``trace=``/``metrics=``: the timeline
+    section needs ``trace=True``, the counter tracks need
+    ``metrics=True``; with neither the document is valid but empty.
+    """
+    from ..patterns.export import to_chrome_trace
+
+    events: list[dict] = [
+        {
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": rank,
+            "args": {"name": f"rank {rank}"},
+        }
+        for rank in range(runtime.nranks)
+    ]
+    events.extend(to_chrome_trace(runtime.tracer))
+
+    other: dict[str, Any] = {"nranks": runtime.nranks, "engine": runtime.engine_name}
+    summary = runtime.metrics_summary()
+    if summary is not None:
+        ts = runtime.now
+        for name, value in summary["counters"].items():
+            events.append(
+                {"ph": "C", "pid": 0, "tid": 0, "ts": ts, "name": name,
+                 "args": {"value": value}}
+            )
+        profile = summary.get("profile")
+        if profile:
+            for num, st in profile["steps"].items():
+                events.append(
+                    {"ph": "C", "pid": 0, "tid": 0, "ts": ts,
+                     "name": f"step{num} {st['name']}",
+                     "args": {"work": st["work"], "invocations": st["invocations"]}}
+                )
+        other["metrics"] = summary
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
+
+
+def write_chrome_trace_file(path: "str | os.PathLike[str]", runtime: "MPIRuntime") -> int:
+    """Validate and write the trace document; returns the event count."""
+    doc = export_chrome_trace(runtime)
+    count = validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return count
+
+
+def _fail(i: int, ev: Any, why: str) -> None:
+    raise ValueError(f"traceEvents[{i}] invalid: {why} ({ev!r})")
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Schema-check one trace document; returns the event count.
+
+    Raises :class:`ValueError` naming the first offending event.  The
+    checks cover what the Chrome/Perfetto JSON importer actually
+    requires: the ``traceEvents`` list, known phase letters, numeric
+    non-negative timestamps, integer pid/tid, ``dur`` on complete
+    events, ``id`` on async events, numeric counter args, and balanced
+    ``B``/``E`` duration nesting per (pid, tid) track.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace document must be a JSON object, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document has no 'traceEvents' list")
+    open_depth: dict[tuple[int, int], int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            _fail(i, ev, "event is not an object")
+        ph = ev.get("ph")
+        if ph not in _EMITTED_PHASES:
+            _fail(i, ev, f"unknown phase {ph!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            _fail(i, ev, "pid/tid must be integers")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                _fail(i, ev, f"bad timestamp {ts!r}")
+        if ph != "E" and not isinstance(ev.get("name"), str):
+            _fail(i, ev, "missing event name")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                _fail(i, ev, f"complete event needs non-negative dur, got {dur!r}")
+        if ph in ("b", "e", "n") and "id" not in ev:
+            _fail(i, ev, "async event needs an id")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                _fail(i, ev, "counter event needs non-empty args")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    _fail(i, ev, f"counter series {k!r} is not numeric")
+        if ph == "B":
+            key = (ev["pid"], ev["tid"])
+            open_depth[key] = open_depth.get(key, 0) + 1
+        elif ph == "E":
+            key = (ev["pid"], ev["tid"])
+            depth = open_depth.get(key, 0)
+            if depth <= 0:
+                _fail(i, ev, "duration end without matching begin on its track")
+            open_depth[key] = depth - 1
+    unclosed = {k: d for k, d in open_depth.items() if d}
+    if unclosed:
+        raise ValueError(f"unbalanced duration events on tracks {sorted(unclosed)}")
+    return len(events)

@@ -1,11 +1,15 @@
 """Trace export to the Chrome trace-viewer JSON format.
 
 ``chrome://tracing`` (or https://ui.perfetto.dev) renders per-rank
-timelines; this exporter maps ranks to "threads", blocking intervals and
-epoch internal lifetimes to duration events, and everything else to
-instant events.  Detected inefficiency-pattern instances can be overlaid
-as their own duration events, which makes Late Complete / Late Unlock
+timelines; this exporter maps ranks to "threads", blocking intervals to
+duration events, epoch internal lifetimes to async events (several can
+be active at once under reorder flags), and everything else to instant
+events.  Detected inefficiency-pattern instances can be overlaid as
+their own duration events, which makes Late Complete / Late Unlock
 visually obvious.
+
+For the full document (metric counter tracks, schema validation), see
+:mod:`repro.obs.chrometrace`, which builds on this exporter.
 """
 
 from __future__ import annotations
@@ -50,12 +54,18 @@ def to_chrome_trace(
             if start is not None:
                 events.append({**base, "ph": "E", "name": start["name"], "cat": "sync"})
         elif ev.kind == "epoch_activate":
+            # Async events: reorder flags allow several epochs of one
+            # rank to be active at once, which would break strict B/E
+            # stack nesting on the rank's track.
             events.append(
-                {**base, "ph": "B", "name": f"epoch#{ev.epoch}", "cat": "epoch",
-                 "args": {"win": ev.win}}
+                {**base, "ph": "b", "id": ev.epoch, "name": f"epoch#{ev.epoch}",
+                 "cat": "epoch", "args": {"win": ev.win}}
             )
         elif ev.kind == "epoch_complete":
-            events.append({**base, "ph": "E", "name": f"epoch#{ev.epoch}", "cat": "epoch"})
+            events.append(
+                {**base, "ph": "e", "id": ev.epoch, "name": f"epoch#{ev.epoch}",
+                 "cat": "epoch"}
+            )
         else:
             events.append(
                 {

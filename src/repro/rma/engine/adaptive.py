@@ -94,6 +94,9 @@ class AdaptiveEngine(MvapichEngine):
             return False
         self.degraded = True
         now = self.sim.now
+        m = self.metrics
+        if m is not None:
+            m.inc("engine.degraded")
         for gid, target in sorted(self._eager_pairs):
             self.mode_switches.append((now, gid, target, "lazy"))
         self._eager_pairs.clear()

@@ -84,6 +84,10 @@ class RmaEngineBase:
         self.states: dict[int, WindowState] = {}
         self._sweeping = False
         self._resweep = False
+        #: Opt-in telemetry (both None unless ``MPIRuntime(metrics=True)``;
+        #: every hook below is then one attribute check, like the tracer).
+        self.metrics = getattr(runtime, "metrics", None)
+        self.profiler = getattr(runtime, "profiler", None)
 
     # -- small conveniences ------------------------------------------------
     @property
@@ -112,6 +116,8 @@ class RmaEngineBase:
         cell.append(ws)
         self.states[win.group.gid] = ws
         win._state = ws
+        if self.metrics is not None:
+            ws.lock_mgr.metrics = self.metrics
 
     def state_of(self, win: "Window") -> WindowState:
         """State for a window owned by this rank."""
@@ -246,15 +252,20 @@ class RmaEngineBase:
         self._op_delivered(ws, op)
 
     def _on_grant(self, ws: WindowState, p: GrantUpdate, src: int) -> None:
+        m = self.metrics
         if p.grant_seq is not None:
             # Idempotent form: the packet carries its position in the
             # granter's grant stream, so replays cannot over-increment g.
             if p.grant_seq <= ws.g[p.granter]:
                 ws.dup_grants_ignored += 1
+                if m is not None:
+                    m.inc("omega.dup_grants_ignored")
                 return
             ws.g[p.granter] = p.grant_seq
         else:
             ws.g[p.granter] += 1
+        if m is not None:
+            m.inc("omega.grants_recv")
         if p.lock_access_id is not None:
             for ep in ws.epochs:
                 if (
@@ -263,6 +274,10 @@ class RmaEngineBase:
                     and not ep.lock_held.get(p.granter, False)
                 ):
                     ep.lock_held[p.granter] = True
+                    if m is not None:
+                        start = ep.activate_time if ep.activate_time is not None else ep.open_time
+                        if start is not None:
+                            m.observe("omega.lock_grant_wait_us", self.sim.now - start)
                     break
         self._trace("grant_recv", ws, granter=p.granter, g=ws.g[p.granter])
 
@@ -320,9 +335,9 @@ class RmaEngineBase:
     # =====================================================================
     # Notification FIFO (intranode epoch-completion packets, §VII-D)
     # =====================================================================
-    def _consume_notifications(self, _ws_unused: WindowState | None = None) -> None:
-        """Step 5: drain this rank's 64-bit FIFO."""
-        self.fifo.drain(self._on_notification)
+    def _consume_notifications(self, _ws_unused: WindowState | None = None) -> int:
+        """Step 5: drain this rank's 64-bit FIFO; returns packets drained."""
+        return self.fifo.drain(self._on_notification)
 
     def _on_notification(self, kind: NotifyKind, sender: int, value: int) -> None:
         gid, ident = unpack_win_value(value)
@@ -358,6 +373,9 @@ class RmaEngineBase:
         self._send(
             origin, 8, GrantUpdate(ws.gid, granter=self.rank, grant_seq=seq), ServiceKind.RDMA
         )
+        m = self.metrics
+        if m is not None:
+            m.inc("omega.grants_sent")
         self._trace("grant_sent", ws, origin=origin, e=ws.e[origin])
 
     def _send_done(self, ws: WindowState, epoch: Epoch, target: int) -> None:
@@ -424,13 +442,19 @@ class RmaEngineBase:
             ),
             ServiceKind.RDMA,
         )
+        m = self.metrics
+        if m is not None:
+            m.inc("omega.grants_sent")
         self._trace("lock_grant", ws, origin=waiter.origin, access_id=waiter.access_id)
 
-    def _process_lock_backlog(self, ws: WindowState) -> None:
-        """Step 6: batch-process queued lock/unlock requests."""
+    def _process_lock_backlog(self, ws: WindowState) -> int:
+        """Step 6: batch-process queued lock/unlock requests; returns the
+        number of backlog entries consumed."""
         checker = self._checker_of(ws)
+        processed = 0
         while ws.lock_backlog:
             what, packet = ws.lock_backlog.popleft()
+            processed += 1
             if what == "lock":
                 ws.lock_mgr.request(packet.origin, packet.exclusive, packet.access_id)
             else:
@@ -458,6 +482,7 @@ class RmaEngineBase:
                     ServiceKind.CONTROL,
                 )
                 self._trace("lock_release", ws, origin=packet.origin)
+        return processed
 
     # =====================================================================
     # Op issuing and completion
@@ -470,6 +495,9 @@ class RmaEngineBase:
             checker.on_op_issue(ws, op.epoch, op)
         op.issued = True
         op.issue_time = self.sim.now
+        m = self.metrics
+        if m is not None:
+            m.inc("rma.ops_issued")
         self._trace("op_issue", ws, op.epoch, op_kind=op.kind.value, target=op.target,
                     nbytes=op.nbytes)
 
@@ -544,10 +572,13 @@ class RmaEngineBase:
             ticket.delivered.add_callback(lambda _e: self._op_delivered(ws, op))
 
     def _op_local(self, ws: WindowState, op: RmaOp) -> None:
-        """Origin-buffer-reusable event."""
+        """Origin-buffer-reusable event (step-1 completion verification)."""
         if op.local_done:
             return
         op.local_done = True
+        prof = self.profiler
+        if prof is not None:
+            prof.tally(1)
         ws.notify_flushes(op, local=True)
         if op.request is not None and not op.request.remote and not op.request.done:
             op.request.complete()
@@ -560,6 +591,9 @@ class RmaEngineBase:
         op.delivered = True
         op.deliver_time = self.sim.now
         op.epoch.mark_delivered(op)
+        prof = self.profiler
+        if prof is not None:
+            prof.tally(1)
         self._trace(
             "op_delivered", ws, op.epoch, side="origin", target=op.target,
             op_kind=op.kind.value,
@@ -605,6 +639,14 @@ class RmaEngineBase:
     def _complete_epoch(self, ws: WindowState, ep: Epoch) -> None:
         ep.state = EpochState.COMPLETED
         ep.complete_time = self.sim.now
+        m = self.metrics
+        if m is not None:
+            kind = ep.kind.value
+            m.inc(f"epoch.{kind}.completed")
+            if ep.activate_time is not None:
+                if ep.open_time is not None:
+                    m.observe(f"epoch.{kind}.defer_us", ep.activate_time - ep.open_time)
+                m.observe(f"epoch.{kind}.active_us", ep.complete_time - ep.activate_time)
         self._trace("epoch_complete", ws, ep)
         checker = self._checker_of(ws)
         if checker is not None:

@@ -30,6 +30,7 @@ Blocking-only synchronization
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from ...network.packets import ServiceKind
@@ -66,14 +67,46 @@ class MvapichEngine(RmaEngineBase):
     # Progress
     # =====================================================================
     def _sweep(self) -> None:
+        prof = self.profiler
+        if prof is not None:
+            self._sweep_profiled(prof)
+            return
         self._consume_notifications()
         for ws in list(self.states.values()):
             self._process_lock_backlog(ws)
             self._advance_all(ws)
         self._check_blocking_flushes()
 
-    def _advance_all(self, ws: WindowState) -> None:
+    def _sweep_profiled(self, prof) -> None:
+        """Baseline sweep with §VII-D accounting.  The per-window
+        interleaving of backlog processing and epoch advancement must
+        match the unprofiled path exactly (loopback fabric delivery is
+        synchronous), so the two steps' wall times accumulate across the
+        loop and are recorded once each."""
+        prof.sweeps += 1
+        t0 = perf_counter()
+        drained = self._consume_notifications()            # step 5
+        t1 = perf_counter()
+        prof.record(5, drained, t1 - t0)
+        backlog_work = advance_work = 0
+        backlog_s = advance_s = 0.0
+        for ws in list(self.states.values()):
+            a = perf_counter()
+            backlog_work += self._process_lock_backlog(ws)  # step 6
+            b = perf_counter()
+            advance_work += self._advance_all(ws)           # step 7
+            c = perf_counter()
+            backlog_s += b - a
+            advance_s += c - b
+        prof.record(6, backlog_work, backlog_s)
+        prof.record(7, advance_work, advance_s)
+        self._check_blocking_flushes()
+
+    def _advance_all(self, ws: WindowState) -> int:
+        """Advance every live epoch to quiescence; returns the number of
+        epochs that made completion progress."""
         changed = True
+        progressed = 0
         while changed:
             changed = False
             for ep in ws.epochs:
@@ -81,7 +114,9 @@ class MvapichEngine(RmaEngineBase):
                     continue
                 if self._advance(ws, ep):
                     changed = True
+                    progressed += 1
         ws.epochs = [ep for ep in ws.epochs if not (ep.completed and ep.app_closed)]
+        return progressed
 
     def _advance(self, ws: WindowState, ep: Epoch) -> bool:
         if ep.kind is EpochKind.GATS_EXPOSURE:

@@ -36,6 +36,7 @@ The 7-step progress loop (§VII-D)
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from ...network.packets import ServiceKind
@@ -67,6 +68,10 @@ class NonblockingEngine(RmaEngineBase):
     # §VII-D — the progress loop
     # =====================================================================
     def _sweep(self) -> None:
+        prof = self.profiler
+        if prof is not None:
+            self._sweep_profiled(prof)
+            return
         states = list(self.states.values())
         for ws in states:
             # Step 1 (completion verification) is event-driven here:
@@ -83,6 +88,45 @@ class NonblockingEngine(RmaEngineBase):
             self._complete_and_activate(ws)            # step 7
         self._check_blocking_flushes()
 
+    def _sweep_profiled(self, prof) -> None:
+        """The same step sequence as :meth:`_sweep`, with per-step work
+        counts and wall-clock deltas fed to the §VII-D profiler.  The
+        loop structure must stay identical to the unprofiled path:
+        loopback fabric delivery is synchronous, so reordering steps
+        would change the virtual-time schedule."""
+        prof.sweeps += 1
+        states = list(self.states.values())
+        t0 = perf_counter()
+        work = 0
+        for ws in states:
+            work += self._post_ready_ops(ws, intranode=False)  # step 2
+        t1 = perf_counter()
+        prof.record(2, work, t1 - t0)
+        work = 0
+        for ws in states:
+            work += self._complete_and_activate(ws)            # step 3
+        t2 = perf_counter()
+        prof.record(3, work, t2 - t1)
+        work = 0
+        for ws in states:
+            work += self._post_ready_ops(ws, intranode=True)   # step 4
+        t3 = perf_counter()
+        prof.record(4, work, t3 - t2)
+        work = self._consume_notifications()                   # step 5
+        t4 = perf_counter()
+        prof.record(5, work, t4 - t3)
+        work = 0
+        for ws in states:
+            work += self._process_lock_backlog(ws)             # step 6
+        t5 = perf_counter()
+        prof.record(6, work, t5 - t4)
+        work = 0
+        for ws in states:
+            work += self._complete_and_activate(ws)            # step 7
+        t6 = perf_counter()
+        prof.record(7, work, t6 - t5)
+        self._check_blocking_flushes()
+
     # =====================================================================
     # Activation (§VI rules)
     # =====================================================================
@@ -92,11 +136,11 @@ class NonblockingEngine(RmaEngineBase):
             return False
         return ws.win.group.flags.allows(new.is_access, prev.is_access)
 
-    def _try_activate(self, ws: WindowState) -> bool:
+    def _try_activate(self, ws: WindowState) -> int:
         """Activate deferred epochs in order; §VII-A: "the scan stops when
         the first deferred epoch is encountered that fails activation
-        conditions"."""
-        activated = False
+        conditions".  Returns the number of epochs activated."""
+        activated = 0
         active_preceding: list[Epoch] = []
         for ep in ws.epochs:
             if ep.completed:
@@ -110,7 +154,7 @@ class NonblockingEngine(RmaEngineBase):
                 break
             self._activate(ws, ep, tuple(active_preceding))
             active_preceding.append(ep)
-            activated = True
+            activated += 1
         return activated
 
     def _activate(
@@ -173,8 +217,12 @@ class NonblockingEngine(RmaEngineBase):
             return ws.remote_fence_open[target] >= ep.fence_round
         raise AssertionError(f"ops not allowed in {ep.kind}")
 
-    def _post_ready_ops(self, ws: WindowState, intranode: bool) -> None:
+    def _post_ready_ops(self, ws: WindowState, intranode: bool) -> int:
+        """Steps 2/4: issue recorded ops to every granted target;
+        returns the number of ops posted."""
         topo = self.fabric.topology
+        m = self.metrics
+        posted = 0
         for ep in ws.epochs:
             if not ep.active or ep.kind is EpochKind.GATS_EXPOSURE:
                 continue
@@ -184,10 +232,17 @@ class NonblockingEngine(RmaEngineBase):
                 is_intra = target == self.rank or topo.same_node(self.rank, target)
                 if is_intra != intranode:
                     continue
-                if self._target_ready(ws, ep, target):
+                ready = self._target_ready(ws, ep, target)
+                if m is not None:
+                    # ω matching outcome (§VII-B): one O(1) test per
+                    # pending target per sweep.
+                    m.inc("omega.matches" if ready else "omega.wait_for_grant")
+                if ready:
                     for op in ep.take_unissued(target):
                         self._record_concurrency(ws, ep, op)
                         self._issue_op(ws, op)
+                        posted += 1
+        return posted
 
     def _record_concurrency(self, ws: WindowState, ep: Epoch, op: RmaOp) -> None:
         """Feed the consistency tracker when reorder flags permit
@@ -205,24 +260,29 @@ class NonblockingEngine(RmaEngineBase):
     # =====================================================================
     # Completion (step 3 / step 7)
     # =====================================================================
-    def _complete_and_activate(self, ws: WindowState) -> None:
+    def _complete_and_activate(self, ws: WindowState) -> int:
+        """Steps 3/7: returns the number of epochs progressed (completed
+        or activated)."""
         changed = True
-        any_change = False
+        progressed = 0
         while changed:
             changed = False
             for ep in ws.epochs:
                 if ep.active and self._advance_epoch(ws, ep):
                     changed = True
-            if self._try_activate(ws):
+                    progressed += 1
+            activated = self._try_activate(ws)
+            if activated:
                 changed = True
-            any_change = any_change or changed
-        if any_change:
+                progressed += activated
+        if progressed:
             # Newly activated epochs may have ready ops; rerun the full
             # step sequence so steps 2/4 post them.
             self._resweep = True
         ws.epochs = [
             ep for ep in ws.epochs if not (ep.completed and ep.app_closed)
         ]
+        return progressed
 
     def _advance_epoch(self, ws: WindowState, ep: Epoch) -> bool:
         """Move one active epoch toward completion; True if it completed."""

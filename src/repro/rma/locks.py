@@ -44,6 +44,8 @@ class LockManager:
         self._queue: deque[LockWaiter] = deque()
         #: Total grants issued (diagnostics).
         self.grants = 0
+        #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
+        self.metrics = None
 
     # -- queries -----------------------------------------------------------
     @property
@@ -76,6 +78,10 @@ class LockManager:
         recursive shared-locking hazard §VII-A mentions.
         """
         self._queue.append(LockWaiter(origin, exclusive, access_id))
+        m = self.metrics
+        if m is not None:
+            m.inc("locks.requests")
+            m.set_gauge("locks.queue_depth", len(self._queue))
         self._drain()
 
     def release(self, origin: int) -> None:
@@ -108,4 +114,7 @@ class LockManager:
     def _grant(self, waiter: LockWaiter) -> None:
         self._holders[waiter.origin] = waiter.exclusive
         self.grants += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("locks.grants")
         self._on_grant(waiter)

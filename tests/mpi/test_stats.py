@@ -1,6 +1,7 @@
 """Runtime statistics collection."""
 
 import numpy as np
+import pytest
 
 from repro.mpi.stats import RuntimeStats, collect_stats
 from tests.conftest import make_runtime
@@ -52,6 +53,62 @@ class TestCollect:
     def test_collect_stats_function(self):
         rt = run_small_job()
         assert collect_stats(rt).messages_sent == rt.fabric.messages_sent
+
+
+class TestFrozenSnapshot:
+    """RuntimeStats is a frozen dataclass; its dict fields must be
+    frozen too — deep-copied at collect time and read-only after."""
+
+    def test_dict_fields_reject_mutation(self):
+        stats = run_small_job().stats()
+        with pytest.raises(TypeError):
+            stats.faults_injected["drops"] = 99
+        with pytest.raises(TypeError):
+            stats.fc_pair_stalls[(0, 1)] = (1, 1)
+
+    def test_faults_snapshot_decoupled_from_injector(self):
+        from repro.faults import FaultKind, FaultPlan, FaultRule
+
+        plan = FaultPlan(seed=3, rules=(FaultRule(FaultKind.DELAY, 0.5, delay_us=5.0),))
+        rt = make_runtime(3, fault_plan=plan)
+
+        def app(proc):
+            win = yield from proc.win_allocate(1 << 16)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                win.put(np.zeros(1 << 10, dtype=np.uint8), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        rt.run(app)
+        stats = rt.stats()
+        before = dict(stats.faults_injected)
+        # Later injector activity must not leak into the snapshot.
+        rt.fabric.injector.counters["delays"] += 100
+        assert dict(stats.faults_injected) == before
+
+    def test_metrics_field_none_by_default(self):
+        assert run_small_job().stats().metrics is None
+
+    def test_metrics_field_carries_summary(self):
+        rt = make_runtime(2, metrics=True)
+
+        def app(proc):
+            win = yield from proc.win_allocate(256)
+            yield from proc.barrier()
+            yield from win.fence()
+            if proc.rank == 0:
+                win.put(np.zeros(8, dtype=np.uint8), 1, 0)
+            yield from win.fence()
+            yield from proc.barrier()
+
+        rt.run(app)
+        stats = rt.stats()
+        assert stats.metrics is not None
+        assert stats.metrics["counters"]["rma.ops_issued"] == 1
+        assert stats.metrics["profile"]["sweeps"] > 0
+        assert "obs metrics" in stats.format()
 
 
 class TestCliRunner:

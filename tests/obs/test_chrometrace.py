@@ -1,0 +1,154 @@
+"""Chrome trace-event export + schema validation, and the obs CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    export_chrome_trace,
+    format_obs_report,
+    validate_chrome_trace,
+    write_chrome_trace_file,
+)
+from tests.conftest import make_runtime
+
+
+def instrumented_run(**kwargs):
+    kwargs.setdefault("metrics", True)
+    kwargs.setdefault("trace", True)
+    rt = make_runtime(2, **kwargs)
+
+    def app(proc):
+        win = yield from proc.win_allocate(256)
+        yield from proc.barrier()
+        yield from win.fence()
+        if proc.rank == 0:
+            win.put(np.zeros(16, dtype=np.uint8), 1, 0)
+        yield from win.fence()
+        yield from proc.barrier()
+
+    rt.run(app)
+    return rt
+
+
+class TestExport:
+    def test_document_validates(self):
+        doc = export_chrome_trace(instrumented_run())
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["nranks"] == 2
+        assert doc["otherData"]["metrics"]["counters"]["rma.ops_issued"] == 1
+
+    def test_counter_tracks_emitted(self):
+        doc = export_chrome_trace(instrumented_run())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "rma.ops_issued" in names
+        # One track per profiled progress step.
+        assert sum(1 for n in names if n.startswith("step")) == 7
+
+    def test_thread_name_metadata(self):
+        doc = export_chrome_trace(instrumented_run())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {"rank 0", "rank 1"}
+
+    def test_metrics_only_run_still_valid(self):
+        doc = export_chrome_trace(instrumented_run(trace=False))
+        assert validate_chrome_trace(doc) > 0
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace_file(path, instrumented_run())
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count
+
+
+class TestValidate:
+    def ok(self):
+        return {"traceEvents": [
+            {"ph": "i", "ts": 1.0, "pid": 0, "tid": 0, "name": "tick"},
+        ]}
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_rejects_unknown_phase(self):
+        doc = self.ok()
+        doc["traceEvents"][0]["ph"] = "Z"
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_negative_timestamp(self):
+        doc = self.ok()
+        doc["traceEvents"][0]["ts"] = -1.0
+        with pytest.raises(ValueError, match="bad timestamp"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_async_without_id(self):
+        doc = {"traceEvents": [
+            {"ph": "b", "ts": 0.0, "pid": 0, "tid": 0, "name": "ep", "cat": "epoch"},
+        ]}
+        with pytest.raises(ValueError, match="needs an id"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unbalanced_durations(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "ts": 0.0, "pid": 0, "tid": 0, "name": "blk"},
+        ]}
+        with pytest.raises(ValueError, match="unbalanced"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_end_without_begin(self):
+        doc = {"traceEvents": [
+            {"ph": "E", "ts": 0.0, "pid": 0, "tid": 0},
+        ]}
+        with pytest.raises(ValueError, match="without matching begin"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_non_numeric_counter(self):
+        doc = {"traceEvents": [
+            {"ph": "C", "ts": 0.0, "pid": 0, "tid": 0, "name": "c",
+             "args": {"value": "many"}},
+        ]}
+        with pytest.raises(ValueError, match="not numeric"):
+            validate_chrome_trace(doc)
+
+
+class TestReport:
+    def test_report_sections(self):
+        text = format_obs_report(instrumented_run())
+        for needle in ("7-step progress profile", "epoch lifecycle latency",
+                       "counters", "fence"):
+            assert needle in text
+
+
+class TestCli:
+    def test_end_to_end_artifacts(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["--ranks", "2", "--cells", "8", "--iters", "2",
+                   "--trace", str(trace), "--json", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "7-step progress profile" in out
+        assert validate_chrome_trace(json.loads(trace.read_text())) > 0
+        assert "counters" in json.loads(metrics.read_text())
+
+    def test_validate_good_and_bad(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"traceEvents": []}))
+        assert main(["--validate", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "?"}]}))
+        assert main(["--validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err

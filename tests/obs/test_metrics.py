@@ -1,0 +1,128 @@
+"""Metrics primitives: counters, gauges, histograms, the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_snapshot,
+)
+from repro.simtime import Simulator
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestGauge:
+    def test_tracks_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.high_water == 7
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0.5, 1.0, 5, 50, 5000):
+            h.observe(v)
+        # bisect_left on inclusive upper bounds: 1.0 lands in bucket 0.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5
+        assert h.max == 5000
+
+    def test_mean(self):
+        h = Histogram("lat", bounds=(10,))
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+        assert Histogram("empty").mean == 0.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(5, 5))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(5, 1))
+
+    def test_quantile_basic(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0.5, 2, 3, 20, 99):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0  # first non-empty bucket's bound
+        assert h.quantile(1.0) == 99  # overflow-free max
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_clamped_to_observed_max(self):
+        # One sample of 6.61 with a 10-bound bucket: the p99 estimate
+        # must report 6.61, not the bucket's upper bound.
+        h = Histogram("lat", bounds=(1, 10))
+        h.observe(6.61)
+        assert h.quantile(0.5) == pytest.approx(6.61)
+        assert h.quantile(0.99) == pytest.approx(6.61)
+
+    def test_quantile_empty(self):
+        assert Histogram("empty").quantile(0.5) == 0.0
+
+    def test_snapshot_roundtrip(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0.5, 2, 3, 20, 250):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["counts"] == h.counts
+        for q in (0.1, 0.5, 0.9, 1.0):
+            assert quantile_from_snapshot(snap, q) == h.quantile(q)
+        assert quantile_from_snapshot(Histogram("e").snapshot(), 0.5) == 0.0
+
+
+class TestRegistry:
+    def make(self):
+        return MetricsRegistry(Simulator())
+
+    def test_auto_creation(self):
+        m = self.make()
+        m.inc("a.b")
+        m.inc("a.b", 2)
+        m.set_gauge("g", 4)
+        m.observe("h_us", 12.0)
+        assert m.value("a.b") == 3
+        assert m.value("never.touched") == 0
+        assert m.gauge("g").high_water == 4
+        assert m.histogram("h_us").count == 1
+
+    def test_same_object_on_repeat_access(self):
+        m = self.make()
+        assert m.counter("c") is m.counter("c")
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_custom_bounds(self):
+        m = self.make()
+        m.observe("bytes", 100, BYTES_BUCKETS)
+        assert m.histogram("bytes").bounds == BYTES_BUCKETS
+        assert m.histogram("default").bounds == DEFAULT_LATENCY_BUCKETS_US
+
+    def test_summary_shape(self):
+        sim = Simulator()
+        m = MetricsRegistry(sim)
+        m.inc("z.count")
+        m.inc("a.count")
+        m.set_gauge("depth", 3)
+        m.observe("lat_us", 7.0)
+        s = m.summary()
+        assert s["virtual_time_us"] == sim.now
+        assert list(s["counters"]) == ["a.count", "z.count"]  # sorted
+        assert s["gauges"]["depth"] == {"value": 3, "high_water": 3}
+        assert s["histograms"]["lat_us"]["count"] == 1

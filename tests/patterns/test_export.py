@@ -34,9 +34,12 @@ class TestChromeTrace:
         events = to_chrome_trace(rt.tracer)
         assert events
         for ev in events:
-            assert ev["ph"] in ("B", "E", "i", "X")
+            assert ev["ph"] in ("B", "E", "i", "X", "b", "e")
             assert isinstance(ev["ts"], float)
             assert ev["tid"] in (0, 1)
+            if ev["ph"] in ("b", "e"):
+                # Async events must carry an id for pairing.
+                assert "id" in ev
 
     def test_block_intervals_paired(self):
         rt = traced_run()
@@ -46,11 +49,14 @@ class TestChromeTrace:
         assert begins == ends > 0
 
     def test_epoch_lifetimes_paired(self):
+        # Epochs export as *async* b/e events (several can be active at
+        # once under reorder flags), paired by epoch id.
         rt = traced_run()
         events = to_chrome_trace(rt.tracer)
-        begins = [e for e in events if e["ph"] == "B" and e["cat"] == "epoch"]
-        ends = [e for e in events if e["ph"] == "E" and e["cat"] == "epoch"]
+        begins = [e for e in events if e["ph"] == "b" and e["cat"] == "epoch"]
+        ends = [e for e in events if e["ph"] == "e" and e["cat"] == "epoch"]
         assert len(begins) == len(ends) >= 2  # access + exposure at least
+        assert sorted(e["id"] for e in begins) == sorted(e["id"] for e in ends)
 
     def test_pattern_overlay(self):
         rt = traced_run()

@@ -1,5 +1,8 @@
 """Tracer mechanics."""
 
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.patterns.trace import EVENT_KINDS, Tracer
@@ -27,6 +30,22 @@ class TestTracer:
     def test_kind_registry_covers_detector_needs(self):
         for needed in ("block_enter", "block_exit", "grant_recv", "op_delivered"):
             assert needed in EVENT_KINDS
+
+    def test_every_emitted_kind_is_registered(self):
+        # Static scan: every string literal passed to _trace()/emit()
+        # anywhere in src must be a registered event kind, so a typo at
+        # an instrumentation site fails here instead of only at runtime
+        # in a traced run.
+        src = Path(__file__).resolve().parents[2] / "src"
+        pattern = re.compile(r"""(?:_trace|\.emit)\(\s*["'](\w+)["']""")
+        emitted = {
+            kind
+            for path in src.rglob("*.py")
+            for kind in pattern.findall(path.read_text(encoding="utf-8"))
+        }
+        assert emitted, "static scan found no instrumentation sites"
+        unknown = emitted - set(EVENT_KINDS)
+        assert not unknown, f"emitted kinds missing from EVENT_KINDS: {sorted(unknown)}"
 
     def test_queries(self, sim):
         t = Tracer(sim, enabled=True)
@@ -80,3 +99,28 @@ class TestRuntimeIntegration:
 
         rt.run(app)
         assert len(rt.tracer) == 0
+
+    def test_tracing_off_emits_nothing_under_load(self, engine):
+        # A run with epochs, ops, locks and grants must leave the
+        # disabled tracer completely empty on both engines.
+        import numpy as np
+
+        from repro.rma import MODE_NOSUCCEED
+        from tests.conftest import make_runtime
+
+        rt = make_runtime(3, engine, cores_per_node=2)
+
+        def app(proc):
+            win = yield from proc.win_allocate(256)
+            yield from proc.barrier()
+            yield from win.fence()
+            win.put(np.int64([proc.rank]), (proc.rank + 1) % proc.size, 0)
+            yield from win.fence(MODE_NOSUCCEED)
+            yield from win.lock(0)
+            win.put(np.int64([7]), 0, 8 * proc.rank)
+            yield from win.unlock(0)
+            yield from proc.barrier()
+
+        rt.run(app)
+        assert len(rt.tracer) == 0
+        assert rt.tracer.events == []

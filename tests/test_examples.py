@@ -24,6 +24,7 @@ CASES = {
     "fact_database.py": ["6", "10"],
     "fault_tolerance_demo.py": ["6", "10"],
     "stencil2d_gats.py": ["2", "2", "8", "4"],
+    "observability_demo.py": ["3", "2"],
 }
 
 

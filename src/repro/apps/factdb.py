@@ -28,6 +28,7 @@ grand total equals ``sum(v_k over fired rules)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -87,6 +88,8 @@ class FactDbConfig:
     seed: int = 42
     cores_per_node: int = 8
     model: NetworkModel | None = None
+    #: Schedule-exploration context (see :mod:`repro.explore`).
+    exploration: Any = None
 
     @property
     def slots_per_rank(self) -> int:
@@ -197,6 +200,7 @@ def run_factdb(cfg: FactDbConfig) -> FactDbResult:
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        exploration=cfg.exploration,
     )
     finish = [0.0] * cfg.nranks
     tables = runtime.run(_make_app(cfg, finish))

@@ -12,6 +12,7 @@ Fence mitigation: with ``ifence``, the relaxation of *interior* cells
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -43,6 +44,8 @@ class HaloConfig:
     metrics: bool = False
     #: Record the event trace (needed for Chrome trace export).
     trace: bool = False
+    #: Schedule-exploration context (see :mod:`repro.explore`).
+    exploration: Any = None
 
 
 @dataclass
@@ -117,6 +120,7 @@ def run_halo(cfg: HaloConfig, initial: np.ndarray | None = None) -> HaloResult:
         model=cfg.model,
         metrics=cfg.metrics,
         trace=cfg.trace,
+        exploration=cfg.exploration,
     )
     strips = runtime.run(app)
     field = np.concatenate(strips)

@@ -35,6 +35,7 @@ Two compute modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -64,6 +65,8 @@ class LUConfig:
     seed: int = 7
     cores_per_node: int = 8
     model: NetworkModel | None = None
+    #: Schedule-exploration context (see :mod:`repro.explore`).
+    exploration: Any = None
 
 
 @dataclass
@@ -207,6 +210,7 @@ def run_lu(cfg: LUConfig) -> LUResult:
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        exploration=cfg.exploration,
     )
     stats: dict = {}
     results = runtime.run(_make_app(cfg, stats))

@@ -26,6 +26,7 @@ against a sequential reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -57,6 +58,8 @@ class Stencil2DConfig:
     interior_work_us: float = 0.0
     cores_per_node: int = 4
     model: NetworkModel | None = None
+    #: Schedule-exploration context (see :mod:`repro.explore`).
+    exploration: Any = None
 
     @property
     def nranks(self) -> int:
@@ -174,6 +177,7 @@ def run_stencil2d(cfg: Stencil2DConfig, initial: np.ndarray | None = None) -> St
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        exploration=cfg.exploration,
     )
     tiles = runtime.run(app)
     grid = np.zeros((rows, cols), dtype=_F8)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..mpi.runtime import MPIRuntime
 from ..network.model import NetworkModel
@@ -70,6 +70,8 @@ class TransactionsConfig:
     fault_plan: "FaultPlan | None" = None
     #: Run the RMA semantics checker on every window ("raise"/"report").
     semantics_check: str | None = None
+    #: Schedule-exploration context (see :mod:`repro.explore`).
+    exploration: Any = None
 
     @property
     def window_bytes(self) -> int:
@@ -164,6 +166,7 @@ def run_transactions(cfg: TransactionsConfig) -> TransactionsResult:
         model=cfg.model,
         flow_control=cfg.flow_control,
         fault_plan=cfg.fault_plan,
+        exploration=cfg.exploration,
     )
     finish_times = [0.0] * cfg.nranks
     sums = runtime.run(_make_app(cfg, finish_times))

@@ -10,6 +10,11 @@ Usage::
     python -m repro.bench fig02 fig06 ...    # a subset
     python -m repro.bench --json out.json    # machine-readable rows
     python -m repro.bench --json -           # JSON to stdout
+    python -m repro.bench --check BENCH_seed.json [--tolerance 0.2]
+                          [--diff-out diff.json]
+                                             # regression guard: re-run and
+                                             # diff against a baseline doc;
+                                             # exit 1 on per-figure drift
 
 The JSON document carries run metadata plus a list of figure objects,
 each with its per-series rows::
@@ -222,8 +227,43 @@ def collect_json(names: list[str]) -> list[dict]:
     return doc
 
 
+def check_baseline(baseline_path: str, wanted: list[str], tolerance: float,
+                   diff_out: str | None) -> int:
+    """Regression-guard mode: re-run ``wanted`` figures, diff against the
+    baseline document, optionally write the diff artifact; returns the
+    process exit code (1 = drift beyond tolerance)."""
+    from .check import compare_docs
+
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    known = {f["figure"] for f in baseline.get("figures", [])}
+    names = [w for w in wanted if w in known]
+    current = {"meta": run_meta(), "figures": collect_json(names)}
+    verdict = compare_docs(baseline, current, tolerance=tolerance)
+    verdict["baseline"] = baseline_path
+    verdict["baseline_meta"] = baseline.get("meta")
+    verdict["current_meta"] = current["meta"]
+    if diff_out is not None:
+        with open(diff_out, "w") as fh:
+            json.dump(verdict, fh, indent=2)
+    print(f"checked {verdict['checked']} values against {baseline_path} "
+          f"(tolerance ±{tolerance:.0%})")
+    if verdict["ok"]:
+        print("no drift")
+        return 0
+    for d in verdict["drifts"]:
+        rel = d["rel_change"]
+        how = f"{rel:+.1%}" if isinstance(rel, float) else "structural"
+        print(f"DRIFT {d['figure']}/{d['series']}/{d['column']}: "
+              f"{d['baseline']} -> {d['current']} ({how})")
+    return 1
+
+
 def main(argv: list[str]) -> int:
     json_path: str | None = None
+    check_path: str | None = None
+    diff_out: str | None = None
+    tolerance = 0.2
     wanted: list[str] = []
     it = iter(argv)
     for arg in it:
@@ -232,6 +272,22 @@ def main(argv: list[str]) -> int:
             if json_path is None:
                 print("--json needs a path (or '-' for stdout)", file=sys.stderr)
                 return 2
+        elif arg == "--check":
+            check_path = next(it, None)
+            if check_path is None:
+                print("--check needs a baseline JSON path", file=sys.stderr)
+                return 2
+        elif arg == "--tolerance":
+            try:
+                tolerance = float(next(it))
+            except (StopIteration, ValueError):
+                print("--tolerance needs a number (e.g. 0.2)", file=sys.stderr)
+                return 2
+        elif arg == "--diff-out":
+            diff_out = next(it, None)
+            if diff_out is None:
+                print("--diff-out needs a path", file=sys.stderr)
+                return 2
         else:
             wanted.append(arg)
     wanted = wanted or sorted(ALL)
@@ -239,6 +295,8 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown figures: {unknown}; available: {sorted(ALL)}", file=sys.stderr)
         return 2
+    if check_path is not None:
+        return check_baseline(check_path, wanted, tolerance, diff_out)
     if json_path is not None:
         doc = {"meta": run_meta(), "figures": collect_json(wanted)}
         if json_path == "-":

@@ -1,0 +1,79 @@
+"""Benchmark regression guard: diff a run against a committed baseline.
+
+Compares two ``python -m repro.bench --json`` documents figure by
+figure, series by series, column by column, with a relative per-value
+tolerance (the simulation is deterministic, so the tolerance absorbs
+intentional model retuning, not noise — CI uses ±20%).  Structural
+regressions (a figure, series or column that disappeared) are drifts
+too; *new* figures in the current run are ignored so adding a benchmark
+never trips the guard.
+
+The result document doubles as the CI diff artifact.
+"""
+
+from __future__ import annotations
+
+__all__ = ["compare_docs"]
+
+#: Baseline values with magnitude below this are treated as exact zeros
+#: (relative drift is undefined there).
+_ZERO_EPS = 1e-9
+
+
+def _drift(figure: str, series: str, column: str, baseline, current, rel) -> dict:
+    return {
+        "figure": figure,
+        "series": series,
+        "column": column,
+        "baseline": baseline,
+        "current": current,
+        "rel_change": rel,
+    }
+
+
+def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
+    """Diff two bench JSON documents; returns the guard verdict.
+
+    ``{"ok": bool, "tolerance": float, "checked": int, "drifts": [...]}``
+    where each drift carries figure/series/column, both values and the
+    relative change (``None`` for structural drifts).
+    """
+    if tolerance < 0:
+        raise ValueError(f"negative tolerance: {tolerance}")
+    base_figs = {f["figure"]: f for f in baseline.get("figures", [])}
+    cur_figs = {f["figure"]: f for f in current.get("figures", [])}
+    drifts: list[dict] = []
+    checked = 0
+
+    for name in sorted(base_figs):
+        if name not in cur_figs:
+            drifts.append(_drift(name, "*", "*", "present", "missing", None))
+            continue
+        base_rows = {r["series"]: r["values"] for r in base_figs[name]["rows"]}
+        cur_rows = {r["series"]: r["values"] for r in cur_figs[name]["rows"]}
+        for series in sorted(base_rows):
+            if series not in cur_rows:
+                drifts.append(_drift(name, series, "*", "present", "missing", None))
+                continue
+            for column, bval in sorted(base_rows[series].items()):
+                if column not in cur_rows[series]:
+                    drifts.append(
+                        _drift(name, series, column, bval, "missing", None))
+                    continue
+                cval = cur_rows[series][column]
+                checked += 1
+                b, c = float(bval), float(cval)
+                if abs(b) < _ZERO_EPS:
+                    if abs(c) > _ZERO_EPS:
+                        drifts.append(_drift(name, series, column, b, c, None))
+                    continue
+                rel = (c - b) / abs(b)
+                if abs(rel) > tolerance:
+                    drifts.append(_drift(name, series, column, b, c, round(rel, 4)))
+
+    return {
+        "ok": not drifts,
+        "tolerance": tolerance,
+        "checked": checked,
+        "drifts": drifts,
+    }

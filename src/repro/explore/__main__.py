@@ -1,0 +1,167 @@
+"""CLI for the schedule explorer.
+
+Subcommands::
+
+    python -m repro.explore run [--workloads halo,lu] [--schedules 4]
+        [--seed 0x5EED] [--max-extra-us 0.5] [--json] [--out report.json]
+        Differential sweep: workloads x engine variants x (baseline +
+        N explored schedules).  Exit 1 if any digest disagrees.
+
+    python -m repro.explore replay --workload W --variant V
+        (--seed S | --spec-file f.json) [--expect-strict SHA] [--json]
+        Re-run one explored schedule from its replay token and print the
+        digest.  With --expect-strict, exit 1 unless the strict SHA
+        matches (byte-level determinism check).
+
+    python -m repro.explore shrink --workload W --variant V --seed S
+        [--budget 64] [--json]
+        Delta-debug a failing seed to a minimal perturbation set.
+
+Everything is replayable: the seed (or the spec JSON printed by
+``shrink``) is the complete token.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .policy import PerturbationSpec
+from .runner import VARIANTS, WORKLOADS, explore, run_workload
+from .shrink import shrink
+
+_VARIANTS = {v.name: v for v in VARIANTS}
+
+
+def _int(text: str) -> int:
+    return int(text, 0)  # accepts 0x... seeds
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="python -m repro.explore", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    run = sub.add_parser("run", help="differential schedule sweep")
+    run.add_argument("--workloads", default=None,
+                     help=f"comma list from {sorted(WORKLOADS)} (default: all)")
+    run.add_argument("--schedules", type=int, default=4,
+                     help="explored schedules per workload/variant (default 4)")
+    run.add_argument("--seed", type=_int, default=0x5EED, help="base seed")
+    run.add_argument("--max-extra-us", type=float, default=0.5,
+                     help="per-event extra-delay bound (µs)")
+    run.add_argument("--json", action="store_true", help="machine-readable report")
+    run.add_argument("--out", default=None, help="also write the JSON report here")
+
+    rep = sub.add_parser("replay", help="re-run one schedule from its token")
+    rep.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    rep.add_argument("--variant", required=True, choices=sorted(_VARIANTS))
+    rep.add_argument("--seed", type=_int, default=None, help="schedule seed")
+    rep.add_argument("--spec-file", default=None,
+                     help="replay token JSON (as printed by shrink)")
+    rep.add_argument("--max-extra-us", type=float, default=0.5)
+    rep.add_argument("--expect-strict", default=None,
+                     help="fail unless the strict digest SHA matches")
+    rep.add_argument("--json", action="store_true")
+
+    shr = sub.add_parser("shrink", help="minimize a failing seed")
+    shr.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    shr.add_argument("--variant", required=True, choices=sorted(_VARIANTS))
+    shr.add_argument("--seed", type=_int, required=True)
+    shr.add_argument("--max-extra-us", type=float, default=0.5)
+    shr.add_argument("--budget", type=int, default=64, help="max oracle re-runs")
+    shr.add_argument("--json", action="store_true")
+    return p
+
+
+def _load_spec(args) -> PerturbationSpec:
+    if args.spec_file:
+        with open(args.spec_file) as fh:
+            return PerturbationSpec.from_json(json.load(fh))
+    if args.seed is None:
+        raise SystemExit("replay needs --seed or --spec-file")
+    return PerturbationSpec(seed=args.seed, max_extra_us=args.max_extra_us)
+
+
+def _cmd_run(args) -> int:
+    names = args.workloads.split(",") if args.workloads else None
+    report = explore(
+        workloads=names,
+        nschedules=args.schedules,
+        base_seed=args.seed,
+        max_extra_us=args.max_extra_us,
+    )
+    doc = report.to_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"explored {len(report.runs)} runs "
+              f"({len(names or sorted(WORKLOADS))} workloads x {len(VARIANTS)} variants "
+              f"x {1 + args.schedules} schedules)")
+        if report.ok:
+            print("all digests agree")
+        for m in report.mismatches:
+            print(f"MISMATCH [{m['kind']}] {m['workload']}/{m['variant']} "
+                  f"seeds={m['seeds']}")
+            for path in m["paths"]:
+                print(f"    {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args) -> int:
+    spec = _load_spec(args)
+    run = run_workload(args.workload, _VARIANTS[args.variant], spec)
+    doc = {"run": run.to_json(), "digest": run.digest.to_json()}
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"{args.workload}/{args.variant} seed={spec.seed:#x}")
+        print(f"strict  {run.digest.strict_sha}")
+        print(f"engine  {run.digest.engine_sha}")
+    if args.expect_strict is not None and run.digest.strict_sha != args.expect_strict:
+        print(f"strict digest mismatch: expected {args.expect_strict}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_shrink(args) -> int:
+    variant = _VARIANTS[args.variant]
+    spec = PerturbationSpec(seed=args.seed, max_extra_us=args.max_extra_us)
+    # Oracle: strict digest disagrees with the unperturbed baseline of
+    # the reference variant (the sweep's own strict rule).
+    ref = run_workload(args.workload, VARIANTS[0], None)
+
+    def fails(candidate: PerturbationSpec) -> bool:
+        run = run_workload(args.workload, variant, candidate)
+        return run.digest.strict_sha != ref.digest.strict_sha
+
+    full = run_workload(args.workload, variant, spec)
+    if full.digest.strict_sha == ref.digest.strict_sha:
+        print(f"seed {args.seed:#x} does not fail on {args.workload}/{args.variant}; "
+              "nothing to shrink", file=sys.stderr)
+        return 2
+    result = shrink(spec, full.applied, fails, budget=args.budget)
+    if args.json:
+        json.dump(result.to_json(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(f"shrunk {len(full.applied)} applied perturbations -> "
+              f"{len(result.ids)} ({result.tests} oracle runs, "
+              f"{'1-minimal' if result.minimal else 'budget-limited'})")
+        print("replay token:", json.dumps(result.minimal_spec.to_json()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    return {"run": _cmd_run, "replay": _cmd_replay, "shrink": _cmd_shrink}[args.cmd](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Deliberate, reversible engine mutations — the explorer's self-test.
+
+A schedule explorer that has never caught a bug is unfalsifiable.  This
+module provides known-bad engine mutations behind context managers so
+the test suite can prove, on demand, that the differential oracle
+actually detects real ordering bugs and that a failing seed replays
+deterministically.
+
+The shipped mutation re-introduces the classic deferred-epoch hazard the
+paper's §VII-A scan rule exists to prevent: without the
+stop-at-first-blocked-epoch gate, an epoch ``E_{k+1}`` can activate
+while ``E_k`` is still blocked, violating program order whenever no
+reorder flag licensed it.
+
+Never import this module from production code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["activation_gate_disabled"]
+
+
+@contextmanager
+def activation_gate_disabled():
+    """Disable the §VII-A activation gate of every
+    :class:`~repro.rma.engine.nonblocking.NonblockingEngine` built
+    inside the ``with`` block (class-level flag; restored on exit even
+    if the run raises)."""
+    from ..rma.engine.nonblocking import NonblockingEngine
+
+    saved = NonblockingEngine._activation_gate
+    NonblockingEngine._activation_gate = False
+    try:
+        yield
+    finally:
+        NonblockingEngine._activation_gate = saved

@@ -1,0 +1,197 @@
+"""Seeded schedule-perturbation policies for the DES kernel.
+
+The kernel executes same-timestamp callbacks in scheduling order — one
+deterministic schedule per workload.  A :class:`SchedulePolicy` plugs
+into :class:`~repro.simtime.Simulator` and turns that single schedule
+into a seeded *family* of legal schedules, PCT-style:
+
+- **priority shuffles** — every freely reorderable callback gets an
+  integer tie-break key drawn statelessly from ``(seed, seq)``, so
+  same-timestamp callbacks execute in a seeded random order instead of
+  FIFO;
+- **bounded extra delays** — each callback may additionally be pushed
+  back by up to ``max_extra_us`` of virtual time, spreading coincident
+  events apart and swapping *near*-coincident ones across streams.
+
+Both draws reuse the :func:`repro.faults.splitmix64` mixer keyed on
+``(seed, domain, perturbation id)``, exactly like
+:mod:`repro.faults.plan`: decisions for different events are
+independent, so one extra event never reshuffles every later draw, and
+the same seed replays the same schedule byte for byte.
+
+Lanes
+-----
+Callbacks scheduled with a ``lane`` (per-pair fabric arrivals, the
+host-attention hop, reliability acks) carry an ordering *contract*:
+reordering them would fake a broken network, not a legal schedule.  The
+policy perturbs a lane as a unit — one constant key and one constant
+delay per lane, drawn from ``(seed, lane id)`` — so cross-lane order is
+explored while intra-lane FIFO survives.
+
+Shrinking
+---------
+Every perturbation has a stable integer *perturbation id* (the kernel
+``seq`` for free callbacks, a lane hash for lanes).  A policy built
+with ``restrict=<set of ids>`` applies only that subset and leaves every
+other callback untouched; :mod:`repro.explore.shrink` uses this to
+delta-debug a failing seed down to a minimal perturbation set.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..faults.plan import mix_hash
+
+__all__ = ["PerturbationSpec", "SchedulePolicy", "specs_for"]
+
+# Draw domains (keep draws for different purposes independent).
+_D_KEY = 0x7E5
+_D_DELAY = 0xDE1A
+_D_LANE = 0x1A9E
+
+#: Tie-break keys live in [1, 2^31): unperturbed callbacks keep key 0
+#: and therefore sort *before* any perturbed same-timestamp callback.
+_KEY_MASK = (1 << 31) - 1
+
+
+def _lane_id(lane: Hashable) -> int:
+    """Stable (non-salted) integer id of a lane tuple."""
+    return zlib.crc32(repr(lane).encode()) | (1 << 32)
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Immutable description of one explored schedule.
+
+    The spec *is* the replay token: the same spec on the same workload
+    reproduces the same schedule, byte for byte.
+    """
+
+    seed: int
+    #: Shuffle same-timestamp callbacks with seeded priority keys.
+    shuffle: bool = True
+    #: Upper bound (µs) of the per-callback extra delay; 0 disables.
+    max_extra_us: float = 0.5
+    #: Apply only these perturbation ids (None = all); the shrinker's
+    #: handle.  Sorted tuple so specs stay hashable and JSON-friendly.
+    restrict: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_extra_us < 0:
+            raise ValueError(f"negative max_extra_us: {self.max_extra_us}")
+        if self.restrict is not None and tuple(sorted(self.restrict)) != tuple(self.restrict):
+            object.__setattr__(self, "restrict", tuple(sorted(self.restrict)))
+
+    def restricted(self, ids) -> "PerturbationSpec":
+        """The same schedule family limited to a perturbation subset."""
+        return PerturbationSpec(
+            seed=self.seed,
+            shuffle=self.shuffle,
+            max_extra_us=self.max_extra_us,
+            restrict=tuple(sorted(ids)),
+        )
+
+    def to_json(self) -> dict:
+        """JSON-stable form (inverse of :meth:`from_json`)."""
+        return {
+            "seed": self.seed,
+            "shuffle": self.shuffle,
+            "max_extra_us": self.max_extra_us,
+            "restrict": list(self.restrict) if self.restrict is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "PerturbationSpec":
+        restrict = doc.get("restrict")
+        return cls(
+            seed=int(doc["seed"]),
+            shuffle=bool(doc.get("shuffle", True)),
+            max_extra_us=float(doc.get("max_extra_us", 0.5)),
+            restrict=tuple(restrict) if restrict is not None else None,
+        )
+
+
+@dataclass
+class SchedulePolicy:
+    """One run's live policy: stateless draws plus perturbation log.
+
+    Use a **fresh instance per run** — the spec is shared and immutable,
+    but the instance accumulates the applied-perturbation log and the
+    counters the exploration report and :mod:`repro.obs` surface.
+    """
+
+    spec: PerturbationSpec
+    #: Perturbation ids actually applied, in first-application order.
+    applied: list[int] = field(default_factory=list)
+    _applied_set: set[int] = field(default_factory=set)
+    #: Counters for the exploration report / metrics fold-in.
+    events_seen: int = 0
+    events_perturbed: int = 0
+    extra_delay_total_us: float = 0.0
+
+    def _enabled(self, pid: int) -> bool:
+        r = self.spec.restrict
+        return r is None or pid in r
+
+    def _log(self, pid: int) -> None:
+        if pid not in self._applied_set:
+            self._applied_set.add(pid)
+            self.applied.append(pid)
+
+    # -- the kernel hook (repro.simtime.TieBreakPolicy) -------------------
+    def perturb(self, time: float, seq: int, lane) -> tuple[float, int]:
+        """Return ``(extra_delay, tie_break_key)`` for one callback."""
+        self.events_seen += 1
+        spec = self.spec
+        if lane is None:
+            pid = seq
+            salt = seq
+        else:
+            # Whole-lane perturbation: constant key and delay per lane
+            # preserve intra-lane FIFO (a constant shift of a strictly
+            # increasing arrival sequence stays strictly increasing).
+            pid = salt = _lane_id(lane)
+        if not self._enabled(pid):
+            return 0.0, 0
+        key = mix_hash(spec.seed, _D_KEY, salt) & _KEY_MASK if spec.shuffle else 0
+        extra = 0.0
+        if spec.max_extra_us > 0.0:
+            domain = _D_DELAY if lane is None else _D_LANE
+            frac = mix_hash(spec.seed, domain, salt) / 2.0**64
+            # Quantized to 1/1000 µs so digests and replays never hinge
+            # on float printing.
+            extra = round(frac * spec.max_extra_us, 3)
+        if key or extra:
+            self.events_perturbed += 1
+            self.extra_delay_total_us += extra
+            self._log(pid)
+        return extra, key
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot for the exploration report / obs fold-in."""
+        return {
+            "explore.events_seen": self.events_seen,
+            "explore.events_perturbed": self.events_perturbed,
+            "explore.extra_delay_total_us": round(self.extra_delay_total_us, 3),
+        }
+
+
+def specs_for(
+    n: int,
+    base_seed: int = 0x5EED,
+    shuffle: bool = True,
+    max_extra_us: float = 0.5,
+) -> list[PerturbationSpec]:
+    """``n`` well-spread specs derived from one base seed (the sweep
+    helper behind the CLI and the pytest fixture)."""
+    return [
+        PerturbationSpec(
+            seed=mix_hash(base_seed, i),
+            shuffle=shuffle,
+            max_extra_us=max_extra_us,
+        )
+        for i in range(n)
+    ]

@@ -1,0 +1,58 @@
+"""Pytest integration: run any repo test under explored schedules.
+
+Import the fixtures from a ``conftest.py``::
+
+    from repro.explore.pytest_plugin import exploration  # noqa: F401
+
+and opt a test in by taking the ``exploration`` fixture and passing the
+context to any app config / :class:`~repro.mpi.runtime.MPIRuntime`::
+
+    @pytest.mark.parametrize("exploration", exploration_params(3), indirect=True)
+    def test_my_kernel(exploration):
+        cfg = TransactionsConfig(nranks=3, exploration=exploration)
+        ...
+
+Unparametrized, the fixture yields a baseline (unperturbed but fully
+instrumented) context; ``indirect=True`` parametrization feeds it
+:class:`~repro.explore.policy.PerturbationSpec`\\ s, one explored
+schedule per test case, each replayable from the seed in the test id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .context import ExplorationContext
+from .policy import PerturbationSpec, specs_for
+
+__all__ = ["exploration", "exploration_params"]
+
+
+def exploration_params(
+    n: int,
+    base_seed: int = 0x5EED,
+    max_extra_us: float = 0.5,
+    baseline: bool = True,
+) -> list:
+    """``pytest.param`` list for indirect parametrization of the
+    ``exploration`` fixture: the baseline schedule plus ``n`` explored
+    ones, with seed-bearing test ids for replay."""
+    params = [pytest.param(None, id="baseline")] if baseline else []
+    for spec in specs_for(n, base_seed=base_seed, max_extra_us=max_extra_us):
+        params.append(pytest.param(spec, id=f"seed-{spec.seed:#x}"))
+    return params
+
+
+@pytest.fixture
+def exploration(request) -> ExplorationContext:
+    """A fresh :class:`ExplorationContext` per test.
+
+    Plain use yields the baseline schedule (checker forced to
+    ``"report"`` mode, digests collectable); parametrize indirectly with
+    :func:`exploration_params` (or explicit ``PerturbationSpec``\\ s) to
+    run the test body under explored schedules.
+    """
+    spec = getattr(request, "param", None)
+    if spec is not None and not isinstance(spec, PerturbationSpec):
+        raise TypeError(f"exploration fixture expects PerturbationSpec, got {spec!r}")
+    return ExplorationContext.from_spec(spec)

@@ -1,0 +1,370 @@
+"""Workload registry, engine-variant matrix, and the differential sweep.
+
+The oracle's design is the paper's own test matrix: every workload runs
+on all three engine series — **MVAPICH** (baseline engine, blocking
+calls), **New** (redesigned engine, blocking calls) and **New
+nonblocking** (redesigned engine, i* calls) — under identical explored
+schedules, and their :class:`~repro.explore.digest.OutcomeDigest`\\ s are
+compared:
+
+- the ``strict`` digest part must agree across *everything* (engines ×
+  schedules): the application answer, final window bytes, checker
+  verdict and ω-invariant audit are schedule- and engine-independent
+  facts about a correct stack;
+- the ``engine_only`` part must agree across *schedules within one
+  variant*: notification traffic differs legitimately between the
+  engine designs but may never depend on the schedule.
+
+Workloads are deliberately small instances of the five real apps — big
+enough to produce cross-rank traffic on every synchronization style
+(fence, GATS, exclusive/shared locks), small enough that a 3-variant ×
+N-schedule sweep stays in CI-smoke territory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from .context import ExplorationContext
+from .digest import OutcomeDigest, build_digest, diff_digests
+from .policy import PerturbationSpec, specs_for
+
+__all__ = [
+    "EngineVariant",
+    "VARIANTS",
+    "WORKLOADS",
+    "RunOutcome",
+    "ExploreReport",
+    "run_workload",
+    "explore",
+]
+
+
+@dataclass(frozen=True)
+class EngineVariant:
+    """One column of the paper's test matrix."""
+
+    name: str
+    engine: str
+    nonblocking: bool
+
+
+#: The paper's three test series (§IX).
+VARIANTS: tuple[EngineVariant, ...] = (
+    EngineVariant("mvapich", "mvapich", False),
+    EngineVariant("new", "nonblocking", False),
+    EngineVariant("new-nonblocking", "nonblocking", True),
+)
+
+
+def _arr_sha(arr) -> str:
+    import numpy as np
+
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+# -- workload runners (config sizes chosen for sweep speed) -----------------
+
+def _run_halo(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+    from ..apps.halo import HaloConfig, run_halo
+
+    cfg = HaloConfig(
+        nranks=3, cells_per_rank=8, iterations=3,
+        engine=variant.engine, nonblocking=variant.nonblocking,
+        exploration=exploration,
+    )
+    res = run_halo(cfg)
+    return {"field_sha": _arr_sha(res.field)}
+
+
+def _run_stencil2d(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+    from ..apps.stencil2d import Stencil2DConfig, run_stencil2d
+
+    cfg = Stencil2DConfig(
+        pr=2, pc=2, tile=4, iterations=2,
+        engine=variant.engine, nonblocking=variant.nonblocking,
+        exploration=exploration,
+    )
+    res = run_stencil2d(cfg)
+    return {"grid_sha": _arr_sha(res.grid)}
+
+
+def _run_lu(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+    from ..apps.lu import LUConfig, run_lu
+
+    cfg = LUConfig(
+        nranks=3, m=6,  # real mode: the U factor is the checkable answer
+        engine=variant.engine, nonblocking=variant.nonblocking,
+        exploration=exploration,
+    )
+    res = run_lu(cfg)
+    return {"u_sha": _arr_sha(res.u_matrix)}
+
+
+def _run_transactions(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+    from ..apps.transactions import TransactionsConfig, run_transactions
+
+    cfg = TransactionsConfig(
+        nranks=3, txns_per_rank=6, slots_per_rank=16,
+        engine=variant.engine, nonblocking=variant.nonblocking,
+        exploration=exploration,
+    )
+    res = run_transactions(cfg)
+    # fc_stalls / retransmissions / elapsed_us are timing-dependent by
+    # design — the integer counter sums are the schedule-free answer.
+    return {"applied": res.applied, "rank_sums": [int(s) for s in res.rank_sums]}
+
+
+def _run_factdb(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+    from ..apps.factdb import FactDbConfig, run_factdb
+
+    cfg = FactDbConfig(
+        nranks=3, universe=32, firings_per_rank=5,
+        engine=variant.engine, nonblocking=variant.nonblocking,
+        exploration=exploration,
+    )
+    res = run_factdb(cfg)
+    return {"table_sha": _arr_sha(res.table), "total": res.derived_total()}
+
+
+def _run_ordering(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+    """Deferred-epoch ordering pipeline (2 ranks, mixed epoch kinds).
+
+    Rank 0 issues three epochs back to back without waiting: an
+    exclusive-lock update (A0), an exposure epoch (E1) during which rank
+    1 puts into rank 0's window, and a second lock epoch (A2) that
+    *reads* a cell rank 1 only writes after its own GATS access epoch
+    completed.  The window carries ``A_A_A_R``, so A2 may legally
+    activate past the still-active A0 — but never past the *deferred*
+    E1: the §VII-A scan must stop at E1 (exposure-after-access is not
+    licensed).  Program order therefore guarantees A2's read happens
+    after E1 completed, i.e. after rank 1's local write (separated by at
+    least two internode hops, far beyond any legal schedule
+    perturbation).  An engine that skips blocked epochs in the scan
+    activates A2 early and reads the cell before rank 1 ever ran —
+    final window memory and the app answer both diverge.  This is the
+    workload the mutation self-test drives.
+    """
+    import numpy as np
+
+    from ..mpi.runtime import MPIRuntime
+    from ..rma.flags import A_A_A_R
+
+    _i8 = np.int64
+
+    def origin(proc):
+        win = yield from proc.win_allocate(4 * 8, info={A_A_A_R: 1})
+        yield from proc.barrier()
+        buf = np.zeros(1, dtype=_i8)
+        one = np.ones(1, dtype=_i8)
+        if variant.nonblocking:
+            win.ilock(1)
+            win.accumulate(one, 1, 0)                      # A0
+            r0 = win.iunlock(1)
+            win.ipost((1,))                                # E1
+            rexp = win.iwait()
+            win.ilock(1)
+            win.get(buf, 1, 2 * 8)                         # A2
+            r2 = win.iunlock(1)
+            yield from proc.waitall([r0, rexp, r2])
+        else:
+            yield from win.lock(1)
+            win.accumulate(one, 1, 0)
+            yield from win.unlock(1)
+            yield from win.post((1,))
+            yield from win.wait_epoch()
+            yield from win.lock(1)
+            win.get(buf, 1, 2 * 8)
+            yield from win.unlock(1)
+        win.view(_i8)[3] = buf[0]
+        yield from proc.barrier()
+        return int(buf[0])
+
+    def target(proc):
+        win = yield from proc.win_allocate(4 * 8, info={A_A_A_R: 1})
+        yield from proc.barrier()
+        payload = np.full(1, 42, dtype=_i8)
+        yield from win.start((0,))
+        win.put(payload, 0, 1 * 8)
+        yield from win.complete()
+        win.view(_i8)[2] = 7                               # after my epoch
+        yield from proc.barrier()
+        return 0
+
+    runtime = MPIRuntime(
+        2, cores_per_node=1,  # internode: hop latency >> perturbation bound
+        engine=variant.engine, exploration=exploration,
+    )
+    results = runtime.run_mixed({0: origin, 1: target})
+    return {"read": results[0]}
+
+
+#: Workload name -> runner(variant, exploration) -> schedule-free result
+#: summary.  Each runner builds its app config with the exploration
+#: context threaded through and extracts only schedule-independent
+#: fields (never elapsed_us / fc_stalls / comm_us).
+WORKLOADS: dict[str, Callable[[EngineVariant, ExplorationContext], dict]] = {
+    "halo": _run_halo,
+    "stencil2d": _run_stencil2d,
+    "lu": _run_lu,
+    "transactions": _run_transactions,
+    "factdb": _run_factdb,
+    "ordering": _run_ordering,
+}
+
+
+# ---------------------------------------------------------------------------
+# Single runs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One (workload, variant, schedule) run and its digest."""
+
+    workload: str
+    variant: str
+    spec: PerturbationSpec | None
+    digest: OutcomeDigest
+    #: Perturbation ids the policy actually applied (shrinker input).
+    applied: tuple[int, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "spec": self.spec.to_json() if self.spec is not None else None,
+            "strict_sha": self.digest.strict_sha,
+            "engine_sha": self.digest.engine_sha,
+            "applied": list(self.applied),
+        }
+
+
+def run_workload(
+    workload: str,
+    variant: EngineVariant,
+    spec: PerturbationSpec | None,
+    semantics_check: str | None = "report",
+) -> RunOutcome:
+    """Execute one workload once under one explored schedule.
+
+    ``spec=None`` runs the unperturbed baseline schedule (still fully
+    digest-instrumented).  Deterministic: the same arguments always
+    return a byte-identical digest — that is the replay guarantee the
+    CLI's ``replay`` subcommand and the shrinker both rest on.
+    """
+    runner = WORKLOADS[workload]
+    context = ExplorationContext.from_spec(spec, semantics_check=semantics_check)
+    result = runner(variant, context)
+    digest = build_digest(context, result)
+    applied = tuple(context.policy.applied) if context.policy is not None else ()
+    return RunOutcome(workload, variant.name, spec, digest, applied)
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExploreReport:
+    """Everything one differential sweep produced."""
+
+    runs: list[RunOutcome]
+    #: Detected disagreements (empty = the stack passed this sweep).
+    mismatches: list[dict]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "runs": [r.to_json() for r in self.runs],
+            "mismatches": self.mismatches,
+        }
+
+    def failing_specs(self) -> list[tuple[str, str, PerturbationSpec | None]]:
+        """(workload, variant, spec) triples involved in mismatches."""
+        out = []
+        seen = set()
+        for m in self.mismatches:
+            for run in self.runs:
+                if run.workload != m["workload"]:
+                    continue
+                if m.get("variant") is not None and run.variant != m["variant"]:
+                    continue
+                seed = run.spec.seed if run.spec is not None else None
+                key = (run.workload, run.variant, seed)
+                if key not in seen and seed in m.get("seeds", [seed]):
+                    seen.add(key)
+                    out.append((run.workload, run.variant, run.spec))
+        return out
+
+
+def _spec_seed(spec: PerturbationSpec | None):
+    return spec.seed if spec is not None else None
+
+
+def explore(
+    workloads: list[str] | None = None,
+    nschedules: int = 4,
+    base_seed: int = 0x5EED,
+    max_extra_us: float = 0.5,
+    variants: tuple[EngineVariant, ...] = VARIANTS,
+    specs: list[PerturbationSpec] | None = None,
+    semantics_check: str | None = "report",
+) -> ExploreReport:
+    """Run the differential sweep: every workload × every variant ×
+    (baseline + ``nschedules`` explored schedules), then cross-check the
+    digests (strict across everything; engine-only across schedules
+    within a variant)."""
+    names = list(workloads) if workloads else sorted(WORKLOADS)
+    if specs is None:
+        specs = specs_for(nschedules, base_seed=base_seed, max_extra_us=max_extra_us)
+    all_specs: list[PerturbationSpec | None] = [None, *specs]
+    runs: list[RunOutcome] = []
+    mismatches: list[dict] = []
+
+    for name in names:
+        matrix: dict[tuple[str, int | None], RunOutcome] = {}
+        for variant in variants:
+            for spec in all_specs:
+                run = run_workload(name, variant, spec, semantics_check=semantics_check)
+                matrix[(variant.name, _spec_seed(spec))] = run
+                runs.append(run)
+
+        # Strict oracle: every run of this workload must agree with the
+        # baseline run of the first variant.
+        ref = matrix[(variants[0].name, None)]
+        for (vname, seed), run in matrix.items():
+            if run.digest.strict_sha != ref.digest.strict_sha:
+                mismatches.append({
+                    "kind": "strict",
+                    "workload": name,
+                    "variant": vname,
+                    "seeds": [seed],
+                    "against": {"variant": ref.variant, "seed": None},
+                    "paths": diff_digests(ref.digest.strict, run.digest.strict)[:20],
+                })
+
+        # Engine-only oracle: within one variant, every schedule must
+        # reproduce the variant's baseline notification/ω behavior.
+        for variant in variants:
+            vref = matrix[(variant.name, None)]
+            for spec in specs:
+                run = matrix[(variant.name, spec.seed)]
+                if run.digest.engine_sha != vref.digest.engine_sha:
+                    mismatches.append({
+                        "kind": "engine_only",
+                        "workload": name,
+                        "variant": variant.name,
+                        "seeds": [spec.seed],
+                        "against": {"variant": variant.name, "seed": None},
+                        "paths": diff_digests(
+                            vref.digest.engine_only, run.digest.engine_only
+                        )[:20],
+                    })
+
+    return ExploreReport(runs=runs, mismatches=mismatches)

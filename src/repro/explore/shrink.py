@@ -1,0 +1,121 @@
+"""Delta-debugging a failing schedule down to a minimal perturbation set.
+
+A failing seed perturbs *every* schedulable event; most of those
+perturbations are noise.  Because every perturbation has a stable id and
+:class:`~repro.explore.policy.PerturbationSpec` can be restricted to an
+id subset (each id then reproduces the exact same draw it made in the
+full run — stateless splitmix64 keying), the classic ddmin algorithm
+applies directly: find a small id subset that still fails the oracle.
+
+The result is a replay token (``spec.restricted(ids)``) whose
+perturbation set is 1-minimal — removing any single kept id makes the
+failure disappear — which usually pinpoints the one or two reordered
+events that actually trigger the bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .policy import PerturbationSpec
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink session."""
+
+    spec: PerturbationSpec
+    #: The minimal failing id set (sorted).
+    ids: tuple[int, ...]
+    #: Oracle executions spent.
+    tests: int
+    #: True when ddmin converged to 1-minimality within the budget.
+    minimal: bool
+    #: Shrink trajectory: (subset size, failed?) per oracle call.
+    trace: list[tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def minimal_spec(self) -> PerturbationSpec:
+        """The replay token for the minimal failure."""
+        return self.spec.restricted(self.ids)
+
+    def to_json(self) -> dict:
+        return {
+            "spec": self.minimal_spec.to_json(),
+            "ids": list(self.ids),
+            "tests": self.tests,
+            "minimal": self.minimal,
+        }
+
+
+def shrink(
+    spec: PerturbationSpec,
+    applied: Sequence[int],
+    fails: Callable[[PerturbationSpec], bool],
+    budget: int = 64,
+) -> ShrinkResult:
+    """ddmin over the applied perturbation ids.
+
+    ``fails(spec)`` re-runs the workload under ``spec`` and reports
+    whether the oracle still rejects the outcome; it must be a pure
+    function of the spec (it is, when built on
+    :func:`~repro.explore.runner.run_workload`).  ``applied`` is the
+    full run's applied-id log (:attr:`RunOutcome.applied`).  ``budget``
+    caps oracle executions; on exhaustion the smallest failing subset
+    found so far is returned with ``minimal=False``.
+    """
+    trace: list[tuple[int, bool]] = []
+    tests = 0
+
+    def check(ids: Sequence[int]) -> bool:
+        nonlocal tests
+        tests += 1
+        failed = fails(spec.restricted(ids))
+        trace.append((len(ids), failed))
+        return failed
+
+    current = list(dict.fromkeys(applied))  # dedup, keep order
+    if not current or not check(current):
+        # The failure does not replay from the applied set at all —
+        # report the full (unrestricted) spec as non-minimal.
+        return ShrinkResult(spec=spec, ids=tuple(sorted(current)), tests=tests,
+                            minimal=False, trace=trace)
+
+    n = 2
+    minimal = True
+    while len(current) >= 2:
+        if tests >= budget:
+            minimal = False
+            break
+        chunk = max(1, len(current) // n)
+        subsets = [current[i : i + chunk] for i in range(0, len(current), chunk)]
+        reduced = False
+        # Try each subset alone, then each complement.
+        for subset in subsets:
+            if tests >= budget:
+                break
+            if len(subset) < len(current) and check(subset):
+                current, n, reduced = subset, 2, True
+                break
+        else:
+            for subset in subsets:
+                if tests >= budget:
+                    break
+                complement = [i for i in current if i not in subset]
+                if 0 < len(complement) < len(current) and check(complement):
+                    current, reduced = complement, True
+                    n = max(2, n - 1)
+                    break
+        if not reduced:
+            if n >= len(current):
+                break  # 1-minimal
+            n = min(len(current), 2 * n)
+    if tests >= budget and len(current) >= 2:
+        minimal = False
+
+    return ShrinkResult(
+        spec=spec, ids=tuple(sorted(current)), tests=tests, minimal=minimal, trace=trace
+    )

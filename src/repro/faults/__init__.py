@@ -31,7 +31,15 @@ retry protocol.
 from ..mpi.errors import RmaDeliveryError
 from .chaos import ChaosOutcome, chaos_sweep, default_schedule, results_equal
 from .injector import Disposition, FaultInjector
-from .plan import FaultKind, FaultPlan, FaultRule, RankFault, fault_hash
+from .plan import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    RankFault,
+    fault_hash,
+    mix_hash,
+    splitmix64,
+)
 from .reliability import ReliabilityConfig, ReliabilityLayer
 
 __all__ = [
@@ -40,6 +48,8 @@ __all__ = [
     "RankFault",
     "FaultPlan",
     "fault_hash",
+    "mix_hash",
+    "splitmix64",
     "Disposition",
     "FaultInjector",
     "ReliabilityConfig",

@@ -28,12 +28,23 @@ from dataclasses import dataclass
 
 from ..network.packets import ServiceKind
 
-__all__ = ["FaultKind", "FaultRule", "RankFault", "FaultPlan", "fault_hash"]
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "RankFault",
+    "FaultPlan",
+    "fault_hash",
+    "splitmix64",
+    "mix_hash",
+]
 
 _MASK64 = (1 << 64) - 1
 
 
-def _splitmix64(x: int) -> int:
+def splitmix64(x: int) -> int:
+    """One splitmix64 finalization round (the shared stateless mixer
+    behind :func:`fault_hash` and the :mod:`repro.explore` schedule
+    perturbations — one keyed-draw primitive for every seeded subsystem)."""
     x = (x + 0x9E3779B97F4A7C15) & _MASK64
     x ^= x >> 30
     x = (x * 0xBF58476D1CE4E5B9) & _MASK64
@@ -43,16 +54,24 @@ def _splitmix64(x: int) -> int:
     return x
 
 
+_splitmix64 = splitmix64
+
+
+def mix_hash(*parts: int) -> int:
+    """Fold integer coordinates into one 64-bit hash (stateless)."""
+    h = 0x243F6A8885A308D3
+    for p in parts:
+        h = splitmix64(h ^ (p & _MASK64))
+    return h
+
+
 def fault_hash(*parts: int) -> float:
     """Stateless uniform draw in ``[0, 1)`` from integer coordinates.
 
     Used for every per-packet fault decision; see the module docstring
     for why this beats a shared consuming RNG.
     """
-    h = 0x243F6A8885A308D3
-    for p in parts:
-        h = _splitmix64(h ^ (p & _MASK64))
-    return h / 2.0**64
+    return mix_hash(*parts) / 2.0**64
 
 
 class FaultKind(enum.Enum):

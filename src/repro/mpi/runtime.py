@@ -77,8 +77,15 @@ class MPIRuntime:
         metrics: bool = False,
         fault_plan: "FaultPlan | None" = None,
         reliability: "bool | ReliabilityConfig | None" = None,
+        exploration: Any = None,
     ):
-        self.sim = Simulator()
+        # Schedule exploration first: the kernel itself consults the
+        # context's perturbation policy, and every layer below reads
+        # ``runtime.exploration`` at construction (duck-typed — see
+        # repro.explore.context.ExplorationContext; None = off).
+        self.exploration = exploration
+        policy = exploration.policy if exploration is not None else None
+        self.sim = Simulator(policy=policy)
         self.topology = ClusterTopology(nranks, cores_per_node)
         # Telemetry first: every layer below captures these references at
         # construction (None when disabled: one attribute check per event).
@@ -129,6 +136,8 @@ class MPIRuntime:
         if self.metrics is not None:
             for mw in self.middlewares:
                 mw.fifo.metrics = self.metrics
+        if exploration is not None:
+            exploration.attach_runtime(self)
 
     @staticmethod
     def _build_fault_stack(sim, fault_plan, reliability):
@@ -182,13 +191,31 @@ class MPIRuntime:
         index = self._win_calls[rank]
         self._win_calls[rank] += 1
         if index == len(self.window_groups):
-            group = WindowGroup(self, index, name or f"win{index}", Info(info) if not isinstance(info, Info) else info)
+            info = Info(info) if not isinstance(info, Info) else info
+            info = self._apply_exploration_info(info)
+            group = WindowGroup(self, index, name or f"win{index}", info)
             self.window_groups.append(group)
         group = self.window_groups[index]
         win = Window(group, rank, nbytes)
         group.attach(win)
         self.engines[rank].register_window(win)
         return win
+
+    def _apply_exploration_info(self, info: Info) -> Info:
+        """Force the exploration context's default semantics-checker mode
+        onto windows whose application did not choose one itself (the
+        checker verdict is an outcome-digest component)."""
+        exploration = self.exploration
+        if exploration is None or not getattr(exploration, "semantics_check", None):
+            return info
+        from ..rma.checker import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
+
+        if SEMANTICS_CHECK_INFO_KEY in info:
+            return info
+        merged = dict(info)
+        merged[SEMANTICS_CHECK_INFO_KEY] = "1"
+        merged[SEMANTICS_MODE_INFO_KEY] = exploration.semantics_check
+        return Info(merged)
 
     # -- launching ---------------------------------------------------------
     def run(
@@ -239,5 +266,10 @@ class MPIRuntime:
         if self.fabric.injector is not None:
             for name, value in self.fabric.injector.counters.items():
                 summary["counters"][f"faults.{name}"] = value
-            summary["counters"] = dict(sorted(summary["counters"].items()))
+        if self.exploration is not None:
+            # Same zero-hot-path-cost pattern as the fault counters: the
+            # schedule policy keeps its own tallies, merged at snapshot.
+            for name, value in self.exploration.sched_counters().items():
+                summary["counters"][name] = value
+        summary["counters"] = dict(sorted(summary["counters"].items()))
         return summary

@@ -215,7 +215,12 @@ class Fabric:
         self.flow.schedule_release(msg.src, msg.dst, delivery - now)
 
         if self.injector is None:
-            self.sim.schedule(delivery - now, self._arrive, ticket)
+            # Per-pair wire arrival order is a fabric contract (the
+            # middleware relies on FIFO delivery between two ranks), so
+            # exploration policies may only shift the whole lane.
+            self.sim.schedule(
+                delivery - now, self._arrive, ticket, lane=("net", msg.src, msg.dst)
+            )
             if self.reliability is not None and ticket.rel_seq is not None:
                 self.reliability.on_attempt(ticket, delivery - now)
             return
@@ -227,12 +232,15 @@ class Fabric:
             self._trace_fault(msg, disp)
         arrival_delay = delivery - now + disp.delay_us
         if not disp.lost:
-            self.sim.schedule(arrival_delay, self._arrive, ticket)
+            self.sim.schedule(
+                arrival_delay, self._arrive, ticket, lane=("net", msg.src, msg.dst)
+            )
             if disp.duplicate:
                 self.sim.schedule(
                     arrival_delay + self.injector.plan.duplicate_lag_us,
                     self._arrive,
                     ticket,
+                    lane=("net", msg.src, msg.dst),
                 )
         if self.reliability is not None and ticket.rel_seq is not None:
             self.reliability.on_attempt(ticket, arrival_delay)
@@ -273,7 +281,13 @@ class Fabric:
         if msg.needs_attention:
             overhead = self.model.host_attention_overhead
             gate = self.attention[msg.dst]
-            gate.submit(lambda: self.sim.schedule(overhead, self._deliver, ticket))
+            # The attention hop must not reorder packets admitted in
+            # order: one lane per destination host.
+            gate.submit(
+                lambda: self.sim.schedule(
+                    overhead, self._deliver, ticket, lane=("attn", msg.dst)
+                )
+            )
         else:
             self._deliver(ticket)
 
@@ -309,4 +323,6 @@ class Fabric:
             delay += disp.delay_us
         # Note the argument order: the ack for pair (dst -> src) keys the
         # sender-side pending entry (original src, original dst, seq).
-        self.sim.schedule(delay, self.reliability.on_ack, dst, src, seq)
+        self.sim.schedule(
+            delay, self.reliability.on_ack, dst, src, seq, lane=("ack", src, dst)
+        )

@@ -88,6 +88,9 @@ class RmaEngineBase:
         #: every hook below is then one attribute check, like the tracer).
         self.metrics = getattr(runtime, "metrics", None)
         self.profiler = getattr(runtime, "profiler", None)
+        #: Schedule-exploration context (None outside repro.explore runs);
+        #: feeds the delivered-notification multiset of the outcome digest.
+        self._explore = getattr(runtime, "exploration", None)
 
     # -- small conveniences ------------------------------------------------
     @property
@@ -266,6 +269,10 @@ class RmaEngineBase:
             ws.g[p.granter] += 1
         if m is not None:
             m.inc("omega.grants_recv")
+        if self._explore is not None:
+            self._explore.record_notification(
+                self.rank, "grant", p.granter, pack_win_value(ws.gid, ws.g[p.granter])
+            )
         if p.lock_access_id is not None:
             for ep in ws.epochs:
                 if (
@@ -284,6 +291,10 @@ class RmaEngineBase:
     def _on_done(self, ws: WindowState, p: DonePacket, src: int) -> None:
         if p.access_id > ws.done_id[p.origin]:
             ws.done_id[p.origin] = p.access_id
+        if self._explore is not None:
+            self._explore.record_notification(
+                self.rank, "done", p.origin, pack_win_value(ws.gid, p.access_id)
+            )
         self._trace("done_recv", ws, origin=p.origin, access_id=p.access_id)
 
     def _on_lock_request(self, ws: WindowState, p: LockRequestPacket, src: int) -> None:
@@ -345,6 +356,10 @@ class RmaEngineBase:
         if kind is NotifyKind.EPOCH_COMPLETE:
             if ident > ws.done_id[sender]:
                 ws.done_id[sender] = ident
+            if self._explore is not None:
+                # Same canonical form as the internode DonePacket path:
+                # the digest multiset is transport-agnostic by design.
+                self._explore.record_notification(self.rank, "done", sender, value)
             self._trace("done_recv", ws, origin=sender, access_id=ident, via="fifo")
         else:
             raise RuntimeError(f"unexpected notification {kind} from {sender}")

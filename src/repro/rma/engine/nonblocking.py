@@ -59,6 +59,14 @@ class NonblockingEngine(RmaEngineBase):
 
     supports_nonblocking = True
 
+    #: §VII-A activation gate: the deferred-epoch scan stops at the first
+    #: epoch that fails its activation conditions, so E_{k+1} can never
+    #: activate before E_k unless a reorder flag allows it.  Test-only
+    #: mutation switch — :func:`repro.explore.mutation.activation_gate_disabled`
+    #: flips it to let the schedule explorer prove it can catch the
+    #: resulting ordering bug.  Never clear this in production code.
+    _activation_gate = True
+
     def __init__(self, runtime, rank):
         super().__init__(runtime, rank)
         #: Blocking-flush snapshots: (ws, request, ops, local) tuples.
@@ -151,7 +159,11 @@ class NonblockingEngine(RmaEngineBase):
             if active_preceding and not all(
                 self._reorder_allows(ws, ep, prev) for prev in active_preceding
             ):
-                break
+                if self._activation_gate:
+                    break
+                # Mutated (test-only): skip the blocked epoch but keep
+                # scanning — later epochs may now activate out of order.
+                continue
             self._activate(ws, ep, tuple(active_preceding))
             active_preceding.append(ep)
             activated += 1

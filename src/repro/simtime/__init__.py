@@ -19,13 +19,14 @@ Quick example::
     assert proc.done.value == 5.0
 """
 
-from .core import Simulator
+from .core import Simulator, TieBreakPolicy
 from .errors import InvalidYield, ProcessFailed, SimtimeError, SimulationDeadlock
 from .events import AllOf, AnyOf, SimEvent, Timeout
 from .process import SimProcess
 
 __all__ = [
     "Simulator",
+    "TieBreakPolicy",
     "SimEvent",
     "Timeout",
     "AllOf",

@@ -9,6 +9,17 @@ virtual instant execute in scheduling order.  All higher layers (network,
 MPI runtime, RMA engines) are written against this guarantee and the test
 suite property-checks it.
 
+Schedule exploration (:mod:`repro.explore`) hooks in here: a *policy*
+passed at construction may perturb each scheduled callback with a
+bounded extra delay and a tie-break priority key, turning the single
+deterministic schedule into a seeded family of legal schedules.  Heap
+entries are ``(time, key, seq, callback, args)``; without a policy the
+key is always 0 and ordering is exactly the historical FIFO.  Callbacks
+whose relative order is a *contract* rather than a happenstance of the
+schedule (per-pair fabric deliveries, for example) are scheduled with a
+``lane``; policies perturb whole lanes coherently so intra-lane order
+survives exploration.
+
 Time is a ``float`` in *microseconds* by convention throughout the
 library; the kernel itself is unit-agnostic.
 """
@@ -16,25 +27,46 @@ library; the kernel itself is unit-agnostic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Hashable, Protocol
 
 from .errors import SimulationDeadlock
 from .events import AllOf, AnyOf, SimEvent, Timeout
 from .process import SimProcess
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "TieBreakPolicy"]
+
+
+class TieBreakPolicy(Protocol):
+    """Pluggable schedule-perturbation policy (see :mod:`repro.explore`).
+
+    ``perturb`` is consulted once per :meth:`Simulator.schedule` call and
+    returns ``(extra_delay, key)``: a bounded non-negative delay added to
+    the callback's firing time and an integer priority key that orders
+    same-timestamp callbacks (lower first; ties fall back to scheduling
+    order).  ``lane`` identifies a FIFO stream whose internal order the
+    policy must preserve, or ``None`` for a freely reorderable callback.
+    """
+
+    def perturb(
+        self, time: float, seq: int, lane: Hashable | None
+    ) -> tuple[float, int]:  # pragma: no cover - protocol
+        ...
 
 
 class Simulator:
     """Owns the virtual clock and the pending-callback heap."""
 
-    def __init__(self) -> None:
+    def __init__(self, policy: TieBreakPolicy | None = None) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._heap: list[
+            tuple[float, int, int, Callable[..., None], tuple[Any, ...]]
+        ] = []
         self._processes: list[SimProcess] = []
         #: Processes whose generator raised (drained by :meth:`run`).
         self._failed: list[SimProcess] = []
+        #: Optional schedule-exploration policy (None = historical FIFO).
+        self.policy = policy
 
     # -- clock -----------------------------------------------------------
     @property
@@ -43,12 +75,24 @@ class Simulator:
         return self._now
 
     # -- scheduling ------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` virtual time units."""
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: Any, lane: Hashable | None = None
+    ) -> None:
+        """Run ``fn(*args)`` after ``delay`` virtual time units.
+
+        ``lane`` (keyword-only) marks the callback as part of a FIFO
+        stream — callbacks sharing a lane keep their relative order under
+        any exploration policy.  It has no effect without a policy.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        when = self._now + delay
+        if self.policy is not None:
+            extra, key = self.policy.perturb(when, self._seq, lane)
+            heapq.heappush(self._heap, (when + extra, key, self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (when, 0, self._seq, fn, args))
 
     # -- event factories ---------------------------------------------------
     def event(self, name: str = "") -> SimEvent:
@@ -88,7 +132,7 @@ class Simulator:
         heap = self._heap
         failed = self._failed
         while heap:
-            t, _seq, fn, args = heap[0]
+            t, _key, _seq, fn, args = heap[0]
             if until is not None and t > until:
                 self._now = until
                 return self._now

@@ -1,0 +1,113 @@
+"""Bench regression guard (``python -m repro.bench --check``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.check import compare_docs
+from repro.bench.__main__ import main
+
+
+def _doc(values):
+    return {
+        "meta": {},
+        "figures": [{
+            "figure": "fig02",
+            "title": "t",
+            "unit": "µs",
+            "columns": list(values),
+            "rows": [{"series": "New", "values": dict(values)}],
+        }],
+    }
+
+
+class TestCompareDocs:
+    def test_identical_docs_pass(self):
+        doc = _doc({"a": 10.0, "b": 0.0})
+        verdict = compare_docs(doc, doc, tolerance=0.2)
+        assert verdict["ok"] and verdict["checked"] == 2
+
+    def test_within_tolerance_passes(self):
+        verdict = compare_docs(_doc({"a": 10.0}), _doc({"a": 11.9}), tolerance=0.2)
+        assert verdict["ok"]
+
+    def test_drift_beyond_tolerance_fails_with_detail(self):
+        verdict = compare_docs(_doc({"a": 10.0}), _doc({"a": 12.5}), tolerance=0.2)
+        assert not verdict["ok"]
+        (drift,) = verdict["drifts"]
+        assert drift["figure"] == "fig02" and drift["column"] == "a"
+        assert drift["rel_change"] == 0.25
+
+    def test_shrink_drift_also_fails(self):
+        verdict = compare_docs(_doc({"a": 10.0}), _doc({"a": 7.0}), tolerance=0.2)
+        assert not verdict["ok"]
+        assert verdict["drifts"][0]["rel_change"] == -0.3
+
+    def test_zero_baseline_requires_zero_current(self):
+        assert compare_docs(_doc({"a": 0.0}), _doc({"a": 0.0}))["ok"]
+        assert not compare_docs(_doc({"a": 0.0}), _doc({"a": 0.1}))["ok"]
+
+    def test_missing_structure_is_a_drift(self):
+        base = _doc({"a": 1.0, "b": 2.0})
+        cur = _doc({"a": 1.0})
+        verdict = compare_docs(base, cur)
+        assert not verdict["ok"]
+        assert verdict["drifts"][0]["current"] == "missing"
+        # whole figure missing
+        verdict = compare_docs(base, {"meta": {}, "figures": []})
+        assert verdict["drifts"][0]["series"] == "*"
+
+    def test_new_figures_in_current_are_ignored(self):
+        cur = _doc({"a": 1.0})
+        cur["figures"].append({"figure": "fig99", "title": "n", "unit": "µs",
+                               "columns": ["x"],
+                               "rows": [{"series": "New", "values": {"x": 1}}]})
+        assert compare_docs(_doc({"a": 1.0}), cur)["ok"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_docs(_doc({}), _doc({}), tolerance=-0.1)
+
+
+class TestCheckCli:
+    def test_check_against_self_passes(self, tmp_path, capsys):
+        """Regenerate one cheap figure, self-check it, inspect the
+        artifact the CI job uploads."""
+        baseline = tmp_path / "base.json"
+        assert main(["fig02", "--json", str(baseline)]) == 0
+        diff = tmp_path / "diff.json"
+        code = main(["--check", str(baseline), "--diff-out", str(diff), "fig02"])
+        assert code == 0
+        artifact = json.loads(diff.read_text())
+        assert artifact["ok"] and artifact["drifts"] == []
+        assert artifact["checked"] > 0
+        assert artifact["baseline"] == str(baseline)
+
+    def test_check_flags_doctored_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        assert main(["fig02", "--json", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        row = doc["figures"][0]["rows"][0]
+        col = doc["figures"][0]["columns"][0]
+        row["values"][col] *= 2  # pretend the committed baseline was 2x
+        baseline.write_text(json.dumps(doc))
+        diff = tmp_path / "diff.json"
+        code = main(["--check", str(baseline), "--diff-out", str(diff), "fig02"])
+        assert code == 1
+        artifact = json.loads(diff.read_text())
+        assert not artifact["ok"]
+        assert any(d["rel_change"] for d in artifact["drifts"])
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_tighter_tolerance_via_flag(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        assert main(["fig02", "--json", str(baseline)]) == 0
+        # identical run passes even at zero tolerance (deterministic sim)
+        assert main(["--check", str(baseline), "--tolerance", "0.0",
+                     "fig02"]) == 0
+
+    def test_bad_flag_usage(self, capsys):
+        assert main(["--check"]) == 2
+        assert main(["--tolerance", "abc"]) == 2

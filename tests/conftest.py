@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import MPIRuntime
+from repro.explore.pytest_plugin import exploration  # noqa: F401  (fixture)
 from repro.simtime import Simulator
 
 BOTH_ENGINES = ("nonblocking", "mvapich")

@@ -1,0 +1,69 @@
+"""CLI determinism and exit-code contract of ``python -m repro.explore``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore.__main__ import main
+
+
+def test_run_json_report(capsys, tmp_path):
+    out = tmp_path / "report.json"
+    code = main(["run", "--workloads", "transactions", "--schedules", "2",
+                 "--json", "--out", str(out)])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert doc["mismatches"] == []
+    assert len(doc["runs"]) == 3 * 3  # 3 variants x (baseline + 2 schedules)
+    assert json.loads(out.read_text()) == doc
+
+
+def test_replay_is_byte_identical(capsys):
+    args = ["replay", "--workload", "ordering", "--variant", "new-nonblocking",
+            "--seed", "0xC0FFEE", "--json"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    doc = json.loads(first)
+    assert doc["run"]["spec"]["seed"] == 0xC0FFEE
+    assert len(doc["digest"]["strict_sha"]) == 64
+
+
+def test_replay_expect_strict_gate(capsys):
+    base = ["replay", "--workload", "transactions", "--variant", "new",
+            "--seed", "7", "--json"]
+    assert main(base) == 0
+    sha = json.loads(capsys.readouterr().out)["digest"]["strict_sha"]
+    assert main(base + ["--expect-strict", sha]) == 0
+    capsys.readouterr()
+    assert main(base + ["--expect-strict", "0" * 64]) == 1
+
+
+def test_replay_needs_a_token():
+    with pytest.raises(SystemExit):
+        main(["replay", "--workload", "halo", "--variant", "new"])
+
+
+def test_shrink_refuses_passing_seed(capsys):
+    # On the healthy engine no seed fails, so shrink must report
+    # "nothing to shrink" via exit code 2.
+    code = main(["shrink", "--workload", "ordering", "--variant",
+                 "new-nonblocking", "--seed", "42"])
+    assert code == 2
+
+
+def test_shrink_minimizes_under_mutation(capsys):
+    from repro.explore.mutation import activation_gate_disabled
+
+    with activation_gate_disabled():
+        code = main(["shrink", "--workload", "ordering", "--variant",
+                     "new-nonblocking", "--seed", "42", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert len(doc["ids"]) == 1
+    assert doc["spec"]["restrict"] == doc["ids"]

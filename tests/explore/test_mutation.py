@@ -1,0 +1,83 @@
+"""The explorer's self-test: prove it catches a real ordering bug.
+
+A deliberate mutation (disabling the §VII-A activation gate, so the
+deferred-epoch scan skips blocked epochs instead of stopping) is enabled
+behind a test-only flag, and the differential sweep must (1) detect the
+divergence within a 64-schedule budget, (2) replay the failing seed to a
+byte-identical digest, and (3) shrink it to a minimal perturbation set
+that still fails.
+"""
+
+from __future__ import annotations
+
+from repro.explore import VARIANTS, explore, run_workload, shrink
+from repro.explore.mutation import activation_gate_disabled
+from repro.rma.engine.nonblocking import NonblockingEngine
+
+_NEW_NB = VARIANTS[2]  # the variant that exercises deferred epochs
+
+
+def test_gate_flag_restored_even_on_error():
+    assert NonblockingEngine._activation_gate is True
+    try:
+        with activation_gate_disabled():
+            assert NonblockingEngine._activation_gate is False
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert NonblockingEngine._activation_gate is True
+
+
+def test_sweep_finds_the_mutation_within_64_schedules():
+    with activation_gate_disabled():
+        report = explore(workloads=["ordering"], nschedules=64)
+    assert not report.ok
+    strict = [m for m in report.mismatches if m["kind"] == "strict"]
+    # the bug lives in deferred-epoch activation: only the nonblocking
+    # call series diverges, which is itself a diagnostic
+    assert strict
+    assert {m["variant"] for m in strict} == {_NEW_NB.name}
+    # the divergence is in real outcomes, not timing: window memory and
+    # the application answer
+    joined = " ".join(p for m in strict for p in m["paths"])
+    assert "memory" in joined and "result.read" in joined
+
+
+def test_failing_seed_replays_deterministically():
+    with activation_gate_disabled():
+        report = explore(workloads=["ordering"], nschedules=4)
+        assert not report.ok
+        seed = next(s for m in report.mismatches for s in m["seeds"] if s is not None)
+        spec = next(r.spec for r in report.runs
+                    if r.spec is not None and r.spec.seed == seed
+                    and r.variant == _NEW_NB.name)
+        first = run_workload("ordering", _NEW_NB, spec)
+        second = run_workload("ordering", _NEW_NB, spec)
+    assert first.digest.to_json() == second.digest.to_json()
+    # and the mutation is the cause: the same token is clean on the
+    # healed engine
+    healed = run_workload("ordering", _NEW_NB, spec)
+    assert healed.digest.strict_sha != first.digest.strict_sha
+
+
+def test_shrink_failing_seed_to_minimal_set():
+    ref = run_workload("ordering", VARIANTS[0], None)
+    with activation_gate_disabled():
+        from repro.explore import PerturbationSpec
+
+        spec = PerturbationSpec(seed=0xD15EA5E)
+        full = run_workload("ordering", _NEW_NB, spec)
+        assert full.digest.strict_sha != ref.digest.strict_sha
+        assert full.applied
+
+        def fails(candidate):
+            run = run_workload("ordering", _NEW_NB, candidate)
+            return run.digest.strict_sha != ref.digest.strict_sha
+
+        result = shrink(spec, full.applied, fails, budget=64)
+        # this mutation diverges regardless of which perturbations stay,
+        # so ddmin must drive the set down to a single id
+        assert len(result.ids) == 1
+        assert result.minimal
+        replay = run_workload("ordering", _NEW_NB, result.minimal_spec)
+        assert replay.digest.strict_sha != ref.digest.strict_sha

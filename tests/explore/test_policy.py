@@ -1,0 +1,99 @@
+"""Unit tests for the perturbation policy and its replay tokens."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.policy import PerturbationSpec, SchedulePolicy, specs_for
+
+
+def test_spec_json_roundtrip():
+    spec = PerturbationSpec(seed=0xBEEF, shuffle=False, max_extra_us=1.25,
+                            restrict=(9, 3, 5))
+    # restrict is canonicalized to sorted order
+    assert spec.restrict == (3, 5, 9)
+    assert PerturbationSpec.from_json(spec.to_json()) == spec
+
+
+def test_spec_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        PerturbationSpec(seed=1, max_extra_us=-0.1)
+
+
+def test_perturb_is_a_pure_function_of_spec():
+    spec = PerturbationSpec(seed=77)
+    a = SchedulePolicy(spec)
+    b = SchedulePolicy(spec)
+    events = [(1.0, 1, None), (1.0, 2, None), (2.0, 3, ("net", 0, 1)),
+              (2.0, 4, ("net", 0, 1)), (2.5, 5, ("ack", 1, 0))]
+    assert [a.perturb(*e) for e in events] == [b.perturb(*e) for e in events]
+
+
+def test_lane_perturbation_is_constant_per_lane():
+    """One key and one delay per lane: intra-lane FIFO must survive."""
+    policy = SchedulePolicy(PerturbationSpec(seed=5))
+    draws = {policy.perturb(t, seq, ("net", 0, 1))
+             for t, seq in [(0.0, 1), (1.0, 7), (9.0, 100)]}
+    assert len(draws) == 1
+    # ... and a different lane draws differently (overwhelmingly likely).
+    other = policy.perturb(0.0, 1, ("net", 1, 0))
+    assert other != next(iter(draws))
+
+
+def test_free_events_draw_independently():
+    policy = SchedulePolicy(PerturbationSpec(seed=5))
+    d1 = policy.perturb(0.0, 1, None)
+    d2 = policy.perturb(0.0, 2, None)
+    assert d1 != d2  # seq-keyed: same timestamp, different draws
+
+
+def test_delays_bounded_and_quantized():
+    spec = PerturbationSpec(seed=11, max_extra_us=0.5)
+    policy = SchedulePolicy(spec)
+    for seq in range(200):
+        extra, key = policy.perturb(0.0, seq, None)
+        assert 0.0 <= extra <= 0.5
+        assert extra == round(extra, 3)
+        assert 0 <= key < 2**31
+
+
+def test_shuffle_off_keeps_fifo_keys():
+    policy = SchedulePolicy(PerturbationSpec(seed=11, shuffle=False, max_extra_us=0.0))
+    for seq in range(10):
+        assert policy.perturb(0.0, seq, None) == (0.0, 0)
+
+
+def test_restrict_applies_only_listed_ids():
+    spec = PerturbationSpec(seed=3)
+    full = SchedulePolicy(spec)
+    full_draws = {seq: full.perturb(0.0, seq, None) for seq in range(10)}
+    keep = (2, 5)
+    sub = SchedulePolicy(spec.restricted(keep))
+    for seq in range(10):
+        draw = sub.perturb(0.0, seq, None)
+        if seq in keep:
+            assert draw == full_draws[seq]  # identical to the full run's draw
+        else:
+            assert draw == (0.0, 0)
+    assert sorted(sub.applied) == list(keep)
+
+
+def test_applied_log_and_counters():
+    policy = SchedulePolicy(PerturbationSpec(seed=3))
+    policy.perturb(0.0, 1, None)
+    policy.perturb(0.0, 1, None)  # same id logged once
+    policy.perturb(0.0, 2, ("attn", 0))
+    policy.perturb(1.0, 3, ("attn", 0))  # same lane id logged once
+    assert len(policy.applied) == 2
+    counters = policy.counters()
+    assert counters["explore.events_seen"] == 4
+    assert counters["explore.events_perturbed"] == 4
+    assert counters["explore.extra_delay_total_us"] >= 0.0
+
+
+def test_specs_for_spread_and_determinism():
+    a = specs_for(8, base_seed=123)
+    b = specs_for(8, base_seed=123)
+    assert a == b
+    assert len({s.seed for s in a}) == 8
+    assert specs_for(3, base_seed=124) != a[:3]

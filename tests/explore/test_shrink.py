@@ -1,0 +1,52 @@
+"""ddmin shrinker unit tests (synthetic oracles, no simulation)."""
+
+from __future__ import annotations
+
+from repro.explore.policy import PerturbationSpec
+from repro.explore.shrink import shrink
+
+SPEC = PerturbationSpec(seed=99)
+
+
+def _oracle(culprits: set[int]):
+    """fails(spec) true iff every culprit id is in the restrict set."""
+
+    def fails(spec: PerturbationSpec) -> bool:
+        assert spec.restrict is not None
+        return culprits <= set(spec.restrict)
+
+    return fails
+
+
+def test_shrinks_to_single_culprit():
+    applied = list(range(40))
+    res = shrink(SPEC, applied, _oracle({17}), budget=64)
+    assert res.ids == (17,)
+    assert res.minimal
+    assert res.minimal_spec.restrict == (17,)
+
+
+def test_shrinks_to_culprit_pair():
+    applied = list(range(32))
+    res = shrink(SPEC, applied, _oracle({3, 29}), budget=128)
+    assert res.ids == (3, 29)
+    assert res.minimal
+
+
+def test_non_replaying_failure_reports_not_minimal():
+    res = shrink(SPEC, [1, 2, 3], lambda spec: False, budget=16)
+    assert not res.minimal
+    assert res.tests == 1  # gave up after the initial confirmation run
+
+
+def test_budget_exhaustion_returns_best_so_far():
+    applied = list(range(64))
+    res = shrink(SPEC, applied, _oracle({5}), budget=3)
+    assert not res.minimal
+    assert 5 in res.ids  # still a failing set
+    assert res.tests <= 4
+
+
+def test_duplicate_applied_ids_are_deduped():
+    res = shrink(SPEC, [7, 7, 7, 8], _oracle({7}), budget=32)
+    assert res.ids == (7,)

@@ -15,7 +15,7 @@ inside its own exclusive-lock epoch.  Three execution modes:
   and "New" series);
 - **nonblocking** — ilock / accumulate / iunlock back to back with up to
   ``max_pending`` epochs in flight ("New nonblocking");
-- nonblocking with ``MPI_WIN_ACCESS_AFTER_ACCESS_REORDER`` enabled on
+- nonblocking with ``repro.A_A_A_R`` enabled on
   the window: out-of-order epoch progression, the contention-avoidance
   configuration of Fig. 12.
 

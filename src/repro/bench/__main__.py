@@ -15,6 +15,13 @@ Usage::
                                              # regression guard: re-run and
                                              # diff against a baseline doc;
                                              # exit 1 on per-figure drift
+    python -m repro.bench --wallclock        # host-throughput A/B: worklist
+                                             # vs full-scan sweeping
+    python -m repro.bench --wallclock --json out.json
+    python -m repro.bench --wallclock --check BENCH_wallclock.json \
+                          [--tolerance 0.3]  # fail if events/sec fell more
+                                             # than the tolerance below the
+                                             # committed baseline
 
 The JSON document carries run metadata plus a list of figure objects,
 each with its per-series rows::
@@ -259,15 +266,64 @@ def check_baseline(baseline_path: str, wanted: list[str], tolerance: float,
     return 1
 
 
+def run_wallclock_cli(json_path: str | None, check_path: str | None,
+                      tolerance: float) -> int:
+    """``--wallclock`` mode: run the host-throughput A/B, print/write the
+    report, and (with ``--check``) gate events/sec against a baseline.
+
+    Wall-clock numbers are machine-dependent, so the check is one-sided:
+    only a drop of more than ``tolerance`` below the baseline's worklist
+    events/sec fails.  A virtual-time mismatch between the two sweep
+    modes always fails — that would mean the worklist changed a schedule.
+    """
+    from .wallclock import format_report, run_wallclock
+
+    doc = {"meta": run_meta(), "wallclock": run_wallclock()}
+    wc = doc["wallclock"]
+    if json_path is not None:
+        if json_path == "-":
+            json.dump(doc, sys.stdout, indent=2)
+            print()
+        else:
+            with open(json_path, "w") as fh:
+                json.dump(doc, fh, indent=2)
+            print(f"wrote wallclock report to {json_path}")
+    else:
+        print(format_report(wc))
+    if not wc["virtual_time_match"]:
+        print("FAIL: worklist and full-scan runs diverged in virtual time",
+              file=sys.stderr)
+        return 1
+    if check_path is None:
+        return 0
+    with open(check_path) as fh:
+        baseline = json.load(fh)
+    base_eps = baseline["wallclock"]["modes"]["worklist"]["events_per_sec"]
+    cur_eps = wc["modes"]["worklist"]["events_per_sec"]
+    floor = base_eps * (1.0 - tolerance)
+    print(f"wallclock check: {cur_eps:.0f} events/s vs baseline "
+          f"{base_eps:.0f} (floor {floor:.0f}, tolerance -{tolerance:.0%})")
+    if cur_eps < floor:
+        print(f"FAIL: events/sec regressed more than {tolerance:.0%} "
+              f"below {check_path}", file=sys.stderr)
+        return 1
+    print("no regression")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     json_path: str | None = None
     check_path: str | None = None
     diff_out: str | None = None
+    wallclock = False
     tolerance = 0.2
+    tolerance_given = False
     wanted: list[str] = []
     it = iter(argv)
     for arg in it:
-        if arg == "--json":
+        if arg == "--wallclock":
+            wallclock = True
+        elif arg == "--json":
             json_path = next(it, None)
             if json_path is None:
                 print("--json needs a path (or '-' for stdout)", file=sys.stderr)
@@ -280,6 +336,7 @@ def main(argv: list[str]) -> int:
         elif arg == "--tolerance":
             try:
                 tolerance = float(next(it))
+                tolerance_given = True
             except (StopIteration, ValueError):
                 print("--tolerance needs a number (e.g. 0.2)", file=sys.stderr)
                 return 2
@@ -290,6 +347,13 @@ def main(argv: list[str]) -> int:
                 return 2
         else:
             wanted.append(arg)
+    if wallclock:
+        if wanted:
+            print("--wallclock takes no figure names", file=sys.stderr)
+            return 2
+        if not tolerance_given:
+            tolerance = 0.3  # wall clock is machine-dependent; be generous
+        return run_wallclock_cli(json_path, check_path, tolerance)
     wanted = wanted or sorted(ALL)
     unknown = [w for w in wanted if w not in ALL]
     if unknown:

@@ -1,0 +1,176 @@
+"""Wall-clock throughput benchmark for the event-driven progress engine.
+
+Virtual-time figures (``BENCH_seed.json``) are bit-identical whether the
+engines sweep every window or only dirty ones — the worklist is a pure
+host-side optimisation.  This module measures the *host* side: it runs a
+sweep-heavy multi-window workload twice, once with dirty-window tracking
+(the default) and once in legacy full-scan mode
+(``engine.dirty_tracking = False``), and reports events/sec, sweeps,
+windows visited per sweep, and the §VII-D step wall profile from the
+shared :class:`~repro.obs.EngineProfiler`.
+
+The workload: every rank opens ``windows`` windows; window 0 carries
+``rounds`` of lock/put/unlock traffic around a ring while each remaining
+window holds one *deferred* GATS access epoch (its matching ``post``
+arrives only after the traffic phase).  Under a full scan every poke
+re-visits every window; under the worklist only window 0 is swept, so
+the visit ratio — and the wall-clock gap — grows linearly with
+``windows``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..mpi.runtime import MPIRuntime
+from ..rma.flags import E_A_A_R
+from ..rma.window import LOCK_SHARED
+from .calibration import default_model
+
+__all__ = ["run_mode", "run_wallclock", "format_report"]
+
+#: Default workload shape (kept small enough for a CI smoke job).
+DEFAULT_WINDOWS = 24
+DEFAULT_ROUNDS = 60
+DEFAULT_NRANKS = 4
+DEFAULT_NBYTES = 4096
+
+
+def _app(proc, windows: int, rounds: int, nbytes: int):
+    """One rank of the sweep-heavy workload (see module docstring)."""
+    # E_A_A_R: the drain phase posts an exposure epoch behind each
+    # window's still-pending deferred access epoch; without the reorder
+    # flag the ring would deadlock (exposure blocked on access, access
+    # waiting on the next rank's exposure).
+    info = {E_A_A_R: "true"}
+    wins = []
+    for _ in range(windows):
+        win = yield from proc.win_allocate(max(nbytes, 64), info=info)
+        wins.append(win)
+    me, n = proc.rank, proc.size
+    peer = (me + 1) % n
+    prev = (me - 1) % n
+    data = np.zeros(nbytes, dtype=np.uint8)
+    small = np.zeros(8, dtype=np.uint8)
+
+    # Deferred access epochs on the idle windows: the matching post()
+    # is withheld until after the traffic phase, so each epoch stays
+    # deferred and a full-scan sweep re-checks its activation gate on
+    # every pass while the worklist leaves the window untouched.
+    idle_reqs = []
+    for win in wins[1:]:
+        win.istart([peer])
+        win.put(small, peer, 0)
+        idle_reqs.append(win.icomplete())
+
+    win0 = wins[0]
+    for _ in range(rounds):
+        yield from win0.lock(peer, LOCK_SHARED)
+        win0.put(data, peer, 0)
+        yield from win0.unlock(peer)
+
+    yield from proc.barrier()
+    # Drain: release the deferred epochs so the job terminates cleanly.
+    for win in wins[1:]:
+        yield from win.post([prev])
+    for req in idle_reqs:
+        yield from req.wait()
+    for win in wins[1:]:
+        yield from win.wait_epoch()
+    yield from proc.barrier()
+
+
+def run_mode(
+    dirty_tracking: bool,
+    windows: int = DEFAULT_WINDOWS,
+    rounds: int = DEFAULT_ROUNDS,
+    nranks: int = DEFAULT_NRANKS,
+    nbytes: int = DEFAULT_NBYTES,
+) -> dict[str, Any]:
+    """Run the workload once and return its wall-clock profile."""
+    rt = MPIRuntime(
+        nranks, cores_per_node=1, engine="nonblocking",
+        model=default_model(), metrics=True,
+    )
+    for eng in rt.engines:
+        eng.dirty_tracking = dirty_tracking
+    t0 = time.perf_counter()
+    rt.run(_app, windows, rounds, nbytes)
+    wall_s = time.perf_counter() - t0
+    events = rt.sim.events_scheduled
+    sweeps = sum(e.sweep_count for e in rt.engines)
+    visits = sum(e.windows_visited for e in rt.engines)
+    prof = rt.profiler.summary() if rt.profiler is not None else None
+    return {
+        "dirty_tracking": dirty_tracking,
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_sec": events / wall_s if wall_s > 0 else float("inf"),
+        "sweeps": sweeps,
+        "windows_visited": visits,
+        "visits_per_sweep": visits / sweeps if sweeps else 0.0,
+        "virtual_us": rt.now,
+        "profiler": prof,
+    }
+
+
+def run_wallclock(
+    windows: int = DEFAULT_WINDOWS,
+    rounds: int = DEFAULT_ROUNDS,
+    nranks: int = DEFAULT_NRANKS,
+    nbytes: int = DEFAULT_NBYTES,
+) -> dict[str, Any]:
+    """A/B the worklist against legacy full-scan sweeping.
+
+    Both runs must land on the same final virtual time — the worklist is
+    not allowed to change any schedule — so a mismatch is reported as
+    ``virtual_time_match: False`` (and treated as a failure by callers).
+    """
+    shape = {"windows": windows, "rounds": rounds, "nranks": nranks, "nbytes": nbytes}
+    worklist = run_mode(True, **shape)
+    fullscan = run_mode(False, **shape)
+    return {
+        "workload": shape,
+        "modes": {"worklist": worklist, "fullscan": fullscan},
+        "speedup_events_per_sec": (
+            worklist["events_per_sec"] / fullscan["events_per_sec"]
+            if fullscan["events_per_sec"] else float("inf")
+        ),
+        "virtual_time_match": worklist["virtual_us"] == fullscan["virtual_us"],
+    }
+
+
+def format_report(doc: dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_wallclock` document."""
+    shape = doc["workload"]
+    lines = [
+        "== wallclock: event-driven sweep vs full scan ==",
+        (f"workload: {shape['nranks']} ranks x {shape['windows']} windows, "
+         f"{shape['rounds']} lock/put/unlock rounds of {shape['nbytes']} B"),
+        f"{'mode':<10}{'events':>10}{'wall s':>10}{'events/s':>12}"
+        f"{'sweeps':>10}{'visits/sweep':>14}",
+    ]
+    for name in ("worklist", "fullscan"):
+        m = doc["modes"][name]
+        lines.append(
+            f"{name:<10}{m['events']:>10}{m['wall_s']:>10.3f}"
+            f"{m['events_per_sec']:>12.0f}{m['sweeps']:>10}"
+            f"{m['visits_per_sweep']:>14.2f}"
+        )
+    lines.append(f"speedup (events/s): {doc['speedup_events_per_sec']:.2f}x")
+    lines.append(
+        "virtual time identical: "
+        + ("yes" if doc["virtual_time_match"] else "NO — SCHEDULE DIVERGENCE")
+    )
+    prof = doc["modes"]["worklist"].get("profiler")
+    if prof:
+        lines.append("worklist step wall profile:")
+        for num, st in sorted(prof.get("steps", {}).items(), key=lambda kv: str(kv[0])):
+            lines.append(
+                f"  step {num}: {st['name']}: wall={st['wall_ms']:.2f} ms "
+                f"work={st['work']}"
+            )
+    return "\n".join(lines)

@@ -125,6 +125,13 @@ class Fabric:
         # Traffic accounting (used by benchmarks and tests).
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Preallocated lane tuples (lanes key per-pair FIFO contracts in
+        # the kernel; equality is all that matters, so every send on a
+        # pair can share one tuple instead of allocating its own).
+        n = topology.nranks
+        self._net_lanes = [[("net", s, d) for d in range(n)] for s in range(n)]
+        self._attn_lanes = [("attn", d) for d in range(n)]
+        self._ack_lanes = [[("ack", s, d) for d in range(n)] for s in range(n)]
 
     # -- wiring ----------------------------------------------------------
     def register_handler(self, rank: int, handler: DeliveryHandler) -> None:
@@ -186,7 +193,7 @@ class Fabric:
         on the wire.  Also the reliability layer's retransmission entry
         point — every attempt pays credits and port occupancy."""
         msg = ticket.message
-        self.flow.acquire(msg.src, msg.dst, lambda: self._start_transfer(ticket))
+        self.flow.acquire(msg.src, msg.dst, self._start_transfer, ticket)
 
     def _start_transfer(self, ticket: SendTicket) -> None:
         msg = ticket.message
@@ -214,13 +221,12 @@ class Fabric:
         # the loss model), so dropped packets never leak credits.
         self.flow.schedule_release(msg.src, msg.dst, delivery - now)
 
+        net_lane = self._net_lanes[msg.src][msg.dst]
         if self.injector is None:
             # Per-pair wire arrival order is a fabric contract (the
             # middleware relies on FIFO delivery between two ranks), so
             # exploration policies may only shift the whole lane.
-            self.sim.schedule(
-                delivery - now, self._arrive, ticket, lane=("net", msg.src, msg.dst)
-            )
+            self.sim.schedule(delivery - now, self._arrive, ticket, lane=net_lane)
             if self.reliability is not None and ticket.rel_seq is not None:
                 self.reliability.on_attempt(ticket, delivery - now)
             return
@@ -232,15 +238,13 @@ class Fabric:
             self._trace_fault(msg, disp)
         arrival_delay = delivery - now + disp.delay_us
         if not disp.lost:
-            self.sim.schedule(
-                arrival_delay, self._arrive, ticket, lane=("net", msg.src, msg.dst)
-            )
+            self.sim.schedule(arrival_delay, self._arrive, ticket, lane=net_lane)
             if disp.duplicate:
                 self.sim.schedule(
                     arrival_delay + self.injector.plan.duplicate_lag_us,
                     self._arrive,
                     ticket,
-                    lane=("net", msg.src, msg.dst),
+                    lane=net_lane,
                 )
         if self.reliability is not None and ticket.rel_seq is not None:
             self.reliability.on_attempt(ticket, arrival_delay)
@@ -279,17 +283,20 @@ class Fabric:
         attention when the payload needs the destination CPU."""
         msg = ticket.message
         if msg.needs_attention:
-            overhead = self.model.host_attention_overhead
-            gate = self.attention[msg.dst]
-            # The attention hop must not reorder packets admitted in
-            # order: one lane per destination host.
-            gate.submit(
-                lambda: self.sim.schedule(
-                    overhead, self._deliver, ticket, lane=("attn", msg.dst)
-                )
-            )
+            self.attention[msg.dst].submit(self._attn_deliver, ticket)
         else:
             self._deliver(ticket)
+
+    def _attn_deliver(self, ticket: SendTicket) -> None:
+        """Attention granted: pay the host overhead, then deliver.  The
+        attention hop must not reorder packets admitted in order: one
+        lane per destination host."""
+        self.sim.schedule(
+            self.model.host_attention_overhead,
+            self._deliver,
+            ticket,
+            lane=self._attn_lanes[ticket.message.dst],
+        )
 
     def _deliver(self, ticket: SendTicket) -> None:
         msg = ticket.message
@@ -324,5 +331,5 @@ class Fabric:
         # Note the argument order: the ack for pair (dst -> src) keys the
         # sender-side pending entry (original src, original dst, seq).
         self.sim.schedule(
-            delay, self.reliability.on_ack, dst, src, seq, lane=("ack", src, dst)
+            delay, self.reliability.on_ack, dst, src, seq, lane=self._ack_lanes[src][dst]
         )

@@ -25,7 +25,7 @@ computing; gated deliveries queue FIFO until attention returns.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simtime import Simulator
@@ -82,7 +82,7 @@ class AttentionGate:
         self._stalled = False
         #: Generation counter so overlapping stalls extend, not truncate.
         self._stall_gen = 0
-        self._queue: deque[Callable[[], None]] = deque()
+        self._queue: deque[tuple[Callable[..., None], tuple[Any, ...]]] = deque()
         #: Number of injected stalls observed (diagnostics).
         self.stalls_injected = 0
         #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
@@ -124,23 +124,24 @@ class AttentionGate:
 
     def _drain(self) -> None:
         while self._queue:
-            fn = self._queue.popleft()
-            self.sim.schedule(0.0, self._run_if_still_attentive, fn)
+            fn, args = self._queue.popleft()
+            self.sim.schedule(0.0, self._run_if_still_attentive, fn, args)
 
-    def _run_if_still_attentive(self, fn: Callable[[], None]) -> None:
+    def _run_if_still_attentive(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
         # The host may have gone inattentive (or been stalled) again
         # between the drain scheduling and this callback; requeue then.
         if self.attentive:
-            fn()
+            fn(*args)
         else:
-            self._queue.append(fn)
+            self._queue.append((fn, args))
 
-    def submit(self, fn: Callable[[], None]) -> None:
-        """Run ``fn`` now if attentive, else queue it."""
+    def submit(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` now if attentive, else queue it.  Passing
+        the arguments separately keeps the hot delivery path closure-free."""
         if self.attentive:
-            fn()
+            fn(*args)
         else:
-            self._queue.append(fn)
+            self._queue.append((fn, args))
             m = self.metrics
             if m is not None:
                 m.inc("nic.attention_deferred")

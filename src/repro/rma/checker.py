@@ -36,9 +36,9 @@ Detected violation classes (:class:`ViolationKind`):
     live flush requests, orphaned response-routing entries, hosted locks
     never released, or undrained notification-FIFO packets.
 
-Enable with the window info key ``repro_semantics_check=1``.  The
+Enable with the window info key ``repro.semantics_check=1``.  The
 default mode raises a structured :class:`RmaSemanticsError` at the
-violating event; ``repro_semantics_check_mode=report`` accumulates
+violating event; ``repro.semantics_check_mode=report`` accumulates
 :class:`Violation` records instead, queryable per window via
 :meth:`RmaChecker.report`.  Without the info key no checker object
 exists and the hot path pays a single ``is None`` test per hook.
@@ -87,9 +87,9 @@ __all__ = [
 ]
 
 #: Info key that enables the checker for a window.
-SEMANTICS_CHECK_INFO_KEY = "repro_semantics_check"
+SEMANTICS_CHECK_INFO_KEY = "repro.semantics_check"
 #: Info key selecting ``raise`` (default) or ``report`` mode.
-SEMANTICS_MODE_INFO_KEY = "repro_semantics_check_mode"
+SEMANTICS_MODE_INFO_KEY = "repro.semantics_check_mode"
 
 _PASSIVE_KINDS = (EpochKind.LOCK, EpochKind.LOCK_ALL)
 

@@ -55,7 +55,14 @@ DEGRADE_RETRY_THRESHOLD = 16
 
 
 class AdaptiveEngine(MvapichEngine):
-    """Per-target lazy/eager switching on top of the baseline."""
+    """Per-target lazy/eager switching on top of the baseline.
+
+    Dirty-window worklist: inherited unchanged from the baseline.  The
+    one extra state-mutating path this engine adds — eager activation in
+    :meth:`open_lock` — goes through the base ``_activate_lock``, which
+    marks the window dirty, so eager epochs are swept without this class
+    touching the worklist machinery.
+    """
 
     supports_nonblocking = False
 

@@ -74,6 +74,19 @@ class RmaEngineBase:
     #: Whether the proposed MPI_WIN_I* API is available.
     supports_nonblocking: bool = True
 
+    #: Event-driven progress switch.  ``True`` (production): sweeps visit
+    #: only windows on the dirty worklist — every point that can change
+    #: epoch state (packet arrival, grant update, FIFO notification
+    #: consumption, local epoch open/close/op recording, op-completion
+    #: callbacks — including those of fault-layer retransmit deliveries,
+    #: which re-enter via the same packet path) marks its window.  A
+    #: clean window is at a quiescent fixed point (its previous visit ran
+    #: to no-change and nothing touched it since), so skipping it cannot
+    #: alter the virtual-time schedule; only wall clock changes.
+    #: ``False`` restores the historical scan of every window per sweep —
+    #: kept for the ``--wallclock`` A/B comparison and as a debug lever.
+    dirty_tracking: bool = True
+
     def __init__(self, runtime: "MPIRuntime", rank: int):
         self.runtime = runtime
         self.rank = rank
@@ -84,6 +97,21 @@ class RmaEngineBase:
         self.states: dict[int, WindowState] = {}
         self._sweeping = False
         self._resweep = False
+        #: Dirty-window worklist: gid -> WindowState, insertion-ordered
+        #: (the dict doubles as the membership set).  Drained by
+        #: :meth:`_take_dirty` at sweep time in gid order, which is
+        #: exactly the relative order the historical full scan visited
+        #: the same (effectful) windows in.
+        self._dirty: dict[int, WindowState] = {}
+        #: Sweeps and per-sweep window visits (wall-clock diagnostics).
+        self.sweep_count = 0
+        self.windows_visited = 0
+        #: gid -> interned per-window visit-metric name (hot path).
+        self._visit_metric: dict[int, str] = {}
+        #: Blocking-flush snapshots: (ws, request, ops, local) tuples,
+        #: resolved at the end of every sweep (§VII-C: blocking flushes
+        #: drive the engine rather than building on iflush).
+        self._blocking_flushes: list[tuple[WindowState, Any, list[RmaOp], bool]] = []
         #: Opt-in telemetry (both None unless ``MPIRuntime(metrics=True)``;
         #: every hook below is then one attribute check, like the tracer).
         self.metrics = getattr(runtime, "metrics", None)
@@ -119,6 +147,7 @@ class RmaEngineBase:
         cell.append(ws)
         self.states[win.group.gid] = ws
         win._state = ws
+        self._visit_metric[ws.gid] = f"engine.sweep.visited.win{ws.gid}"
         if self.metrics is not None:
             ws.lock_mgr.metrics = self.metrics
 
@@ -147,6 +176,62 @@ class RmaEngineBase:
         """One full progress pass over this rank's windows (policy)."""
         raise NotImplementedError
 
+    # -- dirty-window worklist --------------------------------------------
+    def mark_dirty(self, ws: WindowState) -> None:
+        """Put ``ws`` on the worklist: something that can change its
+        epoch state happened.  Marking during an active sweep requests a
+        re-sweep so the poke loop revisits the window before returning."""
+        if ws.gid not in self._dirty:
+            self._dirty[ws.gid] = ws
+        if self._sweeping:
+            self._resweep = True
+
+    def _take_dirty(self) -> list[WindowState]:
+        """Drain the worklist for one sweep, in gid order (the relative
+        visit order of the historical every-window scan).  With
+        ``dirty_tracking`` off, returns every window and still clears the
+        worklist (full-scan mode subsumes it)."""
+        self.sweep_count += 1
+        if not self.dirty_tracking:
+            self._dirty.clear()
+            out = list(self.states.values())
+        elif not self._dirty:
+            out = []
+        else:
+            out = [ws for _gid, ws in sorted(self._dirty.items())]
+            self._dirty.clear()
+        self.windows_visited += len(out)
+        m = self.metrics
+        if m is not None and out:
+            m.inc("engine.sweep.window_visits", len(out))
+            names = self._visit_metric
+            for ws in out:
+                m.inc(names[ws.gid])
+        return out
+
+    def _merge_marked(self, dirty: list[WindowState]) -> list[WindowState]:
+        """Fold windows marked *during* this sweep (loopback deliveries,
+        step-5 FIFO notifications) into the visit list for the remaining
+        steps, preserving gid order.  The worklist itself is left intact:
+        a mid-sweep mark also means a full revisit next sweep, which is
+        what the historical full re-scan (``_resweep``) did."""
+        if not self._dirty:
+            return dirty
+        have = {w.gid for w in dirty}
+        extra = [ws for gid, ws in sorted(self._dirty.items()) if gid not in have]
+        if not extra:
+            return dirty
+        merged = dirty + extra
+        merged.sort(key=lambda w: w.gid)
+        self.windows_visited += len(extra)
+        m = self.metrics
+        if m is not None:
+            m.inc("engine.sweep.window_visits", len(extra))
+            names = self._visit_metric
+            for ws in extra:
+                m.inc(names[ws.gid])
+        return merged
+
     # =====================================================================
     # Packet reception
     # =====================================================================
@@ -157,6 +242,7 @@ class RmaEngineBase:
         ws = self.states.get(payload.win)
         if ws is None:
             raise RuntimeError(f"rank {self.rank}: RMA packet for unknown window {payload.win}")
+        self.mark_dirty(ws)
         handler = self._PACKET_HANDLERS[type(payload)]
         handler(self, ws, payload, src)
         return True
@@ -353,6 +439,7 @@ class RmaEngineBase:
     def _on_notification(self, kind: NotifyKind, sender: int, value: int) -> None:
         gid, ident = unpack_win_value(value)
         ws = self.states[gid]
+        self.mark_dirty(ws)
         if kind is NotifyKind.EPOCH_COMPLETE:
             if ident > ws.done_id[sender]:
                 ws.done_id[sender] = ident
@@ -591,6 +678,7 @@ class RmaEngineBase:
         if op.local_done:
             return
         op.local_done = True
+        self.mark_dirty(ws)
         prof = self.profiler
         if prof is not None:
             prof.tally(1)
@@ -606,6 +694,7 @@ class RmaEngineBase:
         op.delivered = True
         op.deliver_time = self.sim.now
         op.epoch.mark_delivered(op)
+        self.mark_dirty(ws)
         prof = self.profiler
         if prof is not None:
             prof.tally(1)
@@ -628,6 +717,7 @@ class RmaEngineBase:
     def _open_epoch(self, ws: WindowState, ep: Epoch) -> Epoch:
         ep.open_time = self.sim.now
         ws.epochs.append(ep)
+        self.mark_dirty(ws)
         self._trace("epoch_open", ws, ep, epoch_kind=ep.kind.value)
         self.poke()
         return ep
@@ -643,10 +733,11 @@ class RmaEngineBase:
         ep.close_call_time = self.sim.now
         req = ClosingRequest(self.sim, ep)
         ep.closing_request = req
+        self.mark_dirty(ws)
         self._trace("epoch_close_call", ws, ep)
         if ep.completed:
             req.complete()
-            ws.epochs = [e for e in ws.epochs if e is not ep]
+            ws.retire_closed()
         else:
             self.poke()
         return req
@@ -690,6 +781,7 @@ class RmaEngineBase:
         ws = self.state_of(win)
         op.call_time = self.sim.now
         ep.record_op(op)
+        self.mark_dirty(ws)
         self._trace("op_call", ws, ep, op_kind=op.kind.value, target=op.target)
         self.poke()
         return op
@@ -704,5 +796,55 @@ class RmaEngineBase:
         ws = self.state_of(win)
         ep.app_closed = True
         self._complete_epoch(ws, ep)
-        ws.epochs = [e for e in ws.epochs if e is not ep]
+        ws.retire_closed()
+        self.mark_dirty(ws)
         self.poke()
+
+    # =====================================================================
+    # Blocking flush (shared; §VII-C: blocking flushes are *not* built on
+    # their nonblocking equivalents — they drive the progress engine until
+    # the epoch-local conditions hold and return a request the facade
+    # waits on, so engines only add the request-first ``make_flush``.)
+    # =====================================================================
+    def _flush_activate(self, ws: WindowState, ep: Epoch) -> None:
+        """Hook run at ``blocking_flush`` entry.  The lazy baseline forces
+        early lock acquisition here (as real MVAPICH does); the redesigned
+        engine needs nothing."""
+
+    def make_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
+        """Request-first (nonblocking) flush; engine policy."""
+        raise NotImplementedError
+
+    def blocking_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
+        from ...mpi.requests import Request
+
+        ws = self.state_of(win)
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_flush(ws, ep)
+        self._flush_activate(ws, ep)
+        ops = [
+            op
+            for op in ep.ops
+            if (target is None or op.target == target)
+            and not (op.local_done if local else op.delivered)
+        ]
+        req = Request(self.sim, f"bflush(ep{ep.uid})")
+        if not ops:
+            req.complete()
+            return req
+        self._blocking_flushes.append((ws, req, ops, local))
+        self.mark_dirty(ws)
+        self.poke()
+        return req
+
+    def _check_blocking_flushes(self) -> None:
+        if not self._blocking_flushes:
+            return
+        live = []
+        for ws, req, ops, local in self._blocking_flushes:
+            if all((op.local_done if local else op.delivered) for op in ops):
+                req.complete()
+            else:
+                live.append((ws, req, ops, local))
+        self._blocking_flushes = live

@@ -35,14 +35,12 @@ from typing import TYPE_CHECKING
 
 from ...network.packets import ServiceKind
 from ..epoch import Epoch, EpochKind, EpochState
-from ..ops import RmaOp
 from ..packets import LockRequestPacket, UnlockPacket
 from ..requests import ClosingRequest
 from ..state import WindowState
 from .base import RmaEngineBase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ...mpi.requests import Request
     from ..window import Window
 
 __all__ = ["MvapichEngine"]
@@ -59,10 +57,6 @@ class MvapichEngine(RmaEngineBase):
 
     supports_nonblocking = False
 
-    def __init__(self, runtime, rank):
-        super().__init__(runtime, rank)
-        self._blocking_flushes: list[tuple[WindowState, "Request", list[RmaOp], bool]] = []
-
     # =====================================================================
     # Progress
     # =====================================================================
@@ -71,8 +65,10 @@ class MvapichEngine(RmaEngineBase):
         if prof is not None:
             self._sweep_profiled(prof)
             return
+        # Notifications first (they may dirty exposure windows that were
+        # clean at entry); the worklist snapshot then covers them.
         self._consume_notifications()
-        for ws in list(self.states.values()):
+        for ws in self._take_dirty():
             self._process_lock_backlog(ws)
             self._advance_all(ws)
         self._check_blocking_flushes()
@@ -90,7 +86,7 @@ class MvapichEngine(RmaEngineBase):
         prof.record(5, drained, t1 - t0)
         backlog_work = advance_work = 0
         backlog_s = advance_s = 0.0
-        for ws in list(self.states.values()):
+        for ws in self._take_dirty():
             a = perf_counter()
             backlog_work += self._process_lock_backlog(ws)  # step 6
             b = perf_counter()
@@ -115,7 +111,7 @@ class MvapichEngine(RmaEngineBase):
                 if self._advance(ws, ep):
                     changed = True
                     progressed += 1
-        ws.epochs = [ep for ep in ws.epochs if not (ep.completed and ep.app_closed)]
+        ws.retire_closed()
         return progressed
 
     def _advance(self, ws: WindowState, ep: Epoch) -> bool:
@@ -177,6 +173,7 @@ class MvapichEngine(RmaEngineBase):
             return
         ep.state = EpochState.ACTIVE
         ep.activate_time = self.sim.now
+        self.mark_dirty(ws)
         self._trace("epoch_activate", ws, ep)
         if ep.nocheck:
             # MPI_MODE_NOCHECK: no acquisition protocol, no ω traffic.
@@ -371,36 +368,7 @@ class MvapichEngine(RmaEngineBase):
 
         raise UnsupportedOperation("the baseline engine has no nonblocking flush")
 
-    def blocking_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
-        from ...mpi.requests import Request
-
-        ws = self.state_of(win)
-        checker = self._checker_of(ws)
-        if checker is not None:
-            checker.on_flush(ws, ep)
+    def _flush_activate(self, ws: WindowState, ep: Epoch) -> None:
+        """A flush forces early lock acquisition, as in real MVAPICH."""
         if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and not ep.active:
             self._activate_lock(ws, ep)
-        ops = [
-            op
-            for op in ep.ops
-            if (target is None or op.target == target)
-            and not (op.local_done if local else op.delivered)
-        ]
-        req = Request(self.sim, f"bflush(ep{ep.uid})")
-        if not ops:
-            req.complete()
-            return req
-        self._blocking_flushes.append((ws, req, ops, local))
-        self.poke()
-        return req
-
-    def _check_blocking_flushes(self) -> None:
-        if not self._blocking_flushes:
-            return
-        live = []
-        for ws, req, ops, local in self._blocking_flushes:
-            if all((op.local_done if local else op.delivered) for op in ops):
-                req.complete()
-            else:
-                live.append((ws, req, ops, local))
-        self._blocking_flushes = live

@@ -48,7 +48,6 @@ from ..state import WindowState
 from .base import RmaEngineBase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ...mpi.requests import Request
     from ..window import Window
 
 __all__ = ["NonblockingEngine"]
@@ -67,11 +66,6 @@ class NonblockingEngine(RmaEngineBase):
     #: resulting ordering bug.  Never clear this in production code.
     _activation_gate = True
 
-    def __init__(self, runtime, rank):
-        super().__init__(runtime, rank)
-        #: Blocking-flush snapshots: (ws, request, ops, local) tuples.
-        self._blocking_flushes: list[tuple[WindowState, "Request", list[RmaOp], bool]] = []
-
     # =====================================================================
     # §VII-D — the progress loop
     # =====================================================================
@@ -80,19 +74,23 @@ class NonblockingEngine(RmaEngineBase):
         if prof is not None:
             self._sweep_profiled(prof)
             return
-        states = list(self.states.values())
-        for ws in states:
+        dirty = self._take_dirty()
+        for ws in dirty:
             # Step 1 (completion verification) is event-driven here:
             # op completion callbacks have already updated the state.
             self._post_ready_ops(ws, intranode=False)  # step 2
-        for ws in states:
+        for ws in dirty:
             self._complete_and_activate(ws)            # step 3
-        for ws in states:
+        for ws in dirty:
             self._post_ready_ops(ws, intranode=True)   # step 4
         self._consume_notifications()                  # step 5
-        for ws in states:
+        # Step 5 may have dirtied windows that were clean at sweep start
+        # (FIFO done notifications); the historical full scan reached
+        # them in steps 6/7 of the same sweep, so fold them in here.
+        dirty = self._merge_marked(dirty)
+        for ws in dirty:
             self._process_lock_backlog(ws)             # step 6
-        for ws in states:
+        for ws in dirty:
             self._complete_and_activate(ws)            # step 7
         self._check_blocking_flushes()
 
@@ -103,33 +101,34 @@ class NonblockingEngine(RmaEngineBase):
         loopback fabric delivery is synchronous, so reordering steps
         would change the virtual-time schedule."""
         prof.sweeps += 1
-        states = list(self.states.values())
+        dirty = self._take_dirty()
         t0 = perf_counter()
         work = 0
-        for ws in states:
+        for ws in dirty:
             work += self._post_ready_ops(ws, intranode=False)  # step 2
         t1 = perf_counter()
         prof.record(2, work, t1 - t0)
         work = 0
-        for ws in states:
+        for ws in dirty:
             work += self._complete_and_activate(ws)            # step 3
         t2 = perf_counter()
         prof.record(3, work, t2 - t1)
         work = 0
-        for ws in states:
+        for ws in dirty:
             work += self._post_ready_ops(ws, intranode=True)   # step 4
         t3 = perf_counter()
         prof.record(4, work, t3 - t2)
         work = self._consume_notifications()                   # step 5
         t4 = perf_counter()
         prof.record(5, work, t4 - t3)
+        dirty = self._merge_marked(dirty)
         work = 0
-        for ws in states:
+        for ws in dirty:
             work += self._process_lock_backlog(ws)             # step 6
         t5 = perf_counter()
         prof.record(6, work, t5 - t4)
         work = 0
-        for ws in states:
+        for ws in dirty:
             work += self._complete_and_activate(ws)            # step 7
         t6 = perf_counter()
         prof.record(7, work, t6 - t5)
@@ -288,12 +287,11 @@ class NonblockingEngine(RmaEngineBase):
                 changed = True
                 progressed += activated
         if progressed:
-            # Newly activated epochs may have ready ops; rerun the full
-            # step sequence so steps 2/4 post them.
+            # Newly activated epochs may have ready ops; re-mark the
+            # window and rerun the step sequence so steps 2/4 post them.
+            self.mark_dirty(ws)
             self._resweep = True
-        ws.epochs = [
-            ep for ep in ws.epochs if not (ep.completed and ep.app_closed)
-        ]
+        ws.retire_closed()
         return progressed
 
     def _advance_epoch(self, ws: WindowState, ep: Epoch) -> bool:
@@ -446,40 +444,6 @@ class NonblockingEngine(RmaEngineBase):
         req = FlushRequest(self.sim, ep, stamp, target, local, len(pending))
         if not req.done:
             ws.flushes.append(req)
+            self.mark_dirty(ws)
         self.poke()
         return req
-
-    def blocking_flush(self, win: "Window", ep: Epoch, target: int | None, local: bool):
-        """§VII-C: blocking flushes are *not* built on their nonblocking
-        equivalents; they drive the progress engine until the epoch-local
-        conditions hold.  Returns a plain request the facade waits on."""
-        from ...mpi.requests import Request
-
-        ws = self.state_of(win)
-        checker = self._checker_of(ws)
-        if checker is not None:
-            checker.on_flush(ws, ep)
-        ops = [
-            op
-            for op in ep.ops
-            if (target is None or op.target == target)
-            and not (op.local_done if local else op.delivered)
-        ]
-        req = Request(self.sim, f"bflush(ep{ep.uid})")
-        if not ops:
-            req.complete()
-            return req
-        self._blocking_flushes.append((ws, req, ops, local))
-        self.poke()
-        return req
-
-    def _check_blocking_flushes(self) -> None:
-        if not self._blocking_flushes:
-            return
-        live = []
-        for ws, req, ops, local in self._blocking_flushes:
-            if all((op.local_done if local else op.delivered) for op in ops):
-                req.complete()
-            else:
-                live.append((ws, req, ops, local))
-        self._blocking_flushes = live

@@ -7,13 +7,17 @@ still active:
 ================================================  ===========================
 Info key                                          Meaning (value ``1``)
 ================================================  ===========================
-``MPI_WIN_ACCESS_AFTER_ACCESS_REORDER``           origin epoch may progress
+``repro.A_A_A_R``                                 origin epoch may progress
                                                   past an active origin epoch
-``MPI_WIN_ACCESS_AFTER_EXPOSURE_REORDER``         origin epoch may progress
+``repro.A_A_E_R``                                 origin epoch may progress
                                                   past an active exposure
-``MPI_WIN_EXPOSURE_AFTER_EXPOSURE_REORDER``       exposure past exposure
-``MPI_WIN_EXPOSURE_AFTER_ACCESS_REORDER``         exposure past origin epoch
+``repro.E_A_E_R``                                 exposure past exposure
+``repro.E_A_A_R``                                 exposure past origin epoch
 ================================================  ===========================
+
+The paper's long ``MPI_WIN_ACCESS_AFTER_ACCESS_REORDER``-style spellings
+remain accepted as deprecated aliases (see
+:data:`repro.mpi.info.LEGACY_INFO_KEYS`).
 
 All default to off (correctness by default).  Per §VI-B the flags never
 apply to any adjacent pair where at least one epoch is a fence or a
@@ -34,10 +38,10 @@ __all__ = [
     "E_A_A_R",
 ]
 
-A_A_A_R = "MPI_WIN_ACCESS_AFTER_ACCESS_REORDER"
-A_A_E_R = "MPI_WIN_ACCESS_AFTER_EXPOSURE_REORDER"
-E_A_E_R = "MPI_WIN_EXPOSURE_AFTER_EXPOSURE_REORDER"
-E_A_A_R = "MPI_WIN_EXPOSURE_AFTER_ACCESS_REORDER"
+A_A_A_R = "repro.A_A_A_R"
+A_A_E_R = "repro.A_A_E_R"
+E_A_E_R = "repro.E_A_E_R"
+E_A_A_R = "repro.E_A_A_R"
 
 
 @dataclass(frozen=True)

@@ -48,8 +48,11 @@ class WindowState:
         self.dup_grants_ignored = 0
 
         # -- epochs ---------------------------------------------------------
-        #: All epochs not yet retired, in application open order.
-        self.epochs: list["Epoch"] = []
+        #: All epochs not yet retired, in application open order.  A
+        #: deque: the serial-activation scan (§VII-A) walks it in order
+        #: and retirement pops finished epochs from the head in O(1)
+        #: instead of rebuilding a list per sweep.
+        self.epochs: deque["Epoch"] = deque()
 
         # -- lock hosting ----------------------------------------------------
         self.lock_mgr = LockManager(on_lock_grant)
@@ -97,9 +100,20 @@ class WindowState:
         return [ep for ep in self.epochs if not ep.completed]
 
     def retire_completed(self) -> None:
-        """Drop completed epochs from the head bookkeeping list (keeps
+        """Drop completed epochs from the head bookkeeping deque (keeps
         memory bounded over long transaction runs)."""
-        self.epochs = [ep for ep in self.epochs if not ep.completed]
+        eps = self.epochs
+        while eps and eps[0].completed:
+            eps.popleft()
+
+    def retire_closed(self) -> None:
+        """Pop epochs that are both completed and application-closed off
+        the head in open order (O(1) per retirement).  Epochs behind a
+        still-live head stay queued — every scan already skips completed
+        epochs — and are reclaimed once the head retires."""
+        eps = self.epochs
+        while eps and eps[0].completed and eps[0].app_closed:
+            eps.popleft()
 
     def leak_report(self) -> dict[str, Any]:
         """Middleware state that should be empty when the window is

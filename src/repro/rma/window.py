@@ -9,8 +9,8 @@ Epoch style           Blocking                   Nonblocking (§V)
 ====================  =========================  =========================
 fence                 ``fence``                  ``ifence``
 GATS origin           ``start`` / ``complete``   ``istart`` / ``icomplete``
-GATS target           ``post`` / ``wait``        ``ipost`` / ``iwait``
-                      ``test`` (MPI-3)
+GATS target           ``post`` / ``wait_epoch``  ``ipost`` / ``iwait_epoch``
+                      ``test_epoch`` (MPI-3)     (``iwait`` alias)
 passive single        ``lock`` / ``unlock``      ``ilock`` / ``iunlock``
 passive all           ``lock_all``/``unlock_all``  ``ilock_all``/``iunlock_all``
 flush                 ``flush[_local][_all]``    ``iflush[_local][_all]``
@@ -26,6 +26,7 @@ The baseline ("mvapich") engine raises
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Generator
 
 import numpy as np
@@ -83,7 +84,7 @@ class WindowGroup:
             ConsistencyTracker() if info.get_bool(CONSISTENCY_INFO_KEY) else None
         )
         #: Full semantics checker / race detector (None unless enabled by
-        #: the ``repro_semantics_check`` info key; see :mod:`.checker`).
+        #: the ``repro.semantics_check`` info key; see :mod:`.checker`).
         self.checker: RmaChecker | None = RmaChecker.from_info(info)
 
     def attach(self, win: "Window") -> None:
@@ -321,8 +322,18 @@ class Window:
         self._require_nonblocking("MPI_WIN_IWAIT")
         return self._wait_internal()
 
-    def test(self) -> bool:
-        """MPI_WIN_TEST: nonblocking probe; True ends the exposure epoch."""
+    def iwait_epoch(self) -> Request:
+        """Alias of :meth:`iwait`, matching the :meth:`wait_epoch`
+        spelling of the blocking call (the blocking/nonblocking pair is
+        ``wait_epoch``/``iwait_epoch``; ``iwait`` remains supported)."""
+        return self.iwait()
+
+    def test_epoch(self) -> bool:
+        """MPI_WIN_TEST: nonblocking probe; True ends the exposure epoch.
+
+        Canonical spelling — ``test`` alone collides with
+        :meth:`Request.test <repro.mpi.requests.Request.test>`.
+        """
         ep = self._exposure
         if ep is None:
             raise RmaUsageError("MPI_WIN_TEST without an open exposure epoch")
@@ -331,6 +342,16 @@ class Window:
             self._exposure = None
             return True
         return False
+
+    def test(self) -> bool:
+        """Deprecated alias of :meth:`test_epoch`."""
+        warnings.warn(
+            "Window.test() is deprecated (it collides with Request.test()); "
+            "use Window.test_epoch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.test_epoch()
 
     # ======================================================================
     # Passive-target epochs
@@ -450,28 +471,34 @@ class Window:
             f"{'all targets' if target is None else f'rank {target}'}"
         )
 
+    def _flush_internal(self, target: int | None, local: bool) -> tuple[Request, Epoch]:
+        """Request-first core of the blocking flush family: the engine
+        hands back a request (completing through its normal sweep, §VII-C)
+        and the Window does the waiting — same shape as every other
+        blocking/\\ ``i*`` pair.  The ``iflush*`` family uses the engine's
+        age-stamped ``make_flush`` instead, which additionally permits
+        new RMA calls before completion."""
+        ep = self._passive_epoch_for(target)
+        return self.engine.blocking_flush(self, ep, target, local), ep
+
     def flush(self, target: int) -> Generator[Any, Any, None]:
         """MPI_WIN_FLUSH: complete all outstanding ops to ``target``."""
-        ep = self._passive_epoch_for(target)
-        req = self.engine.blocking_flush(self, ep, target, False)
+        req, ep = self._flush_internal(target, False)
         yield from self._blocking_wait(req, "flush", ep)
 
     def flush_local(self, target: int) -> Generator[Any, Any, None]:
         """MPI_WIN_FLUSH_LOCAL: locally complete ops to ``target``."""
-        ep = self._passive_epoch_for(target)
-        req = self.engine.blocking_flush(self, ep, target, True)
+        req, ep = self._flush_internal(target, True)
         yield from self._blocking_wait(req, "flush_local", ep)
 
     def flush_all(self) -> Generator[Any, Any, None]:
         """MPI_WIN_FLUSH_ALL."""
-        ep = self._passive_epoch_for(None)
-        req = self.engine.blocking_flush(self, ep, None, False)
+        req, ep = self._flush_internal(None, False)
         yield from self._blocking_wait(req, "flush_all", ep)
 
     def flush_local_all(self) -> Generator[Any, Any, None]:
         """MPI_WIN_FLUSH_LOCAL_ALL."""
-        ep = self._passive_epoch_for(None)
-        req = self.engine.blocking_flush(self, ep, None, True)
+        req, ep = self._flush_internal(None, True)
         yield from self._blocking_wait(req, "flush_local_all", ep)
 
     def iflush(self, target: int) -> Request:

@@ -59,9 +59,14 @@ class Simulator:
     def __init__(self, policy: TieBreakPolicy | None = None) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[
-            tuple[float, int, int, Callable[..., None], tuple[Any, ...]]
-        ] = []
+        #: Heap of 5-slot entries ``[time, key, seq, fn, args]``.  Entries
+        #: are mutable lists recycled through :attr:`_free` — a slab that
+        #: caps per-event allocation.  Comparisons never reach ``fn``/
+        #: ``args`` because ``seq`` is unique, so list-vs-tuple identity
+        #: of the entry container cannot affect ordering.
+        self._heap: list[list[Any]] = []
+        #: Free slab of retired heap entries (bounded; see :meth:`run`).
+        self._free: list[list[Any]] = []
         self._processes: list[SimProcess] = []
         #: Processes whose generator raised (drained by :meth:`run`).
         self._failed: list[SimProcess] = []
@@ -90,9 +95,20 @@ class Simulator:
         when = self._now + delay
         if self.policy is not None:
             extra, key = self.policy.perturb(when, self._seq, lane)
-            heapq.heappush(self._heap, (when + extra, key, self._seq, fn, args))
+            when += extra
         else:
-            heapq.heappush(self._heap, (when, 0, self._seq, fn, args))
+            key = 0
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = when
+            entry[1] = key
+            entry[2] = self._seq
+            entry[3] = fn
+            entry[4] = args
+        else:
+            entry = [when, key, self._seq, fn, args]
+        heapq.heappush(self._heap, entry)
 
     # -- event factories ---------------------------------------------------
     def event(self, name: str = "") -> SimEvent:
@@ -131,13 +147,22 @@ class Simulator:
         """
         heap = self._heap
         failed = self._failed
+        free = self._free
         while heap:
-            t, _key, _seq, fn, args = heap[0]
+            entry = heap[0]
+            t = entry[0]
             if until is not None and t > until:
                 self._now = until
                 return self._now
             heapq.heappop(heap)
             self._now = t
+            fn = entry[3]
+            args = entry[4]
+            # Recycle the entry; drop callback refs so the slab never
+            # pins closures or packet payloads past their firing.
+            entry[3] = entry[4] = None
+            if len(free) < 8192:
+                free.append(entry)
             fn(*args)
             if failed:
                 failed.pop(0).reraise_if_failed()
@@ -160,6 +185,12 @@ class Simulator:
     def pending_callbacks(self) -> int:
         """Number of not-yet-executed scheduled callbacks."""
         return len(self._heap)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total callbacks ever scheduled (the wall-clock throughput
+        denominator used by ``repro.bench --wallclock``)."""
+        return self._seq
 
     @property
     def live_processes(self) -> list[SimProcess]:

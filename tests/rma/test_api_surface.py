@@ -1,0 +1,204 @@
+"""Request-first API surface guarantees.
+
+Introspection-driven parity between the blocking epoch routines and
+their ``i*`` twins, the deprecation shims (``Window.test``, legacy info
+key spellings), the ``wait_epoch``/``iwait_epoch`` pairing, and the
+dirty-window worklist regression guard (idle windows are never swept).
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.mpi.info as info_mod
+from repro.mpi.errors import RmaUsageError
+from repro.mpi.info import LEGACY_INFO_KEYS, Info
+from repro.rma.checker import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
+from repro.rma.consistency import CONSISTENCY_INFO_KEY
+from repro.rma.flags import A_A_A_R, A_A_E_R, E_A_A_R, E_A_E_R, ReorderFlags
+from repro.rma.window import MODE_NOSUCCEED, Window
+from tests.conftest import make_runtime
+
+#: Blocking epoch routine -> its request-first twin.  The blocking call
+#: must be exactly "twin + _blocking_wait", so the signatures must match.
+BLOCKING_TO_REQUEST_FIRST = {
+    "fence": "ifence",
+    "start": "istart",
+    "complete": "icomplete",
+    "post": "ipost",
+    "wait_epoch": "iwait_epoch",
+    "lock": "ilock",
+    "unlock": "iunlock",
+    "lock_all": "ilock_all",
+    "unlock_all": "iunlock_all",
+    "flush": "iflush",
+    "flush_local": "iflush_local",
+    "flush_all": "iflush_all",
+    "flush_local_all": "iflush_local_all",
+}
+
+
+class TestApiParity:
+    @pytest.mark.parametrize(
+        "blocking,twin", sorted(BLOCKING_TO_REQUEST_FIRST.items())
+    )
+    def test_every_blocking_routine_has_matching_twin(self, blocking, twin):
+        b = getattr(Window, blocking)
+        i = getattr(Window, twin)
+        assert callable(b) and callable(i)
+        # Parameters (names, order, kinds, defaults) must be identical;
+        # only the return convention differs (generator vs request).
+        assert inspect.signature(b).parameters == inspect.signature(i).parameters
+
+    def test_every_i_routine_has_a_blocking_counterpart(self):
+        expected = set(BLOCKING_TO_REQUEST_FIRST.values()) | {"iwait"}
+        actual = {
+            name
+            for name, member in vars(Window).items()
+            if name.startswith("i") and callable(member)
+        }
+        assert actual == expected
+
+    def test_iwait_epoch_is_an_alias_of_iwait(self):
+        rt = make_runtime(2)
+        seen = {}
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.start([1])
+                win.put(np.zeros(8, dtype=np.uint8), 1, 0)
+                yield from win.complete()
+            else:
+                yield from win.post([0])
+                req = win.iwait_epoch()
+                seen["req"] = req
+                yield from req.wait()
+            yield from proc.barrier()
+
+        rt.run(app)
+        assert seen["req"].done
+
+
+class TestDeprecationShims:
+    def test_window_test_warns_and_delegates(self):
+        rt = make_runtime(2)
+
+        def app(proc):
+            win = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.start([1])
+                win.put(np.zeros(8, dtype=np.uint8), 1, 0)
+                yield from win.complete()
+            else:
+                yield from win.post([0])
+                with pytest.warns(DeprecationWarning, match="test_epoch"):
+                    while not win.test():
+                        yield from proc.compute(5.0)
+            yield from proc.barrier()
+
+        rt.run(app)
+
+    def test_window_test_shim_still_validates_usage(self):
+        rt = make_runtime(1)
+        wins = {}
+
+        def app(proc):
+            wins[0] = yield from proc.win_allocate(64)
+            yield from proc.barrier()
+
+        rt.run(app)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RmaUsageError):
+                wins[0].test()
+
+    def test_legacy_info_key_canonicalized_with_single_shot_warning(self):
+        info_mod._warned_legacy.discard("repro_semantics_check")
+        with pytest.warns(DeprecationWarning, match=r"repro\.semantics_check"):
+            info = Info({"repro_semantics_check": "1"})
+        # Stored under the canonical dotted name; both spellings look up.
+        assert dict(info) == {"repro.semantics_check": "1"}
+        assert info.get_bool("repro.semantics_check")
+        assert info.get_bool("repro_semantics_check")
+        assert "repro_semantics_check" in info
+        # Single-shot: the second construction is silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Info({"repro_semantics_check": "1"})
+
+    def test_legacy_reorder_flag_spelling_still_decodes(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            info = Info({"MPI_WIN_EXPOSURE_AFTER_ACCESS_REORDER": "1"})
+        assert ReorderFlags.from_info(info).exposure_after_access
+        assert info.get_bool(E_A_A_R)
+
+    def test_legacy_table_is_consistent(self):
+        for legacy, canon in LEGACY_INFO_KEYS.items():
+            assert canon.startswith("repro.")
+            assert legacy != canon
+        # The canonical constants all live in the table's value set.
+        canonical = set(LEGACY_INFO_KEYS.values())
+        for key in (
+            SEMANTICS_CHECK_INFO_KEY,
+            SEMANTICS_MODE_INFO_KEY,
+            CONSISTENCY_INFO_KEY,
+            A_A_A_R,
+            A_A_E_R,
+            E_A_E_R,
+            E_A_A_R,
+        ):
+            assert key in canonical
+
+
+def _traffic_with_idle_windows(proc, idle_windows=4):
+    """Fence traffic on window 0; ``idle_windows`` further windows are
+    allocated but never touched."""
+    win0 = yield from proc.win_allocate(64)
+    for _ in range(idle_windows):
+        yield from proc.win_allocate(64)
+    yield from proc.barrier()
+    peer = (proc.rank + 1) % proc.size
+    for _ in range(3):
+        yield from win0.fence()
+        win0.put(np.zeros(8, dtype=np.uint8), peer, 0)
+    yield from win0.fence(MODE_NOSUCCEED)
+    yield from proc.barrier()
+
+
+class TestDirtyWorklist:
+    @pytest.mark.parametrize("engine", ["nonblocking", "mvapich"])
+    def test_idle_windows_are_never_swept(self, engine):
+        rt = make_runtime(2, engine, metrics=True)
+        rt.run(_traffic_with_idle_windows)
+        assert sum(e.sweep_count for e in rt.engines) > 0
+        assert rt.metrics.value("engine.sweep.visited.win0") > 0
+        for gid in range(1, 5):
+            assert rt.metrics.value(f"engine.sweep.visited.win{gid}") == 0
+
+    @pytest.mark.parametrize("engine", ["nonblocking", "mvapich"])
+    def test_full_scan_mode_does_visit_clean_windows(self, engine):
+        """The control run: with dirty tracking disabled the same
+        workload sweeps every window, proving the assertion above is
+        measuring the worklist and not an accounting gap."""
+        rt = make_runtime(2, engine, metrics=True)
+        for eng in rt.engines:
+            eng.dirty_tracking = False
+        rt.run(_traffic_with_idle_windows)
+        for gid in range(5):
+            assert rt.metrics.value(f"engine.sweep.visited.win{gid}") > 0
+
+    @pytest.mark.parametrize("engine", ["nonblocking", "mvapich"])
+    def test_both_modes_reach_the_same_virtual_time(self, engine):
+        times = []
+        for dirty in (True, False):
+            rt = make_runtime(2, engine, metrics=True)
+            for eng in rt.engines:
+                eng.dirty_tracking = dirty
+            rt.run(_traffic_with_idle_windows)
+            times.append(rt.now)
+        assert times[0] == times[1]

@@ -2,7 +2,7 @@
 
 One minimal *failing program* per violation class: each test runs an
 erroneous MPI program that the engines happily execute, and passes only
-because the checker (enabled via the ``repro_semantics_check`` info key)
+because the checker (enabled via the ``repro.semantics_check`` info key)
 raises a structured :class:`RmaSemanticsError` at the violating event.
 Plus: report-mode accumulation, the activation oracle, the embedded
 §VI-C hazard tracker, and default-path behaviour (checker absent).
@@ -344,9 +344,7 @@ class TestLockMisuse:
         """A forged/duplicated unlock reaching the host's backlog."""
         _rt, wins = make_group(2, info=CHECK)
         host = wins[1]
-        host._state.lock_backlog.append(
-            ("unlock", UnlockPacket(host.group.gid, origin=0, access_id=5))
-        )
+        host.engine.on_packet(UnlockPacket(host.group.gid, origin=0, access_id=5), src=0)
         with pytest.raises(RmaSemanticsError) as exc:
             host.engine.poke()
         v = exc.value.violation
@@ -358,9 +356,7 @@ class TestLockMisuse:
         still acks so the origin cannot hang."""
         _rt, wins = make_group(2, info=REPORT)
         host = wins[1]
-        host._state.lock_backlog.append(
-            ("unlock", UnlockPacket(host.group.gid, origin=0, access_id=5))
-        )
+        host.engine.on_packet(UnlockPacket(host.group.gid, origin=0, access_id=5), src=0)
         host.engine.poke()  # no raise
         checker = host.group.checker
         assert len(checker.report(ViolationKind.LOCK_MISUSE)) == 1

@@ -99,7 +99,7 @@ class TestWinTest:
             else:
                 yield from win.post([0])
                 count = 0
-                while not win.test():
+                while not win.test_epoch():
                     count += 1
                     yield from proc.compute(50.0)
                 polls["count"] = count
@@ -117,7 +117,7 @@ class TestWinTest:
                 yield from proc.barrier()
             else:
                 yield from win.post([0])
-                while not win.test():
+                while not win.test_epoch():
                     yield from proc.compute(5.0)
                 yield from proc.barrier()
                 # A new exposure epoch can open now.

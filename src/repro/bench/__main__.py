@@ -15,13 +15,24 @@ Usage::
                                              # regression guard: re-run and
                                              # diff against a baseline doc;
                                              # exit 1 on per-figure drift
-    python -m repro.bench --wallclock        # host-throughput A/B: worklist
-                                             # vs full-scan sweeping
+    python -m repro.bench --wallclock        # host-throughput suite: flat /
+                                             # worklist / full-scan sweeping
+                                             # over hot_idle, lock_heavy,
+                                             # fan_in
+    python -m repro.bench --wallclock --samples 3
+                                             # best-of-3 wall times (CI
+                                             # de-flaking); deterministic
+                                             # fields must agree across
+                                             # samples
     python -m repro.bench --wallclock --json out.json
     python -m repro.bench --wallclock --check BENCH_wallclock.json \
-                          [--tolerance 0.3]  # fail if events/sec fell more
-                                             # than the tolerance below the
-                                             # committed baseline
+                          [--tolerance 0.3]  # fail if any workload's flat
+                                             # events/sec fell more than the
+                                             # tolerance below the committed
+                                             # baseline, or any deterministic
+                                             # field (events, sweeps, window
+                                             # visits, virtual time) drifted
+                                             # at all
 
 The JSON document carries run metadata plus a list of figure objects,
 each with its per-series rows::
@@ -267,18 +278,23 @@ def check_baseline(baseline_path: str, wanted: list[str], tolerance: float,
 
 
 def run_wallclock_cli(json_path: str | None, check_path: str | None,
-                      tolerance: float) -> int:
-    """``--wallclock`` mode: run the host-throughput A/B, print/write the
-    report, and (with ``--check``) gate events/sec against a baseline.
+                      tolerance: float, samples: int) -> int:
+    """``--wallclock`` mode: run the host-throughput suite, print/write
+    the report, and (with ``--check``) gate against a baseline.
 
-    Wall-clock numbers are machine-dependent, so the check is one-sided:
-    only a drop of more than ``tolerance`` below the baseline's worklist
-    events/sec fails.  A virtual-time mismatch between the two sweep
-    modes always fails — that would mean the worklist changed a schedule.
+    Two kinds of checks:
+
+    - Wall-clock events/sec is machine-dependent, so it is gated
+      one-sided per workload: only a drop of more than ``tolerance``
+      below the baseline's *flat* events/sec fails.
+    - The deterministic fields (events, sweeps, windows visited, virtual
+      time) are machine-independent and compared exactly, per workload
+      per mode.  A virtual-time mismatch between the sweep modes of one
+      run always fails — a host-side path changed a schedule.
     """
-    from .wallclock import format_report, run_wallclock
+    from .wallclock import DETERMINISTIC_FIELDS, format_report, run_wallclock
 
-    doc = {"meta": run_meta(), "wallclock": run_wallclock()}
+    doc = {"meta": run_meta(), "wallclock": run_wallclock(samples=samples)}
     wc = doc["wallclock"]
     if json_path is not None:
         if json_path == "-":
@@ -290,24 +306,52 @@ def run_wallclock_cli(json_path: str | None, check_path: str | None,
             print(f"wrote wallclock report to {json_path}")
     else:
         print(format_report(wc))
-    if not wc["virtual_time_match"]:
-        print("FAIL: worklist and full-scan runs diverged in virtual time",
-              file=sys.stderr)
+    failed = False
+    for name, wl in wc["workloads"].items():
+        if not wl["virtual_time_match"]:
+            print(f"FAIL: {name}: sweep modes diverged in virtual time",
+                  file=sys.stderr)
+            failed = True
+    if failed:
         return 1
     if check_path is None:
         return 0
     with open(check_path) as fh:
         baseline = json.load(fh)
-    base_eps = baseline["wallclock"]["modes"]["worklist"]["events_per_sec"]
-    cur_eps = wc["modes"]["worklist"]["events_per_sec"]
-    floor = base_eps * (1.0 - tolerance)
-    print(f"wallclock check: {cur_eps:.0f} events/s vs baseline "
-          f"{base_eps:.0f} (floor {floor:.0f}, tolerance -{tolerance:.0%})")
-    if cur_eps < floor:
-        print(f"FAIL: events/sec regressed more than {tolerance:.0%} "
-              f"below {check_path}", file=sys.stderr)
+    base_wc = baseline.get("wallclock", {})
+    if "workloads" not in base_wc:
+        print(f"FAIL: {check_path} uses the pre-suite single-workload "
+              "schema; regenerate it with --wallclock --json", file=sys.stderr)
         return 1
-    print("no regression")
+    checked = 0
+    for name, wl in wc["workloads"].items():
+        base_wl = base_wc["workloads"].get(name)
+        if base_wl is None:
+            print(f"wallclock check: {name}: not in baseline, skipped")
+            continue
+        base_eps = base_wl["modes"]["flat"]["events_per_sec"]
+        cur_eps = wl["modes"]["flat"]["events_per_sec"]
+        floor = base_eps * (1.0 - tolerance)
+        checked += 1
+        print(f"wallclock check: {name}: flat {cur_eps:.0f} events/s vs "
+              f"baseline {base_eps:.0f} (floor {floor:.0f})")
+        if cur_eps < floor:
+            print(f"FAIL: {name}: events/sec regressed more than "
+                  f"{tolerance:.0%} below {check_path}", file=sys.stderr)
+            failed = True
+        for mode_name, mode in wl["modes"].items():
+            base_mode = base_wl["modes"].get(mode_name)
+            if base_mode is None:
+                continue
+            for field in DETERMINISTIC_FIELDS:
+                if mode[field] != base_mode[field]:
+                    print(f"FAIL: {name}/{mode_name}: {field} "
+                          f"{base_mode[field]} -> {mode[field]} "
+                          "(deterministic field drifted)", file=sys.stderr)
+                    failed = True
+    if failed:
+        return 1
+    print(f"no regression ({checked} workloads checked)")
     return 0
 
 
@@ -318,11 +362,21 @@ def main(argv: list[str]) -> int:
     wallclock = False
     tolerance = 0.2
     tolerance_given = False
+    samples = 1
     wanted: list[str] = []
     it = iter(argv)
     for arg in it:
         if arg == "--wallclock":
             wallclock = True
+        elif arg == "--samples":
+            try:
+                samples = int(next(it))
+            except (StopIteration, ValueError):
+                print("--samples needs an integer (e.g. 3)", file=sys.stderr)
+                return 2
+            if samples < 1:
+                print("--samples must be >= 1", file=sys.stderr)
+                return 2
         elif arg == "--json":
             json_path = next(it, None)
             if json_path is None:
@@ -353,7 +407,7 @@ def main(argv: list[str]) -> int:
             return 2
         if not tolerance_given:
             tolerance = 0.3  # wall clock is machine-dependent; be generous
-        return run_wallclock_cli(json_path, check_path, tolerance)
+        return run_wallclock_cli(json_path, check_path, tolerance, samples)
     wanted = wanted or sorted(ALL)
     unknown = [w for w in wanted if w not in ALL]
     if unknown:

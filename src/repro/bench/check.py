@@ -4,9 +4,18 @@ Compares two ``python -m repro.bench --json`` documents figure by
 figure, series by series, column by column, with a relative per-value
 tolerance (the simulation is deterministic, so the tolerance absorbs
 intentional model retuning, not noise — CI uses ±20%).  Structural
-regressions (a figure, series or column that disappeared) are drifts
-too; *new* figures in the current run are ignored so adding a benchmark
-never trips the guard.
+drifts are reported **symmetrically**: a figure, series or column that
+disappeared from the current run *and* one that appeared without being
+re-baselined are both drifts — a shape change in either direction means
+baseline and run are no longer measuring the same thing.  (Callers that
+want to tolerate additions, like the CLI's figure-subset mode, filter
+the figure set before comparing.)
+
+``checked`` counts every value examined on either side: values compared
+numerically, baseline values whose slot vanished, and current values
+with no baseline slot.  Structural mismatches therefore no longer
+undercount coverage — "checked 57 values" always means 57 slots looked
+at, not 57 comparisons that happened to line up.
 
 The result document doubles as the CI diff artifact.
 """
@@ -31,12 +40,18 @@ def _drift(figure: str, series: str, column: str, baseline, current, rel) -> dic
     }
 
 
+def _fig_values(fig: dict) -> int:
+    return sum(len(r["values"]) for r in fig["rows"])
+
+
 def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
     """Diff two bench JSON documents; returns the guard verdict.
 
     ``{"ok": bool, "tolerance": float, "checked": int, "drifts": [...]}``
     where each drift carries figure/series/column, both values and the
-    relative change (``None`` for structural drifts).
+    relative change (``None`` for structural drifts).  Structure is
+    checked in both directions; see the module docstring for what
+    ``checked`` counts.
     """
     if tolerance < 0:
         raise ValueError(f"negative tolerance: {tolerance}")
@@ -47,21 +62,23 @@ def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
 
     for name in sorted(base_figs):
         if name not in cur_figs:
+            checked += _fig_values(base_figs[name])
             drifts.append(_drift(name, "*", "*", "present", "missing", None))
             continue
         base_rows = {r["series"]: r["values"] for r in base_figs[name]["rows"]}
         cur_rows = {r["series"]: r["values"] for r in cur_figs[name]["rows"]}
         for series in sorted(base_rows):
             if series not in cur_rows:
+                checked += len(base_rows[series])
                 drifts.append(_drift(name, series, "*", "present", "missing", None))
                 continue
             for column, bval in sorted(base_rows[series].items()):
+                checked += 1
                 if column not in cur_rows[series]:
                     drifts.append(
                         _drift(name, series, column, bval, "missing", None))
                     continue
                 cval = cur_rows[series][column]
-                checked += 1
                 b, c = float(bval), float(cval)
                 if abs(b) < _ZERO_EPS:
                     if abs(c) > _ZERO_EPS:
@@ -70,6 +87,21 @@ def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
                 rel = (c - b) / abs(b)
                 if abs(rel) > tolerance:
                     drifts.append(_drift(name, series, column, b, c, round(rel, 4)))
+            # Reverse direction: columns the baseline has never seen.
+            for column in sorted(set(cur_rows[series]) - set(base_rows[series])):
+                checked += 1
+                drifts.append(
+                    _drift(name, series, column, "missing",
+                           cur_rows[series][column], None))
+        # Reverse direction: series the baseline has never seen.
+        for series in sorted(set(cur_rows) - set(base_rows)):
+            checked += len(cur_rows[series])
+            drifts.append(_drift(name, series, "*", "missing", "present", None))
+
+    # Reverse direction: figures the baseline has never seen.
+    for name in sorted(set(cur_figs) - set(base_figs)):
+        checked += _fig_values(cur_figs[name])
+        drifts.append(_drift(name, "*", "*", "missing", "present", None))
 
     return {
         "ok": not drifts,

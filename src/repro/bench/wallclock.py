@@ -1,46 +1,90 @@
-"""Wall-clock throughput benchmark for the event-driven progress engine.
+"""Wall-clock throughput suite for the event-driven progress engine.
 
-Virtual-time figures (``BENCH_seed.json``) are bit-identical whether the
-engines sweep every window or only dirty ones — the worklist is a pure
-host-side optimisation.  This module measures the *host* side: it runs a
-sweep-heavy multi-window workload twice, once with dirty-window tracking
-(the default) and once in legacy full-scan mode
-(``engine.dirty_tracking = False``), and reports events/sec, sweeps,
-windows visited per sweep, and the §VII-D step wall profile from the
-shared :class:`~repro.obs.EngineProfiler`.
+Virtual-time figures (``BENCH_seed.json``) are bit-identical whichever
+host-side sweep strategy runs — the worklist and the flat callback path
+are pure host optimisations.  This module measures the *host* side: it
+runs each workload once per engine mode and reports events/sec, sweeps,
+windows visited per sweep, and (when metrics are on) the §VII-D step
+wall profile from the shared :class:`~repro.obs.EngineProfiler`.
 
-The workload: every rank opens ``windows`` windows; window 0 carries
-``rounds`` of lock/put/unlock traffic around a ring while each remaining
-window holds one *deferred* GATS access epoch (its matching ``post``
-arrives only after the traffic phase).  Under a full scan every poke
-re-visits every window; under the worklist only window 0 is swept, so
-the visit ratio — and the wall-clock gap — grows linearly with
-``windows``.
+Modes
+-----
+flat
+    Dirty-window tracking on, metrics/profiler off — the production hot
+    path, where every trace/metric guard folds to one attribute test.
+worklist
+    Dirty-window tracking on, metrics on — what the observability stack
+    costs on top of the flat path.
+fullscan
+    Legacy every-window sweeping (``engine.dirty_tracking = False``),
+    metrics on — the PR-5 A/B control.
+
+Workloads
+---------
+hot_idle
+    One hot lock/put/unlock ring next to many idle windows, each idle
+    window holding one deferred GATS access epoch whose matching
+    ``post`` is withheld until a drain phase.  Under a full scan every
+    poke re-visits every window; under the worklist only the hot window
+    is swept, so the visit ratio grows linearly with ``windows``.
+lock_heavy
+    Every rank takes *exclusive* locks on every peer's region of one
+    shared window, round after round.  Contended locks queue in the
+    target's lock manager and drain through the engine's step-6 backlog,
+    so this stresses lock grant traffic rather than window count.
+fan_in
+    All ranks put into rank 0 under GATS epochs, rounds of N-1 origins
+    against one multi-origin exposure epoch — the ω done-vector match
+    and the notification drain dominate.
+
+Determinism
+-----------
+Wall seconds are machine noise; everything else is not.  ``samples``
+runs each (workload, mode) several times, keeps the *minimum* wall time
+(best-of-N de-flaking), and requires the deterministic fields —
+``events``, ``sweeps``, ``windows_visited``, ``virtual_us`` — to be
+identical across samples; a mismatch raises, because it means the
+simulation itself went nondeterministic.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import Any, Callable, Generator
 
 import numpy as np
 
 from ..mpi.runtime import MPIRuntime
 from ..rma.flags import E_A_A_R
-from ..rma.window import LOCK_SHARED
+from ..rma.window import LOCK_EXCLUSIVE, LOCK_SHARED
 from .calibration import default_model
 
-__all__ = ["run_mode", "run_wallclock", "format_report"]
+__all__ = [
+    "MODES",
+    "WORKLOADS",
+    "run_mode",
+    "run_workload",
+    "run_wallclock",
+    "format_report",
+]
 
-#: Default workload shape (kept small enough for a CI smoke job).
-DEFAULT_WINDOWS = 24
-DEFAULT_ROUNDS = 60
-DEFAULT_NRANKS = 4
-DEFAULT_NBYTES = 4096
+#: Deterministic per-run fields (must agree across best-of-N samples,
+#: and are compared exactly by the regression check).
+DETERMINISTIC_FIELDS = ("events", "sweeps", "windows_visited", "virtual_us")
+
+#: mode name -> engine configuration.
+MODES: dict[str, dict[str, bool]] = {
+    "flat": {"dirty_tracking": True, "metrics": False},
+    "worklist": {"dirty_tracking": True, "metrics": True},
+    "fullscan": {"dirty_tracking": False, "metrics": True},
+}
 
 
-def _app(proc, windows: int, rounds: int, nbytes: int):
-    """One rank of the sweep-heavy workload (see module docstring)."""
+# ---------------------------------------------------------------------------
+# Workload apps (one generator per rank each)
+# ---------------------------------------------------------------------------
+def _hot_idle(proc, windows: int, rounds: int, nbytes: int):
+    """One rank of the hot/idle workload (see module docstring)."""
     # E_A_A_R: the drain phase posts an exposure epoch behind each
     # window's still-pending deferred access epoch; without the reorder
     # flag the ring would deadlock (exposure blocked on access, access
@@ -83,94 +127,190 @@ def _app(proc, windows: int, rounds: int, nbytes: int):
     yield from proc.barrier()
 
 
-def run_mode(
-    dirty_tracking: bool,
-    windows: int = DEFAULT_WINDOWS,
-    rounds: int = DEFAULT_ROUNDS,
-    nranks: int = DEFAULT_NRANKS,
-    nbytes: int = DEFAULT_NBYTES,
-) -> dict[str, Any]:
-    """Run the workload once and return its wall-clock profile."""
+def _lock_heavy(proc, windows: int, rounds: int, nbytes: int):
+    """One rank of the lock-contention workload: exclusive locks on
+    every peer, every round, over one shared window."""
+    win = yield from proc.win_allocate(max(nbytes, 64))
+    me, n = proc.rank, proc.size
+    data = np.zeros(nbytes, dtype=np.uint8)
+    for r in range(rounds):
+        # Rotate the peer order per round so every pair contends.
+        for step in range(1, n):
+            target = (me + step + r) % n
+            if target == me:
+                continue
+            yield from win.lock(target, LOCK_EXCLUSIVE)
+            win.put(data, target, 0)
+            yield from win.unlock(target)
+    yield from proc.barrier()
+
+
+def _fan_in(proc, windows: int, rounds: int, nbytes: int):
+    """One rank of the fan-in workload: N-1 origins put into rank 0
+    under GATS epochs (multi-origin exposure on the target side)."""
+    win = yield from proc.win_allocate(max(nbytes, 64))
+    me, n = proc.rank, proc.size
+    others = [r for r in range(n) if r != 0]
+    data = np.zeros(nbytes, dtype=np.uint8)
+    for _ in range(rounds):
+        if me == 0:
+            yield from win.post(others)
+            yield from win.wait_epoch()
+        else:
+            yield from win.start([0])
+            win.put(data, 0, 0)
+            yield from win.complete()
+    yield from proc.barrier()
+
+
+#: workload name -> (app generator, default shape).
+WORKLOADS: dict[str, tuple[Callable[..., Generator], dict[str, int]]] = {
+    "hot_idle": (_hot_idle, {"windows": 24, "rounds": 60, "nranks": 4, "nbytes": 4096}),
+    "lock_heavy": (_lock_heavy, {"windows": 1, "rounds": 40, "nranks": 4, "nbytes": 1024}),
+    "fan_in": (_fan_in, {"windows": 1, "rounds": 120, "nranks": 4, "nbytes": 4096}),
+}
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+def _run_once(app, shape: dict[str, int], dirty_tracking: bool, metrics: bool) -> dict:
     rt = MPIRuntime(
-        nranks, cores_per_node=1, engine="nonblocking",
-        model=default_model(), metrics=True,
+        shape["nranks"], cores_per_node=1, engine="nonblocking",
+        model=default_model(), metrics=metrics,
     )
     for eng in rt.engines:
         eng.dirty_tracking = dirty_tracking
     t0 = time.perf_counter()
-    rt.run(_app, windows, rounds, nbytes)
+    rt.run(app, shape["windows"], shape["rounds"], shape["nbytes"])
     wall_s = time.perf_counter() - t0
-    events = rt.sim.events_scheduled
     sweeps = sum(e.sweep_count for e in rt.engines)
     visits = sum(e.windows_visited for e in rt.engines)
-    prof = rt.profiler.summary() if rt.profiler is not None else None
     return {
-        "dirty_tracking": dirty_tracking,
+        "events": rt.sim.events_scheduled,
+        "wall_s": wall_s,
+        "sweeps": sweeps,
+        "windows_visited": visits,
+        "virtual_us": rt.now,
+        "profiler": rt.profiler.summary() if rt.profiler is not None else None,
+    }
+
+
+def run_mode(
+    workload: str,
+    mode: str,
+    shape: dict[str, int] | None = None,
+    samples: int = 1,
+) -> dict[str, Any]:
+    """Run one (workload, mode) cell ``samples`` times; best-of-N wall
+    time, exact-match deterministic fields (mismatch raises)."""
+    app, default_shape = WORKLOADS[workload]
+    shape = dict(default_shape if shape is None else shape)
+    cfg = MODES[mode]
+    runs = [
+        _run_once(app, shape, cfg["dirty_tracking"], cfg["metrics"])
+        for _ in range(max(1, samples))
+    ]
+    first = runs[0]
+    for later in runs[1:]:
+        for field in DETERMINISTIC_FIELDS:
+            if later[field] != first[field]:
+                raise RuntimeError(
+                    f"nondeterministic {workload}/{mode}: {field} "
+                    f"{first[field]} != {later[field]} across samples"
+                )
+    wall_s = min(r["wall_s"] for r in runs)
+    events = first["events"]
+    sweeps = first["sweeps"]
+    visits = first["windows_visited"]
+    return {
+        "mode": mode,
+        "dirty_tracking": cfg["dirty_tracking"],
+        "metrics": cfg["metrics"],
         "events": events,
         "wall_s": wall_s,
         "events_per_sec": events / wall_s if wall_s > 0 else float("inf"),
         "sweeps": sweeps,
         "windows_visited": visits,
         "visits_per_sweep": visits / sweeps if sweeps else 0.0,
-        "virtual_us": rt.now,
-        "profiler": prof,
+        "virtual_us": first["virtual_us"],
+        "profiler": first["profiler"],
     }
 
 
-def run_wallclock(
-    windows: int = DEFAULT_WINDOWS,
-    rounds: int = DEFAULT_ROUNDS,
-    nranks: int = DEFAULT_NRANKS,
-    nbytes: int = DEFAULT_NBYTES,
+def run_workload(
+    workload: str, shape: dict[str, int] | None = None, samples: int = 1
 ) -> dict[str, Any]:
-    """A/B the worklist against legacy full-scan sweeping.
-
-    Both runs must land on the same final virtual time — the worklist is
-    not allowed to change any schedule — so a mismatch is reported as
-    ``virtual_time_match: False`` (and treated as a failure by callers).
-    """
-    shape = {"windows": windows, "rounds": rounds, "nranks": nranks, "nbytes": nbytes}
-    worklist = run_mode(True, **shape)
-    fullscan = run_mode(False, **shape)
+    """Run every mode of one workload and cross-check virtual time."""
+    app, default_shape = WORKLOADS[workload]
+    shape = dict(default_shape if shape is None else shape)
+    modes = {name: run_mode(workload, name, shape, samples) for name in MODES}
+    times = {m["virtual_us"] for m in modes.values()}
+    full_eps = modes["fullscan"]["events_per_sec"]
     return {
         "workload": shape,
-        "modes": {"worklist": worklist, "fullscan": fullscan},
-        "speedup_events_per_sec": (
-            worklist["events_per_sec"] / fullscan["events_per_sec"]
-            if fullscan["events_per_sec"] else float("inf")
+        "modes": modes,
+        "speedup_flat_vs_fullscan": (
+            modes["flat"]["events_per_sec"] / full_eps if full_eps else float("inf")
         ),
-        "virtual_time_match": worklist["virtual_us"] == fullscan["virtual_us"],
+        "speedup_worklist_vs_fullscan": (
+            modes["worklist"]["events_per_sec"] / full_eps if full_eps else float("inf")
+        ),
+        "virtual_time_match": len(times) == 1,
+    }
+
+
+def run_wallclock(samples: int = 1) -> dict[str, Any]:
+    """Run the whole suite: every workload, every mode.
+
+    Any sweep strategy must land on the same final virtual time — the
+    host-side paths are not allowed to change any schedule — so a
+    per-workload mismatch is reported as ``virtual_time_match: False``
+    (and treated as a failure by callers).
+    """
+    return {
+        "samples": samples,
+        "workloads": {name: run_workload(name, samples=samples) for name in WORKLOADS},
     }
 
 
 def format_report(doc: dict[str, Any]) -> str:
     """Human-readable rendering of a :func:`run_wallclock` document."""
-    shape = doc["workload"]
-    lines = [
-        "== wallclock: event-driven sweep vs full scan ==",
-        (f"workload: {shape['nranks']} ranks x {shape['windows']} windows, "
-         f"{shape['rounds']} lock/put/unlock rounds of {shape['nbytes']} B"),
-        f"{'mode':<10}{'events':>10}{'wall s':>10}{'events/s':>12}"
-        f"{'sweeps':>10}{'visits/sweep':>14}",
-    ]
-    for name in ("worklist", "fullscan"):
-        m = doc["modes"][name]
+    lines = ["== wallclock: flat / worklist / full-scan sweeping =="]
+    if doc.get("samples", 1) > 1:
+        lines.append(f"best of {doc['samples']} wall samples per cell")
+    for name, wl in doc["workloads"].items():
+        shape = wl["workload"]
+        lines.append("")
         lines.append(
-            f"{name:<10}{m['events']:>10}{m['wall_s']:>10.3f}"
-            f"{m['events_per_sec']:>12.0f}{m['sweeps']:>10}"
-            f"{m['visits_per_sweep']:>14.2f}"
+            f"-- {name}: {shape['nranks']} ranks x {shape['windows']} windows, "
+            f"{shape['rounds']} rounds of {shape['nbytes']} B"
         )
-    lines.append(f"speedup (events/s): {doc['speedup_events_per_sec']:.2f}x")
-    lines.append(
-        "virtual time identical: "
-        + ("yes" if doc["virtual_time_match"] else "NO — SCHEDULE DIVERGENCE")
-    )
-    prof = doc["modes"]["worklist"].get("profiler")
-    if prof:
-        lines.append("worklist step wall profile:")
-        for num, st in sorted(prof.get("steps", {}).items(), key=lambda kv: str(kv[0])):
+        lines.append(
+            f"{'mode':<10}{'events':>10}{'wall s':>10}{'events/s':>12}"
+            f"{'sweeps':>10}{'visits/sweep':>14}"
+        )
+        for mode_name, m in wl["modes"].items():
             lines.append(
-                f"  step {num}: {st['name']}: wall={st['wall_ms']:.2f} ms "
-                f"work={st['work']}"
+                f"{mode_name:<10}{m['events']:>10}{m['wall_s']:>10.3f}"
+                f"{m['events_per_sec']:>12.0f}{m['sweeps']:>10}"
+                f"{m['visits_per_sweep']:>14.2f}"
             )
+        lines.append(
+            f"speedup vs fullscan (events/s): "
+            f"flat {wl['speedup_flat_vs_fullscan']:.2f}x, "
+            f"worklist {wl['speedup_worklist_vs_fullscan']:.2f}x"
+        )
+        lines.append(
+            "virtual time identical: "
+            + ("yes" if wl["virtual_time_match"] else "NO — SCHEDULE DIVERGENCE")
+        )
+        prof = wl["modes"]["worklist"].get("profiler")
+        if prof:
+            lines.append("worklist step wall profile:")
+            for num, st in sorted(prof.get("steps", {}).items(), key=lambda kv: str(kv[0])):
+                lines.append(
+                    f"  step {num}: {st['name']}: wall={st['wall_ms']:.2f} ms "
+                    f"work={st['work']}"
+                )
     return "\n".join(lines)

@@ -104,10 +104,12 @@ def _omega_counters(runtime: "MPIRuntime") -> dict[str, dict]:
     for rank, engine in enumerate(runtime.engines):
         for gid, ws in sorted(engine.states.items()):
             out[f"{gid}/{rank}"] = {
-                "a": {str(r): v for r, v in sorted(ws.a.items()) if v},
-                "e": {str(r): v for r, v in sorted(ws.e.items()) if v},
-                "g": {str(r): v for r, v in sorted(ws.g.items()) if v},
-                "done_id": {str(r): v for r, v in sorted(ws.done_id.items()) if v},
+                # ω counters are dense int64 vectors; keep the digest's
+                # sparse str->int JSON shape (and plain-int values).
+                "a": {str(r): int(v) for r, v in enumerate(ws.a) if v},
+                "e": {str(r): int(v) for r, v in enumerate(ws.e) if v},
+                "g": {str(r): int(v) for r, v in enumerate(ws.g) if v},
+                "done_id": {str(r): int(v) for r, v in enumerate(ws.done_id) if v},
             }
     return out
 

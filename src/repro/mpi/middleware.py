@@ -43,20 +43,26 @@ class RankMiddleware:
         self.rma_engine = engine
 
     def on_delivery(self, payload: Any, src: int) -> None:
-        """Fabric delivery entry point for this rank."""
+        """Fabric delivery entry point for this rank.
+
+        Payload classes are disjoint across the three layers, so routing
+        order is free to follow traffic share: RMA packets dominate any
+        RMA-heavy run and are tried first (after the single-isinstance
+        notification check); either way every arrival pokes the RMA
+        engine — full opportunistic progression, §VII.
+        """
+        rma = self.rma_engine
         if isinstance(payload, NotificationPacket):
             self.fifo.push(payload.packet, src)
-            if self.rma_engine is not None:
-                self.rma_engine.poke()
+            if rma is not None:
+                rma.poke()
+            return
+        if rma is not None and rma.on_packet(payload, src):
+            rma.poke()
             return
         if self.p2p.on_delivery(payload, src):
-            # Full opportunistic progression (§VII): two-sided arrivals
-            # also progress pending RMA activity.
-            if self.rma_engine is not None:
-                self.rma_engine.poke()
-            return
-        if self.rma_engine is not None and self.rma_engine.on_packet(payload, src):
-            self.rma_engine.poke()
+            if rma is not None:
+                rma.poke()
             return
         raise RuntimeError(
             f"rank {self.rank}: unroutable delivery {payload!r} from {src}"

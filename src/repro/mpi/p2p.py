@@ -123,7 +123,7 @@ class P2PEngine:
                 self.rank, dst, nbytes + self.fabric.model.control_bytes, payload,
                 kind=ServiceKind.CONTROL,
             )
-            ticket.local_complete.add_callback(lambda _e: req.complete())
+            ticket.on_local_complete(req.complete)
         else:
             self._rndv_pending[send_id] = (dst, nbytes, data, req)
             rts = RtsPacket(tag, nbytes, send_id)
@@ -171,7 +171,7 @@ class P2PEngine:
                 self.rank, dst, nbytes, RndvData(payload.send_id, nbytes, data),
                 kind=ServiceKind.RDMA,
             )
-            ticket.local_complete.add_callback(lambda _e: sreq.complete())
+            ticket.on_local_complete(sreq.complete)
             return True
         if isinstance(payload, RndvData):
             req = self._rndv_recv.pop(payload.send_id)

@@ -116,6 +116,12 @@ class MPIRuntime:
                 gate.metrics = self.metrics
             if rel is not None:
                 rel.metrics = self.metrics
+        # Tracer before the engines: they capture the reference at
+        # construction (its ``enabled`` flag gates hot-path emit calls).
+        from ..patterns.trace import Tracer
+
+        self.tracer = Tracer(self.sim, enabled=trace)
+        self.fabric.tracer = self.tracer
         self.engine_name = engine
         factory = _engine_factory(engine)
         self.middlewares = [RankMiddleware(self.sim, self.fabric, r) for r in range(nranks)]
@@ -129,10 +135,6 @@ class MPIRuntime:
         self.window_groups: list["WindowGroup"] = []
         #: Per-rank count of win_allocate calls (for collective matching).
         self._win_calls = [0] * nranks
-        from ..patterns.trace import Tracer
-
-        self.tracer = Tracer(self.sim, enabled=trace)
-        self.fabric.tracer = self.tracer
         if self.metrics is not None:
             for mw in self.middlewares:
                 mw.fifo.metrics = self.metrics

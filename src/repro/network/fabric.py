@@ -49,31 +49,127 @@ DeliveryHandler = Callable[[Any, int], None]
 class SendTicket:
     """Handle returned by :meth:`Fabric.send`.
 
-    Attributes
-    ----------
-    local_complete:
-        Triggers when the source buffer is reusable (out-port done
-        serializing) — the MPI "local completion" notion used by
-        ``flush_local``.
-    delivered:
-        Triggers when the payload has been handled at the destination
-        (after the attention gate, for attention-requiring messages).
-        Under the reliability layer this is the *first successful*
-        delivery; retransmissions and ghost duplicates never retrigger.
-    rel_seq:
-        Per-(src, dst) sequence number assigned by the reliability
-        layer (``None`` when the layer is absent or for loopback).
+    Completion is exposed two ways:
+
+    - **Flat callbacks** (:meth:`on_local_complete`, :meth:`on_delivered`):
+      ``fn(*args)`` runs at the completion instant via one zero-delay
+      schedule — no event object, no closure.  This is the hot path the
+      RMA engines and the p2p layer use.
+    - **Lazily created events** (:attr:`local_complete`,
+      :attr:`delivered` properties): a real
+      :class:`~repro.simtime.events.SimEvent` built on first access, for
+      code that wants to ``yield`` on a send.  An event requested after
+      the fact triggers immediately with ``trigger_time`` backdated to
+      the actual completion instant.
+
+    *Local complete* fires when the source buffer is reusable (out-port
+    done serializing) — the MPI "local completion" notion used by
+    ``flush_local``.  *Delivered* fires when the payload has been handled
+    at the destination (after the attention gate, for attention-requiring
+    messages).  Under the reliability layer that is the *first
+    successful* delivery; retransmissions and ghost duplicates never
+    refire.  ``rel_seq`` is the per-(src, dst) sequence number assigned
+    by the reliability layer (``None`` when absent or for loopback).
     """
 
-    __slots__ = ("message", "local_complete", "delivered", "rel_seq", "sent_us")
+    __slots__ = (
+        "sim", "message", "rel_seq", "sent_us",
+        "_local_done", "_local_time", "_local_cbs", "_local_event",
+        "_delivered_done", "_delivered_time", "_payload", "_delivered_cbs",
+        "_delivered_event",
+    )
 
     def __init__(self, sim: "Simulator", message: Message):
+        self.sim = sim
         self.message = message
-        self.local_complete: "SimEvent" = sim.event(f"msg{message.uid}.local")
-        self.delivered: "SimEvent" = sim.event(f"msg{message.uid}.delivered")
         self.rel_seq: int | None = None
         #: Virtual time of the originating send() call (metrics).
         self.sent_us: float = sim.now
+        self._local_done = False
+        self._local_time: float | None = None
+        self._local_cbs: list[tuple[Callable[..., None], tuple]] | None = None
+        self._local_event: "SimEvent | None" = None
+        self._delivered_done = False
+        self._delivered_time: float | None = None
+        self._payload: Any = None
+        self._delivered_cbs: list[tuple[Callable[..., None], tuple]] | None = None
+        self._delivered_event: "SimEvent | None" = None
+
+    # -- flat completion callbacks ----------------------------------------
+    def on_local_complete(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` when the source buffer becomes reusable
+        (immediately-but-asynchronously if it already is)."""
+        if self._local_done:
+            self.sim.schedule(0.0, fn, *args)
+        elif self._local_cbs is None:
+            self._local_cbs = [(fn, args)]
+        else:
+            self._local_cbs.append((fn, args))
+
+    def on_delivered(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` when the payload is handled at the
+        destination (immediately-but-asynchronously if it already was)."""
+        if self._delivered_done:
+            self.sim.schedule(0.0, fn, *args)
+        elif self._delivered_cbs is None:
+            self._delivered_cbs = [(fn, args)]
+        else:
+            self._delivered_cbs.append((fn, args))
+
+    # -- firing (fabric-internal) ------------------------------------------
+    def _fire_local(self) -> None:
+        if self._local_done:
+            # Retransmissions re-serialize the same buffer; "buffer
+            # reusable" fired at the first serialization.
+            return
+        self._local_done = True
+        sim = self.sim
+        self._local_time = sim.now
+        cbs, self._local_cbs = self._local_cbs, None
+        if cbs is not None:
+            for fn, args in cbs:
+                sim.schedule(0.0, fn, *args)
+        if self._local_event is not None:
+            self._local_event.trigger()
+
+    def _fire_delivered(self, payload: Any) -> None:
+        if self._delivered_done:
+            return
+        self._delivered_done = True
+        sim = self.sim
+        self._delivered_time = sim.now
+        self._payload = payload
+        cbs, self._delivered_cbs = self._delivered_cbs, None
+        if cbs is not None:
+            for fn, args in cbs:
+                sim.schedule(0.0, fn, *args)
+        if self._delivered_event is not None:
+            self._delivered_event.trigger(payload)
+
+    # -- lazily materialized events ----------------------------------------
+    @property
+    def local_complete(self) -> "SimEvent":
+        """Event form of local completion (created on first access)."""
+        ev = self._local_event
+        if ev is None:
+            ev = self._local_event = self.sim.event(f"msg{self.message.uid}.local")
+            if self._local_done:
+                ev.trigger()
+                # Backdate to the actual completion instant: the event
+                # was materialized after the fact.
+                ev.trigger_time = self._local_time
+        return ev
+
+    @property
+    def delivered(self) -> "SimEvent":
+        """Event form of remote delivery (created on first access)."""
+        ev = self._delivered_event
+        if ev is None:
+            ev = self._delivered_event = self.sim.event(f"msg{self.message.uid}.delivered")
+            if self._delivered_done:
+                ev.trigger(self._payload)
+                ev.trigger_time = self._delivered_time
+        return ev
 
 
 class Fabric:
@@ -96,6 +192,7 @@ class Fabric:
             self.model.credits_per_peer,
             self.model.ack_latency,
             enabled=flow_control_enabled,
+            nranks=topology.nranks,
         )
         self._ports = [NicPorts() for _ in range(topology.nranks)]
         self.attention = [AttentionGate(sim, r) for r in range(topology.nranks)]
@@ -108,6 +205,8 @@ class Fabric:
             for _ in range(topology.nranks)
         ]
         self._handlers: dict[int, DeliveryHandler] = {}
+        #: Dense handler table mirroring ``_handlers`` (hot-path lookup).
+        self._handler_list: list[DeliveryHandler | None] = [None] * topology.nranks
         self.injector = injector
         self.reliability = reliability
         if reliability is not None:
@@ -132,6 +231,15 @@ class Fabric:
         self._net_lanes = [[("net", s, d) for d in range(n)] for s in range(n)]
         self._attn_lanes = [("attn", d) for d in range(n)]
         self._ack_lanes = [[("ack", s, d) for d in range(n)] for s in range(n)]
+        #: rank -> node id, flattened out of the topology object so the
+        #: per-message intranode test is two list loads (node_of pays a
+        #: range check per call).
+        self._node_id = [topology.node_of(r) for r in range(n)]
+        #: (internode, intranode) latency/bandwidth pairs indexed by the
+        #: boolean intranode flag — the model never changes after
+        #: construction, so the per-transfer method calls fold away.
+        self._lat = (self.model.latency(False), self.model.latency(True))
+        self._bw = (self.model.internode_bw, self.model.intranode_bw)
 
     # -- wiring ----------------------------------------------------------
     def register_handler(self, rank: int, handler: DeliveryHandler) -> None:
@@ -139,6 +247,7 @@ class Fabric:
         if rank in self._handlers:
             raise ValueError(f"rank {rank} already has a delivery handler")
         self._handlers[rank] = handler
+        self._handler_list[rank] = handler
 
     def regcache(self, rank: int) -> RegistrationCache:
         """The registration cache of ``rank``."""
@@ -178,13 +287,28 @@ class Fabric:
             m.observe("fabric.msg_bytes", nbytes, BYTES_BUCKETS)
 
         if src == dst:
-            ticket.local_complete.trigger()
+            ticket._fire_local()
             self._deliver(ticket)
             return ticket
 
         if self.reliability is not None:
             self.reliability.track(ticket)
-        self._dispatch(ticket)
+            self._dispatch(ticket)
+            return ticket
+        # Inline of _dispatch's credit acquisition for the common
+        # non-stalled case: one list-indexed pool probe, no callback
+        # indirection.  Stalls (and the disabled case) keep the full
+        # FlowControl path so accounting and metrics stay identical.
+        flow = self.flow
+        if not flow.enabled:
+            self._start_transfer(ticket)
+            return ticket
+        pool = flow.pool(src, dst)
+        if pool.available > 0 and not pool._waiters:
+            pool.available -= 1
+            self._start_transfer(ticket)
+        else:
+            flow.acquire(src, dst, self._start_transfer, ticket)
         return ticket
 
     # -- internals ---------------------------------------------------------
@@ -197,7 +321,8 @@ class Fabric:
 
     def _start_transfer(self, ticket: SendTicket) -> None:
         msg = ticket.message
-        intranode = self.topology.same_node(msg.src, msg.dst)
+        nodes = self._node_id
+        intranode = nodes[msg.src] == nodes[msg.dst]
         pin_delay = 0.0
         if not intranode and msg.payload is not None:
             region = getattr(msg.payload, "pin_region", None)
@@ -205,8 +330,8 @@ class Fabric:
                 pin_delay = self._regcaches[msg.src].pin_cost(*region)
 
         now = self.sim.now
-        lat = self.model.latency(intranode)
-        ser = self.model.transfer_time(msg.nbytes, intranode)
+        lat = self._lat[intranode]
+        ser = msg.nbytes / self._bw[intranode]
         ports_src = self._ports[msg.src].pair(intranode)
         ports_dst = self._ports[msg.dst].pair(intranode)
         start = max(now + pin_delay, ports_src.out_free, ports_dst.in_free - lat)
@@ -219,7 +344,11 @@ class Fabric:
         # The ack travels back after the wire-level arrival whether or
         # not the packet is usable there (link-level credits are below
         # the loss model), so dropped packets never leak credits.
-        self.flow.schedule_release(msg.src, msg.dst, delivery - now)
+        flow = self.flow
+        if flow.enabled:
+            self.sim.schedule(
+                delivery - now + flow.ack_latency, flow.pool(msg.src, msg.dst).release
+            )
 
         net_lane = self._net_lanes[msg.src][msg.dst]
         if self.injector is None:
@@ -266,10 +395,7 @@ class Fabric:
         )
 
     def _local_complete(self, ticket: SendTicket) -> None:
-        # Retransmissions re-serialize the same buffer; the application
-        # notion of "buffer reusable" fired at the first serialization.
-        if not ticket.local_complete.triggered:
-            ticket.local_complete.trigger()
+        ticket._fire_local()
 
     def _arrive(self, ticket: SendTicket) -> None:
         """Wire-level arrival at the destination NIC."""
@@ -300,15 +426,15 @@ class Fabric:
 
     def _deliver(self, ticket: SendTicket) -> None:
         msg = ticket.message
-        self._attempts.pop(msg.uid, None)
+        if self._attempts:
+            self._attempts.pop(msg.uid, None)
         m = self.metrics
         if m is not None:
             m.observe("fabric.delivery_us", self.sim.now - ticket.sent_us)
-        handler = self._handlers.get(msg.dst)
+        handler = self._handler_list[msg.dst]
         if handler is not None:
             handler(msg.payload, msg.src)
-        if not ticket.delivered.triggered:
-            ticket.delivered.trigger(msg.payload)
+        ticket._fire_delivered(msg.payload)
 
     # -- reliability-layer ack transport -----------------------------------
     def _send_ack(self, src: int, dst: int, seq: int) -> None:

@@ -73,17 +73,37 @@ class FlowControl:
     use to isolate its effect.
     """
 
-    def __init__(self, sim: "Simulator", capacity: int, ack_latency: float, enabled: bool = True):
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: int,
+        ack_latency: float,
+        enabled: bool = True,
+        nranks: int | None = None,
+    ):
         self.sim = sim
         self.capacity = capacity
         self.ack_latency = ack_latency
         self.enabled = enabled and capacity > 0
         self._pools: dict[tuple[int, int], CreditPool] = {}
+        #: Dense pool lookup when the rank count is known up front: two
+        #: list loads per send instead of a tuple allocation + dict probe.
+        self._grid: list[list[CreditPool | None]] | None = (
+            [[None] * nranks for _ in range(nranks)] if nranks else None
+        )
         #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
         self.metrics = None
 
     def pool(self, src: int, dst: int) -> CreditPool:
         """The credit pool for the directed pair (created on demand)."""
+        grid = self._grid
+        if grid is not None:
+            pool = grid[src][dst]
+            if pool is None:
+                pool = CreditPool(self.capacity if self.enabled else 1)
+                grid[src][dst] = pool
+                self._pools[(src, dst)] = pool
+            return pool
         key = (src, dst)
         pool = self._pools.get(key)
         if pool is None:

@@ -39,7 +39,7 @@ class ServiceKind(enum.Enum):
     NOTIFY = "notify"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A unit of traffic handed to the fabric.
 

@@ -29,6 +29,7 @@ __all__ = [
     "NotificationAuthError",
     "encode_notification",
     "decode_notification",
+    "decode_checked",
     "NotificationFifo",
     "NotificationPacket",
 ]
@@ -110,6 +111,27 @@ def decode_notification(packet: int) -> tuple[NotifyKind, int, int]:
     return kind, rank, value
 
 
+def decode_checked(packet: int, src: int) -> tuple[NotifyKind, int, int]:
+    """Decode one packet and authenticate its sender field.
+
+    The rank encoded inside the packet is cross-checked against the
+    fabric-delivered source rank ``src``: a mismatch means the packet was
+    forged or corrupted in transit, and trusting the in-packet rank would
+    misattribute the notification (wrong ``done_id`` slot, wrong lock
+    waiter).  Such packets raise :class:`NotificationAuthError`; malformed
+    ones raise :class:`NotificationDecodeError` first.  This is the single
+    decode path shared by :meth:`NotificationFifo.drain` and the progress
+    engines' flattened step-5 loop.
+    """
+    kind, rank, value = decode_notification(packet)
+    if rank != src:
+        raise NotificationAuthError(
+            f"packet 0x{packet:016x} claims sender rank {rank} but was "
+            f"delivered by the fabric from rank {src}"
+        )
+    return kind, rank, value
+
+
 class NotificationFifo:
     """One endpoint's receive side of the two-way 64-bit packet channel.
 
@@ -165,13 +187,7 @@ class NotificationFifo:
         count = 0
         while self._incoming:
             packet, src = self._incoming.popleft()
-            kind, rank, value = decode_notification(packet)
-            if rank != src:
-                raise NotificationAuthError(
-                    f"packet 0x{packet:016x} claims sender rank {rank} but was "
-                    f"delivered by the fabric from rank {src}"
-                )
-            consume(kind, rank, value)
+            consume(*decode_checked(packet, src))
             count += 1
         if count:
             m = self.metrics

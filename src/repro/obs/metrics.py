@@ -118,19 +118,7 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate quantile from the bucket counts (upper-bound
         estimate; overflow reports the observed max)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= target and c:
-                # Bucket upper bound, clamped to the observed max so the
-                # estimate never exceeds any real sample.
-                return min(self.bounds[i], self.max) if i < len(self.bounds) else self.max
-        return self.max
+        return _bucket_quantile(self.counts, self.bounds, self.count, self.max, q)
 
     def snapshot(self) -> dict:
         """JSON-stable summary of this histogram."""
@@ -148,19 +136,36 @@ class Histogram:
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
 
 
-def quantile_from_snapshot(snap: dict, q: float) -> float:
-    """Quantile estimate from a :meth:`Histogram.snapshot` dict."""
-    count = snap["count"]
+def _bucket_quantile(counts, bounds, count: int, vmax: float, q: float) -> float:
+    """The one quantile estimator both the live :class:`Histogram` and
+    its serialized snapshots go through (historically two copies that
+    could — and did — drift apart in validation behavior).
+
+    Upper-bound estimate: walk the cumulative counts to the first
+    non-empty bucket at or past ``q * count`` and report its upper
+    bound, clamped to the observed max so the estimate never exceeds any
+    real sample; the overflow bucket reports the observed max.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
     if not count:
         return 0.0
     target = q * count
     seen = 0
-    bounds = snap["bounds"]
-    for i, c in enumerate(snap["counts"]):
+    nbounds = len(bounds)
+    for i, c in enumerate(counts):
         seen += c
         if seen >= target and c:
-            return min(bounds[i], snap["max"]) if i < len(bounds) else snap["max"]
-    return snap["max"]
+            return min(bounds[i], vmax) if i < nbounds else vmax
+    return vmax
+
+
+def quantile_from_snapshot(snap: dict, q: float) -> float:
+    """Quantile estimate from a :meth:`Histogram.snapshot` dict (same
+    estimator as :meth:`Histogram.quantile`, including ``q`` range
+    validation)."""
+    return _bucket_quantile(snap["counts"], snap["bounds"], snap["count"],
+                            snap["max"], q)
 
 
 class MetricsRegistry:

@@ -265,7 +265,7 @@ class RmaChecker:
                 f"{'; MPI_MODE_NOCHECK asserted falsely' if ep.nocheck else ''})",
                 epoch=ep,
                 access_id=ep.access_ids[op.target],
-                g=ws.g[op.target],
+                g=int(ws.g[op.target]),
             )
         # (d) NOCHECK lock epochs: the application asserted no
         # conflicting lock exists; verify against the target's hosted

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from ...network.packets import ServiceKind
-from ...network.shmem import NotifyKind
+from ...network.shmem import NotifyKind, decode_checked
 from ..epoch import Epoch, EpochKind, EpochState
 from ..ops import OpKind, RmaOp
 from ..packets import (
@@ -119,6 +119,22 @@ class RmaEngineBase:
         #: Schedule-exploration context (None outside repro.explore runs);
         #: feeds the delivered-notification multiset of the outcome digest.
         self._explore = getattr(runtime, "exploration", None)
+        #: Hot-path caches, resolved once: the tracer (its ``enabled``
+        #: flag gates emit calls), this rank's notification FIFO (the
+        #: ``fifo`` property walks runtime->middleware every call), and
+        #: the intranode row of the topology (``same_node`` range-checks
+        #: per call; lane tables in the fabric are already O(n²)).
+        self._tracer = getattr(runtime, "tracer", None)
+        middlewares = getattr(runtime, "middlewares", None)
+        self._fifo = (
+            middlewares[rank].fifo
+            if middlewares is not None and rank < len(middlewares)
+            else None
+        )
+        topo = runtime.fabric.topology
+        self._is_intra = tuple(
+            r == rank or topo.same_node(rank, r) for r in range(topo.nranks)
+        )
 
     # -- small conveniences ------------------------------------------------
     @property
@@ -126,7 +142,16 @@ class RmaEngineBase:
         return self.runtime.tracer
 
     def _trace(self, kind: str, ws: WindowState, epoch: Epoch | None = None, **detail: Any) -> None:
-        self.tracer.emit(kind, self.rank, ws.gid, epoch.uid if epoch else None, **detail)
+        tracer = self._tracer
+        if tracer is None:
+            tracer = self.runtime.tracer
+        tracer.emit(kind, self.rank, ws.gid, epoch.uid if epoch else None, **detail)
+
+    def _trace_enabled(self) -> bool:
+        """Hot-site guard: skip building ``_trace`` kwargs when tracing
+        is off (the overwhelmingly common case)."""
+        tracer = self._tracer
+        return tracer.enabled if tracer is not None else self.runtime.tracer.enabled
 
     @property
     def fifo(self):
@@ -163,6 +188,18 @@ class RmaEngineBase:
         if self._sweeping:
             self._resweep = True
             return
+        if (
+            self.dirty_tracking
+            and not self._dirty
+            and not self._blocking_flushes
+            and (self._fifo is None or not self._fifo._incoming)
+        ):
+            # Nothing a sweep could act on: no dirty windows, no queued
+            # notifications, no blocking flushes.  The sweep body would
+            # visit zero windows and mutate nothing, so skipping it is
+            # a pure wall-clock win (full-scan mode never skips — the
+            # historical cost is exactly what the A/B measures).
+            return
         self._sweeping = True
         try:
             self._resweep = True
@@ -197,6 +234,11 @@ class RmaEngineBase:
             out = list(self.states.values())
         elif not self._dirty:
             out = []
+        elif len(self._dirty) == 1:
+            # Single-window sweeps dominate event-driven runs; skip the
+            # sort machinery.
+            out = list(self._dirty.values())
+            self._dirty.clear()
         else:
             out = [ws for _gid, ws in sorted(self._dirty.items())]
             self._dirty.clear()
@@ -251,8 +293,9 @@ class RmaEngineBase:
     def _on_put(self, ws: WindowState, p: PutData, src: int) -> None:
         if p.data is not None:
             ws.win.memory.write(p.target_disp, p.data)
-        self._trace("op_delivered", ws, side="target", op_kind="put", src=src,
-                    disp=p.target_disp)
+        if self._trace_enabled():
+            self._trace("op_delivered", ws, side="target", op_kind="put", src=src,
+                        disp=p.target_disp)
 
     def _on_get_request(self, ws: WindowState, p: GetRequest, src: int) -> None:
         data = ws.win.memory.read(p.target_disp, p.nbytes)
@@ -304,12 +347,11 @@ class RmaEngineBase:
             p.reduce_op.apply(view, p.data.view(p.dtype.np_dtype))
         self.sim.schedule(
             self.model.cas_processing,
-            lambda: self._send(
-                p.origin,
-                p.dtype.size + self.model.control_bytes,
-                FetchOpResponse(ws.gid, p.op_uid, old),
-                ServiceKind.RDMA,
-            ),
+            self._send,
+            p.origin,
+            p.dtype.size + self.model.control_bytes,
+            FetchOpResponse(ws.gid, p.op_uid, old),
+            ServiceKind.RDMA,
         )
 
     def _on_fetch_op_response(self, ws: WindowState, p: FetchOpResponse, src: int) -> None:
@@ -326,12 +368,11 @@ class RmaEngineBase:
                 view.reshape(-1)[0] = p.new.view(p.dtype.np_dtype).reshape(-1)[0]
         self.sim.schedule(
             self.model.cas_processing,
-            lambda: self._send(
-                p.origin,
-                p.dtype.size + self.model.control_bytes,
-                CasResponse(ws.gid, p.op_uid, old),
-                ServiceKind.RDMA,
-            ),
+            self._send,
+            p.origin,
+            p.dtype.size + self.model.control_bytes,
+            CasResponse(ws.gid, p.op_uid, old),
+            ServiceKind.RDMA,
         )
 
     def _on_cas_response(self, ws: WindowState, p: CasResponse, src: int) -> None:
@@ -357,7 +398,7 @@ class RmaEngineBase:
             m.inc("omega.grants_recv")
         if self._explore is not None:
             self._explore.record_notification(
-                self.rank, "grant", p.granter, pack_win_value(ws.gid, ws.g[p.granter])
+                self.rank, "grant", p.granter, pack_win_value(ws.gid, int(ws.g[p.granter]))
             )
         if p.lock_access_id is not None:
             for ep in ws.epochs:
@@ -372,7 +413,8 @@ class RmaEngineBase:
                         if start is not None:
                             m.observe("omega.lock_grant_wait_us", self.sim.now - start)
                     break
-        self._trace("grant_recv", ws, granter=p.granter, g=ws.g[p.granter])
+        if self._trace_enabled():
+            self._trace("grant_recv", ws, granter=p.granter, g=int(ws.g[p.granter]))
 
     def _on_done(self, ws: WindowState, p: DonePacket, src: int) -> None:
         if p.access_id > ws.done_id[p.origin]:
@@ -381,7 +423,8 @@ class RmaEngineBase:
             self._explore.record_notification(
                 self.rank, "done", p.origin, pack_win_value(ws.gid, p.access_id)
             )
-        self._trace("done_recv", ws, origin=p.origin, access_id=p.access_id)
+        if self._trace_enabled():
+            self._trace("done_recv", ws, origin=p.origin, access_id=p.access_id)
 
     def _on_lock_request(self, ws: WindowState, p: LockRequestPacket, src: int) -> None:
         ws.lock_backlog.append(("lock", p))
@@ -433,8 +476,47 @@ class RmaEngineBase:
     # Notification FIFO (intranode epoch-completion packets, §VII-D)
     # =====================================================================
     def _consume_notifications(self, _ws_unused: WindowState | None = None) -> int:
-        """Step 5: drain this rank's 64-bit FIFO; returns packets drained."""
-        return self.fifo.drain(self._on_notification)
+        """Step 5: drain this rank's 64-bit FIFO; returns packets drained.
+
+        Flattened inline loop (no per-packet callback indirection) over
+        the same decode path as :meth:`NotificationFifo.drain`
+        (:func:`~repro.network.shmem.decode_checked`), preserving its
+        incremental contract: each packet is popped and consumed before
+        the next is decoded, so honest packets queued ahead of a forged
+        one take effect even when the forged one then raises.
+        """
+        fifo = self._fifo
+        if fifo is None:
+            fifo = self.fifo
+        incoming = fifo._incoming
+        if not incoming:
+            return 0
+        explore = self._explore
+        trace_on = self._trace_enabled()
+        states = self.states
+        count = 0
+        while incoming:
+            packet, src = incoming.popleft()
+            kind, sender, value = decode_checked(packet, src)
+            count += 1
+            gid, ident = unpack_win_value(value)
+            ws = states[gid]
+            self.mark_dirty(ws)
+            if kind is NotifyKind.EPOCH_COMPLETE:
+                if ident > ws.done_id[sender]:
+                    ws.done_id[sender] = ident
+                if explore is not None:
+                    # Same canonical form as the internode DonePacket
+                    # path: the digest multiset is transport-agnostic.
+                    explore.record_notification(self.rank, "done", sender, value)
+                if trace_on:
+                    self._trace("done_recv", ws, origin=sender, access_id=ident, via="fifo")
+            else:
+                raise RuntimeError(f"unexpected notification {kind} from {sender}")
+        m = fifo.metrics
+        if m is not None:
+            m.inc("fifo.drained", count)
+        return count
 
     def _on_notification(self, kind: NotifyKind, sender: int, value: int) -> None:
         gid, ident = unpack_win_value(value)
@@ -478,7 +560,8 @@ class RmaEngineBase:
         m = self.metrics
         if m is not None:
             m.inc("omega.grants_sent")
-        self._trace("grant_sent", ws, origin=origin, e=ws.e[origin])
+        if self._trace_enabled():
+            self._trace("grant_sent", ws, origin=origin, e=int(ws.e[origin]))
 
     def _send_done(self, ws: WindowState, epoch: Epoch, target: int) -> None:
         """Access-epoch completion notification to one target.
@@ -487,8 +570,9 @@ class RmaEngineBase:
         are control packets.
         """
         access_id = epoch.access_ids[target]
-        if self.fabric.topology.same_node(self.rank, target):
-            self.fifo.send(target, NotifyKind.EPOCH_COMPLETE, pack_win_value(ws.gid, access_id))
+        if self._is_intra[target]:
+            fifo = self._fifo if self._fifo is not None else self.fifo
+            fifo.send(target, NotifyKind.EPOCH_COMPLETE, pack_win_value(ws.gid, access_id))
         else:
             self._send(
                 target,
@@ -497,7 +581,8 @@ class RmaEngineBase:
                 ServiceKind.CONTROL,
             )
         epoch.done_sent.add(target)
-        self._trace("done_sent", ws, epoch, target=target, access_id=access_id)
+        if self._trace_enabled():
+            self._trace("done_sent", ws, epoch, target=target, access_id=access_id)
 
     def _broadcast_fence_open(self, ws: WindowState, round_no: int) -> None:
         for peer in ws.win.group.ranks:
@@ -547,11 +632,14 @@ class RmaEngineBase:
         m = self.metrics
         if m is not None:
             m.inc("omega.grants_sent")
-        self._trace("lock_grant", ws, origin=waiter.origin, access_id=waiter.access_id)
+        if self._trace_enabled():
+            self._trace("lock_grant", ws, origin=waiter.origin, access_id=waiter.access_id)
 
     def _process_lock_backlog(self, ws: WindowState) -> int:
         """Step 6: batch-process queued lock/unlock requests; returns the
         number of backlog entries consumed."""
+        if not ws.lock_backlog:
+            return 0
         checker = self._checker_of(ws)
         processed = 0
         while ws.lock_backlog:
@@ -583,7 +671,8 @@ class RmaEngineBase:
                     UnlockAck(ws.gid, access_id=packet.access_id),
                     ServiceKind.CONTROL,
                 )
-                self._trace("lock_release", ws, origin=packet.origin)
+                if self._trace_enabled():
+                    self._trace("lock_release", ws, origin=packet.origin)
         return processed
 
     # =====================================================================
@@ -600,8 +689,9 @@ class RmaEngineBase:
         m = self.metrics
         if m is not None:
             m.inc("rma.ops_issued")
-        self._trace("op_issue", ws, op.epoch, op_kind=op.kind.value, target=op.target,
-                    nbytes=op.nbytes)
+        if self._trace_enabled():
+            self._trace("op_issue", ws, op.epoch, op_kind=op.kind.value, target=op.target,
+                        nbytes=op.nbytes)
 
         if op.kind is OpKind.PUT:
             payload = PutData(ws.gid, op.uid, op.target_disp, op.nbytes, op.data)
@@ -609,8 +699,8 @@ class RmaEngineBase:
                 op.target, op.nbytes, payload, ServiceKind.RDMA,
                 pin_region=(op.target_disp, op.nbytes),
             )
-            ticket.local_complete.add_callback(lambda _e: self._op_local(ws, op))
-            ticket.delivered.add_callback(lambda _e: self._op_delivered(ws, op))
+            ticket.on_local_complete(self._op_local, ws, op)
+            ticket.on_delivered(self._op_delivered, ws, op)
         elif op.kind is OpKind.GET:
             ws.ops_by_uid[op.uid] = op
             self._send(
@@ -669,9 +759,9 @@ class RmaEngineBase:
             op.target, op.nbytes, payload, ServiceKind.RDMA,
             pin_region=(op.target_disp, op.nbytes),
         )
-        ticket.local_complete.add_callback(lambda _e: self._op_local(ws, op))
+        ticket.on_local_complete(self._op_local, ws, op)
         if not fetch:
-            ticket.delivered.add_callback(lambda _e: self._op_delivered(ws, op))
+            ticket.on_delivered(self._op_delivered, ws, op)
 
     def _op_local(self, ws: WindowState, op: RmaOp) -> None:
         """Origin-buffer-reusable event (step-1 completion verification)."""
@@ -698,10 +788,11 @@ class RmaEngineBase:
         prof = self.profiler
         if prof is not None:
             prof.tally(1)
-        self._trace(
-            "op_delivered", ws, op.epoch, side="origin", target=op.target,
-            op_kind=op.kind.value,
-        )
+        if self._trace_enabled():
+            self._trace(
+                "op_delivered", ws, op.epoch, side="origin", target=op.target,
+                op_kind=op.kind.value,
+            )
         if not op.local_done:
             # Result-bearing ops: remote completion implies local.
             op.local_done = True
@@ -718,7 +809,8 @@ class RmaEngineBase:
         ep.open_time = self.sim.now
         ws.epochs.append(ep)
         self.mark_dirty(ws)
-        self._trace("epoch_open", ws, ep, epoch_kind=ep.kind.value)
+        if self._trace_enabled():
+            self._trace("epoch_open", ws, ep, epoch_kind=ep.kind.value)
         self.poke()
         return ep
 
@@ -734,7 +826,8 @@ class RmaEngineBase:
         req = ClosingRequest(self.sim, ep)
         ep.closing_request = req
         self.mark_dirty(ws)
-        self._trace("epoch_close_call", ws, ep)
+        if self._trace_enabled():
+            self._trace("epoch_close_call", ws, ep)
         if ep.completed:
             req.complete()
             ws.retire_closed()
@@ -753,7 +846,8 @@ class RmaEngineBase:
                 if ep.open_time is not None:
                     m.observe(f"epoch.{kind}.defer_us", ep.activate_time - ep.open_time)
                 m.observe(f"epoch.{kind}.active_us", ep.complete_time - ep.activate_time)
-        self._trace("epoch_complete", ws, ep)
+        if self._trace_enabled():
+            self._trace("epoch_complete", ws, ep)
         checker = self._checker_of(ws)
         if checker is not None:
             checker.on_epoch_complete(ws, ep)
@@ -763,9 +857,17 @@ class RmaEngineBase:
     def _advance_exposure(self, ws: WindowState, ep: Epoch) -> bool:
         """Exposure completion test: every origin's done packet arrived
         (identical in both engines)."""
-        if all(
-            ws.done_id[origin] >= ep.exposure_ids[origin] for origin in ep.origin_group
-        ):
+        og = ep.origin_group
+        if len(og) > 1:
+            # Vectorized over the origin group: one gather + compare
+            # instead of a Python generator per origin per sweep.
+            ids = ep.exposure_ids
+            arrived = bool(
+                np.all(ws.done_id[list(og)] >= np.fromiter((ids[o] for o in og), np.int64, len(og)))
+            )
+        else:
+            arrived = all(ws.done_id[origin] >= ep.exposure_ids[origin] for origin in og)
+        if arrived:
             self._complete_epoch(ws, ep)
             return True
         return False
@@ -781,10 +883,20 @@ class RmaEngineBase:
         ws = self.state_of(win)
         op.call_time = self.sim.now
         ep.record_op(op)
+        ws.unissued_total += 1
         self.mark_dirty(ws)
-        self._trace("op_call", ws, ep, op_kind=op.kind.value, target=op.target)
+        if self._trace_enabled():
+            self._trace("op_call", ws, ep, op_kind=op.kind.value, target=op.target)
         self.poke()
         return op
+
+    def _take_unissued(self, ws: WindowState, ep: Epoch, target: int) -> list[RmaOp]:
+        """Pop ``ep``'s unissued ops toward ``target``, keeping the
+        window's postable-op aggregate in sync (every engine issue site
+        must go through here, or sweeps would skip live work)."""
+        ops = ep.take_unissued(target)
+        ws.unissued_total -= len(ops)
+        return ops
 
     def next_age(self, win: "Window") -> int:
         """Allocate an RMA-call age (§VII-C flush stamping)."""

@@ -127,10 +127,26 @@ class MvapichEngine(RmaEngineBase):
 
     # -- GATS access: issue-at-close with two-phase gating -----------------
     def _split_targets(self, ep: Epoch) -> tuple[list[int], list[int]]:
-        topo = self.fabric.topology
-        inter = [t for t in ep.targets if t != self.rank and not topo.same_node(self.rank, t)]
-        intra = [t for t in ep.targets if t == self.rank or topo.same_node(self.rank, t)]
-        return inter, intra
+        """Internode/intranode partition of the epoch's target group,
+        computed once per epoch (targets are immutable) from the cached
+        intranode row instead of per-target topology calls per sweep."""
+        split = getattr(ep, "mv_split", None)
+        if split is None:
+            is_intra = self._is_intra
+            inter = [t for t in ep.targets if not is_intra[t]]
+            intra = [t for t in ep.targets if is_intra[t]]
+            ep.mv_split = split = (inter, intra)
+        return split
+
+    def _all_granted(self, ws: WindowState, ep: Epoch, targets: list[int]) -> bool:
+        """The all-targets-ready gate (§VIII-B), vectorized over the
+        phase's peer group when it has more than one member."""
+        if len(targets) > 1:
+            ids = ep.access_ids
+            return ws.all_access_granted(
+                targets, [ids[t] for t in targets]
+            )
+        return all(ws.access_granted(t, ep.access_ids[t]) for t in targets)
 
     def _advance_gats_access(self, ws: WindowState, ep: Epoch) -> bool:
         if not ep.app_closed:
@@ -138,21 +154,17 @@ class MvapichEngine(RmaEngineBase):
         inter, intra = self._split_targets(ep)
         stage = getattr(ep, "mv_stage", _WAIT_INTERNODE)
         if stage == _WAIT_INTERNODE:
-            if not ep.nocheck and not all(
-                ws.access_granted(t, ep.access_ids[t]) for t in inter
-            ):
+            if not ep.nocheck and not self._all_granted(ws, ep, inter):
                 return False
             for target in inter:
-                for op in ep.take_unissued(target):
+                for op in self._take_unissued(ws, ep, target):
                     self._issue_op(ws, op)
             ep.mv_stage = stage = _WAIT_INTRANODE
         if stage == _WAIT_INTRANODE:
-            if not ep.nocheck and not all(
-                ws.access_granted(t, ep.access_ids[t]) for t in intra
-            ):
+            if not ep.nocheck and not self._all_granted(ws, ep, intra):
                 return False
             for target in ep.unissued_targets():
-                for op in ep.take_unissued(target):
+                for op in self._take_unissued(ws, ep, target):
                     self._issue_op(ws, op)
             ep.mv_stage = stage = _DRAINING
         if stage == _DRAINING:
@@ -174,7 +186,8 @@ class MvapichEngine(RmaEngineBase):
         ep.state = EpochState.ACTIVE
         ep.activate_time = self.sim.now
         self.mark_dirty(ws)
-        self._trace("epoch_activate", ws, ep)
+        if self._trace_enabled():
+            self._trace("epoch_activate", ws, ep)
         if ep.nocheck:
             # MPI_MODE_NOCHECK: no acquisition protocol, no ω traffic.
             for target in ep.targets:
@@ -201,7 +214,7 @@ class MvapichEngine(RmaEngineBase):
         # Issue every recorded op whose target lock is held.
         for target in ep.unissued_targets():
             if ep.lock_held.get(target, False):
-                for op in ep.take_unissued(target):
+                for op in self._take_unissued(ws, ep, target):
                     self._issue_op(ws, op)
         if not ep.app_closed:
             return False
@@ -245,7 +258,7 @@ class MvapichEngine(RmaEngineBase):
             if not all(ws.remote_fence_open[p] >= ep.fence_round for p in peers):
                 return False
             for target in ep.unissued_targets():
-                for op in ep.take_unissued(target):
+                for op in self._take_unissued(ws, ep, target):
                     self._issue_op(ws, op)
             ep.mv_stage = stage = _DRAINING
         if stage == _DRAINING:

@@ -39,6 +39,8 @@ from __future__ import annotations
 from time import perf_counter
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ...network.packets import ServiceKind
 from ..epoch import Epoch, EpochKind, EpochState
 from ..ops import RmaOp
@@ -78,20 +80,29 @@ class NonblockingEngine(RmaEngineBase):
         for ws in dirty:
             # Step 1 (completion verification) is event-driven here:
             # op completion callbacks have already updated the state.
-            self._post_ready_ops(ws, intranode=False)  # step 2
+            if ws.unissued_total:
+                self._post_ready_ops(ws, intranode=False)  # step 2
         for ws in dirty:
             self._complete_and_activate(ws)            # step 3
+        late = 0
         for ws in dirty:
-            self._post_ready_ops(ws, intranode=True)   # step 4
-        self._consume_notifications()                  # step 5
+            if ws.unissued_total:
+                late += self._post_ready_ops(ws, intranode=True)   # step 4
+        late += self._consume_notifications()                  # step 5
         # Step 5 may have dirtied windows that were clean at sweep start
         # (FIFO done notifications); the historical full scan reached
         # them in steps 6/7 of the same sweep, so fold them in here.
-        dirty = self._merge_marked(dirty)
-        for ws in dirty:
-            self._process_lock_backlog(ws)             # step 6
-        for ws in dirty:
-            self._complete_and_activate(ws)            # step 7
+        merged = self._merge_marked(dirty)
+        for ws in merged:
+            if ws.lock_backlog:
+                late += self._process_lock_backlog(ws)  # step 6
+        # Step 3 already ran each window to the _complete_and_activate
+        # fixpoint, so step 7 can only progress if steps 4-6 changed
+        # something (posted ops, drained notifications, lock traffic) or
+        # pulled extra windows in; otherwise it is a structural no-op.
+        if late or merged is not dirty:
+            for ws in merged:
+                self._complete_and_activate(ws)        # step 7
         self._check_blocking_flushes()
 
     def _sweep_profiled(self, prof) -> None:
@@ -118,18 +129,24 @@ class NonblockingEngine(RmaEngineBase):
             work += self._post_ready_ops(ws, intranode=True)   # step 4
         t3 = perf_counter()
         prof.record(4, work, t3 - t2)
+        late = work
         work = self._consume_notifications()                   # step 5
+        late += work
         t4 = perf_counter()
         prof.record(5, work, t4 - t3)
-        dirty = self._merge_marked(dirty)
+        merged = self._merge_marked(dirty)
         work = 0
-        for ws in dirty:
+        for ws in merged:
             work += self._process_lock_backlog(ws)             # step 6
+        late += work
         t5 = perf_counter()
         prof.record(6, work, t5 - t4)
         work = 0
-        for ws in dirty:
-            work += self._complete_and_activate(ws)            # step 7
+        # Same step-7 skip as the unprofiled path: after step 3's
+        # fixpoint, zero late work means step 7 cannot progress.
+        if late or merged is not dirty:
+            for ws in merged:
+                work += self._complete_and_activate(ws)        # step 7
         t6 = perf_counter()
         prof.record(7, work, t6 - t5)
         self._check_blocking_flushes()
@@ -139,7 +156,7 @@ class NonblockingEngine(RmaEngineBase):
     # =====================================================================
     def _reorder_allows(self, ws: WindowState, new: Epoch, prev: Epoch) -> bool:
         """Whether ``new`` may activate while ``prev`` is still active."""
-        if new.kind.reorder_excluded or prev.kind.reorder_excluded:
+        if new.reorder_excluded or prev.reorder_excluded:
             return False
         return ws.win.group.flags.allows(new.is_access, prev.is_access)
 
@@ -155,14 +172,19 @@ class NonblockingEngine(RmaEngineBase):
             if ep.active:
                 active_preceding.append(ep)
                 continue
-            if active_preceding and not all(
-                self._reorder_allows(ws, ep, prev) for prev in active_preceding
-            ):
-                if self._activation_gate:
-                    break
-                # Mutated (test-only): skip the blocked epoch but keep
-                # scanning — later epochs may now activate out of order.
-                continue
+            if active_preceding:
+                allowed = True
+                for prev in active_preceding:
+                    if not self._reorder_allows(ws, ep, prev):
+                        allowed = False
+                        break
+                if not allowed:
+                    if self._activation_gate:
+                        break
+                    # Mutated (test-only): skip the blocked epoch but
+                    # keep scanning — later epochs may now activate out
+                    # of order.
+                    continue
             self._activate(ws, ep, tuple(active_preceding))
             active_preceding.append(ep)
             activated += 1
@@ -177,7 +199,8 @@ class NonblockingEngine(RmaEngineBase):
         checker = self._checker_of(ws)
         if checker is not None:
             checker.on_epoch_activate(ws, ep, active_preceding)
-        self._trace("epoch_activate", ws, ep)
+        if self._trace_enabled():
+            self._trace("epoch_activate", ws, ep)
         if ep.kind in (EpochKind.GATS_ACCESS, EpochKind.LOCK, EpochKind.LOCK_ALL):
             if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and ep.nocheck:
                 # MPI_MODE_NOCHECK: no acquisition protocol at all — the
@@ -231,7 +254,9 @@ class NonblockingEngine(RmaEngineBase):
     def _post_ready_ops(self, ws: WindowState, intranode: bool) -> int:
         """Steps 2/4: issue recorded ops to every granted target;
         returns the number of ops posted."""
-        topo = self.fabric.topology
+        if not ws.unissued_total:
+            return 0
+        is_intra = self._is_intra
         m = self.metrics
         posted = 0
         for ep in ws.epochs:
@@ -239,17 +264,31 @@ class NonblockingEngine(RmaEngineBase):
                 continue
             if not ep.unissued_count:
                 continue
-            for target in ep.unissued_targets():
-                is_intra = target == self.rank or topo.same_node(self.rank, target)
-                if is_intra != intranode:
+            targets = ep.unissued_targets()
+            granted = None
+            if ep.kind is EpochKind.GATS_ACCESS and not ep.nocheck and len(targets) > 1:
+                # Vectorized ω matching (§VII-B): one fancy-indexed
+                # gather + compare covers the whole pending peer group;
+                # per-target iteration below keeps the issue order and
+                # match/wait accounting identical to the scalar walk.
+                ids = ep.access_ids
+                granted = ws.g[targets] >= np.fromiter(
+                    (ids[t] for t in targets), np.int64, len(targets)
+                )
+            for i, target in enumerate(targets):
+                if is_intra[target] != intranode:
                     continue
-                ready = self._target_ready(ws, ep, target)
+                ready = (
+                    bool(granted[i])
+                    if granted is not None
+                    else self._target_ready(ws, ep, target)
+                )
                 if m is not None:
                     # ω matching outcome (§VII-B): one O(1) test per
                     # pending target per sweep.
                     m.inc("omega.matches" if ready else "omega.wait_for_grant")
                 if ready:
-                    for op in ep.take_unissued(target):
+                    for op in self._take_unissued(ws, ep, target):
                         self._record_concurrency(ws, ep, op)
                         self._issue_op(ws, op)
                         posted += 1
@@ -274,6 +313,8 @@ class NonblockingEngine(RmaEngineBase):
     def _complete_and_activate(self, ws: WindowState) -> int:
         """Steps 3/7: returns the number of epochs progressed (completed
         or activated)."""
+        if not ws.epochs:
+            return 0
         changed = True
         progressed = 0
         while changed:
@@ -286,9 +327,13 @@ class NonblockingEngine(RmaEngineBase):
             if activated:
                 changed = True
                 progressed += activated
-        if progressed:
+        if progressed and ws.unissued_total:
             # Newly activated epochs may have ready ops; re-mark the
             # window and rerun the step sequence so steps 2/4 post them.
+            # With nothing postable the re-sweep would find the window
+            # already at this loop's fixpoint (grants/dones sent here
+            # only land via future deliveries, which re-mark on arrival),
+            # so it is skipped as a structural no-op.
             self.mark_dirty(ws)
             self._resweep = True
         ws.retire_closed()
@@ -298,15 +343,15 @@ class NonblockingEngine(RmaEngineBase):
         """Move one active epoch toward completion; True if it completed."""
         if ep.kind is EpochKind.GATS_ACCESS:
             if ep.app_closed:
+                done_sent = ep.done_sent
                 for target in ep.targets:
                     if (
-                        target not in ep.done_sent
+                        target not in done_sent
                         and (ep.nocheck or ws.access_granted(target, ep.access_ids[target]))
-                        and ep.all_issued_to(target)
-                        and ep.undelivered_to(target) == 0
+                        and not ep.pending_to(target)
                     ):
                         self._send_done(ws, ep, target)
-                if len(ep.done_sent) == len(ep.targets):
+                if len(done_sent) == len(ep.targets):
                     self._complete_epoch(ws, ep)
                     return True
             return False
@@ -324,8 +369,7 @@ class NonblockingEngine(RmaEngineBase):
                     if (
                         target not in ep.unlock_sent
                         and ep.lock_held.get(target, False)
-                        and ep.all_issued_to(target)
-                        and ep.undelivered_to(target) == 0
+                        and not ep.pending_to(target)
                     ):
                         self._send(
                             target,

@@ -89,8 +89,19 @@ class Epoch:
         #: MPI_MODE_NOCHECK: the application guarantees the matching
         #: synchronization has already happened; skip grant waiting.
         self.nocheck = nocheck
+        #: Kind-derived flags, flattened to plain attributes: the
+        #: activation predicate reads them per epoch pair per sweep, and
+        #: the enum-property forms cost a containment test per read.
+        self.is_access = kind is not EpochKind.GATS_EXPOSURE
+        self.reorder_excluded = kind in (EpochKind.FENCE, EpochKind.LOCK_ALL)
 
-        self.state = EpochState.DEFERRED
+        # ``state`` is a property: its setter maintains the plain
+        # ``active``/``completed`` bools the progress engines poll tens
+        # of thousands of times per run (a bool attribute read is ~5x
+        # cheaper than property + enum identity test).
+        self._state = EpochState.DEFERRED
+        self.active = False
+        self.completed = False
         #: Application already invoked the closing routine.
         self.app_closed = False
         #: Uids of epochs still active when this one activated (§VI-B
@@ -129,24 +140,21 @@ class Epoch:
 
     # -- state helpers -----------------------------------------------------
     @property
+    def state(self) -> EpochState:
+        """Internal-lifetime state; assigning it refreshes the flattened
+        ``active``/``completed`` flags."""
+        return self._state
+
+    @state.setter
+    def state(self, value: EpochState) -> None:
+        self._state = value
+        self.active = value is EpochState.ACTIVE
+        self.completed = value is EpochState.COMPLETED
+
+    @property
     def deferred(self) -> bool:
         """Not yet activated by the progress engine."""
-        return self.state is EpochState.DEFERRED
-
-    @property
-    def active(self) -> bool:
-        """Inside the internal lifetime."""
-        return self.state is EpochState.ACTIVE
-
-    @property
-    def completed(self) -> bool:
-        """Internal lifetime over."""
-        return self.state is EpochState.COMPLETED
-
-    @property
-    def is_access(self) -> bool:
-        """Side used by the reorder-flag predicate."""
-        return self.kind.is_access
+        return self._state is EpochState.DEFERRED
 
     @property
     def reordered(self) -> bool:
@@ -202,6 +210,14 @@ class Epoch:
     def all_issued_to(self, target: int) -> bool:
         """Whether every recorded op to ``target`` has been issued."""
         return not self._unissued_by_target.get(target)
+
+    def pending_to(self, target: int) -> bool:
+        """Whether any op toward ``target`` is unissued or still in
+        flight (the epoch-completion gate, fused into one lookup pair)."""
+        u = self._unissued_by_target.get(target)
+        if u:
+            return True
+        return self._undelivered_by_target.get(target, 0) > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from .locks import LockManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,11 +40,16 @@ class WindowState:
         self.gid = win.group.gid
 
         # -- ω-triples (per remote rank) ---------------------------------
-        self.a: dict[int, int] = defaultdict(int)
-        self.e: dict[int, int] = defaultdict(int)
-        self.g: dict[int, int] = defaultdict(int)
+        # Dense int64 vectors indexed by rank (every peer starts at 0, so
+        # arrays are drop-in for the historical defaultdicts) — the
+        # engines' ready-mask tests compare whole peer groups at once
+        # instead of looping ``access_granted`` per target.
+        nranks = win.group.runtime.nranks
+        self.a = np.zeros(nranks, dtype=np.int64)
+        self.e = np.zeros(nranks, dtype=np.int64)
+        self.g = np.zeros(nranks, dtype=np.int64)
         #: Highest done-packet access id received per origin (target side).
-        self.done_id: dict[int, int] = defaultdict(int)
+        self.done_id = np.zeros(nranks, dtype=np.int64)
         #: Replayed GrantUpdates discarded by the idempotent ``max``
         #: application (nonzero only if duplicate suppression is bypassed).
         self.dup_grants_ignored = 0
@@ -68,6 +75,10 @@ class WindowState:
         self.fence_done_from: dict[int, set[int]] = defaultdict(set)
 
         # -- ops / flushes -----------------------------------------------------
+        #: Recorded-but-unissued ops across every live epoch (the engine
+        #: maintains it in add_op/_take_unissued); lets a sweep skip the
+        #: per-epoch posting scan when nothing is postable.
+        self.unissued_total = 0
         #: Monotonic RMA-call age (§VII-C flush stamping).
         self.age_counter = 0
         #: In-flight response-bearing ops by uid (routing table).
@@ -82,18 +93,28 @@ class WindowState:
         return self.age_counter
 
     def next_access_id(self, target: int) -> int:
-        """``A_i = ++a_l`` for an activating access epoch (§VII-B)."""
+        """``A_i = ++a_l`` for an activating access epoch (§VII-B).
+
+        Returns a plain int: allocated ids are stored in epoch dicts and
+        wire packets, where numpy scalars must not leak.
+        """
         self.a[target] += 1
-        return self.a[target]
+        return int(self.a[target])
 
     def next_exposure_id(self, origin: int) -> int:
         """``++e_l`` for an activating exposure epoch / lock grant."""
         self.e[origin] += 1
-        return self.e[origin]
+        return int(self.e[origin])
 
     def access_granted(self, target: int, access_id: int) -> bool:
         """The O(1) matching test ``A_i <= g_r``."""
         return access_id <= self.g[target]
+
+    def all_access_granted(self, targets, access_ids) -> bool:
+        """Vectorized ``A_i <= g_r`` over a peer group: one fancy-indexed
+        gather + compare instead of a Python loop per target.  ``targets``
+        and ``access_ids`` must be equal-length index/id arrays."""
+        return bool(np.all(self.g[targets] >= access_ids))
 
     def live_epochs(self) -> list["Epoch"]:
         """Epochs whose internal lifetime has not ended."""

@@ -67,6 +67,11 @@ class Simulator:
         self._heap: list[list[Any]] = []
         #: Free slab of retired heap entries (bounded; see :meth:`run`).
         self._free: list[list[Any]] = []
+        #: Same-timestamp delivery batch (policy-free runs only).  While
+        #: :meth:`run` executes a batch of co-temporal entries, this
+        #: aliases the batch list and :meth:`schedule` appends zero-delay
+        #: callbacks directly to it, skipping the heap round-trip.
+        self._batch: list[list[Any]] | None = None
         self._processes: list[SimProcess] = []
         #: Processes whose generator raised (drained by :meth:`run`).
         self._failed: list[SimProcess] = []
@@ -108,7 +113,15 @@ class Simulator:
             entry[4] = args
         else:
             entry = [when, key, self._seq, fn, args]
-        heapq.heappush(self._heap, entry)
+        # Zero-delay callbacks scheduled while a co-temporal batch is
+        # executing join the batch tail directly: without a policy every
+        # entry has key 0 and seq is monotone, so heap ordering would
+        # have popped them right after the current batch anyway.
+        batch = self._batch
+        if batch is not None and when == self._now:
+            batch.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
 
     # -- event factories ---------------------------------------------------
     def event(self, name: str = "") -> SimEvent:
@@ -148,14 +161,56 @@ class Simulator:
         heap = self._heap
         failed = self._failed
         free = self._free
+        pop = heapq.heappop
+        batching = self.policy is None
+        batch: list[list[Any]] = []
         while heap:
             entry = heap[0]
             t = entry[0]
             if until is not None and t > until:
                 self._now = until
                 return self._now
-            heapq.heappop(heap)
+            pop(heap)
             self._now = t
+            if batching:
+                # Drain every co-temporal entry up front: a burst of
+                # same-instant callbacks (event triggers, loopback
+                # deliveries) pays one heap pop each instead of a full
+                # push/pop round-trip, and zero-delay schedules made
+                # while the batch runs append straight to its tail (see
+                # :meth:`schedule`).  Only legal without a policy: a
+                # perturbing policy may order a newly scheduled
+                # same-time entry *before* pending ones via its key.
+                batch.append(entry)
+                while heap and heap[0][0] == t:
+                    batch.append(pop(heap))
+                self._batch = batch
+                i = 0
+                try:
+                    while i < len(batch):
+                        entry = batch[i]
+                        i += 1
+                        fn = entry[3]
+                        args = entry[4]
+                        # Recycle the entry; drop callback refs so the
+                        # slab never pins closures or packet payloads
+                        # past their firing.
+                        entry[3] = entry[4] = None
+                        if len(free) < 8192:
+                            free.append(entry)
+                        fn(*args)
+                        if failed:
+                            failed.pop(0).reraise_if_failed()
+                finally:
+                    self._batch = None
+                    if i < len(batch):
+                        # An exception interrupted the batch: push the
+                        # unexecuted co-temporal entries back so the
+                        # pending set stays consistent.
+                        for entry in batch[i:]:
+                            heapq.heappush(heap, entry)
+                    batch.clear()
+                continue
             fn = entry[3]
             args = entry[4]
             # Recycle the entry; drop callback refs so the slab never

@@ -54,17 +54,54 @@ class TestCompareDocs:
         cur = _doc({"a": 1.0})
         verdict = compare_docs(base, cur)
         assert not verdict["ok"]
-        assert verdict["drifts"][0]["current"] == "missing"
+        (drift,) = verdict["drifts"]
+        assert drift["current"] == "missing" and drift["column"] == "b"
+        # the vanished slot still counts as examined
+        assert verdict["checked"] == 2
         # whole figure missing
         verdict = compare_docs(base, {"meta": {}, "figures": []})
         assert verdict["drifts"][0]["series"] == "*"
+        assert verdict["checked"] == 2
 
-    def test_new_figures_in_current_are_ignored(self):
+    def test_new_column_in_current_is_a_drift(self):
+        verdict = compare_docs(_doc({"a": 1.0}), _doc({"a": 1.0, "b": 2.0}))
+        assert not verdict["ok"]
+        (drift,) = verdict["drifts"]
+        assert drift["baseline"] == "missing" and drift["column"] == "b"
+        assert drift["rel_change"] is None
+        assert verdict["checked"] == 2
+
+    def test_new_series_in_current_is_a_drift(self):
+        cur = _doc({"a": 1.0})
+        cur["figures"][0]["rows"].append(
+            {"series": "Extra", "values": {"a": 1.0, "b": 2.0}})
+        verdict = compare_docs(_doc({"a": 1.0}), cur)
+        assert not verdict["ok"]
+        (drift,) = verdict["drifts"]
+        assert drift["series"] == "Extra" and drift["baseline"] == "missing"
+        assert verdict["checked"] == 3
+
+    def test_new_figure_in_current_is_a_drift(self):
         cur = _doc({"a": 1.0})
         cur["figures"].append({"figure": "fig99", "title": "n", "unit": "µs",
                                "columns": ["x"],
                                "rows": [{"series": "New", "values": {"x": 1}}]})
-        assert compare_docs(_doc({"a": 1.0}), cur)["ok"]
+        verdict = compare_docs(_doc({"a": 1.0}), cur)
+        assert not verdict["ok"]
+        (drift,) = verdict["drifts"]
+        assert drift["figure"] == "fig99" and drift["baseline"] == "missing"
+        assert drift["current"] == "present"
+        assert verdict["checked"] == 2
+
+    def test_symmetric_structural_drift_both_ways(self):
+        """A column renamed without re-baselining drifts twice: once as
+        the vanished old name, once as the unexpected new one."""
+        verdict = compare_docs(_doc({"old": 1.0}), _doc({"new": 1.0}))
+        assert not verdict["ok"]
+        directions = {(d["baseline"], d["current"]) for d in verdict["drifts"]}
+        assert (1.0, "missing") in directions
+        assert ("missing", 1.0) in directions
+        assert verdict["checked"] == 2
 
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError):

@@ -87,6 +87,35 @@ class TestHistogram:
             assert quantile_from_snapshot(snap, q) == h.quantile(q)
         assert quantile_from_snapshot(Histogram("e").snapshot(), 0.5) == 0.0
 
+    def test_quantile_single_estimator_cross_check(self):
+        """Live histogram and serialized snapshot must agree everywhere —
+        the two code paths share one estimator, and these edges are
+        where the historical copies could diverge."""
+        edge_cases = {
+            "empty": [],
+            "single_bucket": [3.0, 4.0, 5.0],          # all inside bucket 0
+            "overflow": [2.0, 50.0, 5000.0, 9000.0],   # beyond the last bound
+            "mixed": [0.5, 2, 3, 20, 99, 250],
+        }
+        for name, samples in edge_cases.items():
+            h = Histogram(name, bounds=(10, 100))
+            for v in samples:
+                h.observe(v)
+            snap = h.snapshot()
+            for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+                assert quantile_from_snapshot(snap, q) == h.quantile(q), (name, q)
+
+    def test_quantile_snapshot_validates_range_like_live(self):
+        """The snapshot path historically skipped the [0, 1] check."""
+        h = Histogram("lat", bounds=(10,))
+        h.observe(1.0)
+        snap = h.snapshot()
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+            with pytest.raises(ValueError):
+                quantile_from_snapshot(snap, bad)
+
 
 class TestRegistry:
     def make(self):

@@ -111,8 +111,8 @@ class TestProgressBehaviour:
         rt.run(app)
         # Rank 2 never participated: its counters stay empty.
         ws2 = rt.engines[2].states[0]
-        assert sum(ws2.a.values()) == 0
-        assert sum(ws2.e.values()) == 0
+        assert int(ws2.a.sum()) == 0
+        assert int(ws2.e.sum()) == 0
 
     def test_epoch_retirement_keeps_state_bounded(self):
         """Completed + closed epochs are retired from the window state
@@ -148,3 +148,82 @@ class TestProgressBehaviour:
         rt = make_runtime(2)
         with pytest.raises(RuntimeError, match="unroutable"):
             rt.middlewares[0].on_delivery(object(), 1)
+
+
+class TestDirtyWorklistMerge:
+    """Mid-sweep ``_merge_marked`` regression coverage: gid ordering,
+    ``windows_visited`` accounting, and worklist retention."""
+
+    @staticmethod
+    def _engine(nwins: int = 3, **kwargs):
+        rt = make_runtime(2, **kwargs)
+
+        def app(proc):
+            for _ in range(nwins):
+                yield from proc.win_allocate(64)
+            yield from proc.barrier()
+
+        rt.run(app)
+        eng = rt.engines[0]
+        assert not eng._dirty  # sweeps drained everything during run()
+        return eng
+
+    def test_mid_sweep_mark_merges_in_gid_order(self):
+        eng = self._engine()
+        ws0, ws1, ws2 = (eng.states[g] for g in sorted(eng.states))
+        eng.mark_dirty(ws0)
+        eng.mark_dirty(ws2)
+        dirty = eng._take_dirty()
+        assert [w.gid for w in dirty] == [ws0.gid, ws2.gid]
+        v0 = eng.windows_visited
+        # A loopback delivery marks the middle window mid-sweep: the
+        # merged visit list must come back gid-sorted, not appended.
+        eng.mark_dirty(ws1)
+        merged = eng._merge_marked(dirty)
+        assert [w.gid for w in merged] == [ws0.gid, ws1.gid, ws2.gid]
+        # Exactly the extras are accounted, once.
+        assert eng.windows_visited == v0 + 1
+
+    def test_mid_sweep_mark_survives_for_next_sweep(self):
+        eng = self._engine()
+        ws0, _, ws2 = (eng.states[g] for g in sorted(eng.states))
+        eng.mark_dirty(ws2)
+        dirty = eng._take_dirty()
+        eng.mark_dirty(ws0)
+        eng._merge_marked(dirty)
+        # _merge_marked folds the window into *this* sweep but leaves the
+        # worklist intact: the next sweep revisits it (the historical
+        # full re-scan semantics).
+        assert ws0.gid in eng._dirty
+        assert [w.gid for w in eng._take_dirty()] == [ws0.gid]
+
+    def test_remark_of_already_visited_window_adds_nothing(self):
+        eng = self._engine()
+        ws1 = eng.states[sorted(eng.states)[1]]
+        eng.mark_dirty(ws1)
+        dirty = eng._take_dirty()
+        v0 = eng.windows_visited
+        eng.mark_dirty(ws1)  # mid-sweep re-mark of a visited window
+        merged = eng._merge_marked(dirty)
+        assert merged is dirty  # no extras to fold in
+        assert eng.windows_visited == v0
+        assert ws1.gid in eng._dirty  # but it is revisited next sweep
+
+    def test_merge_with_clean_worklist_is_identity(self):
+        eng = self._engine()
+        ws0 = eng.states[sorted(eng.states)[0]]
+        eng.mark_dirty(ws0)
+        dirty = eng._take_dirty()
+        assert eng._merge_marked(dirty) is dirty
+
+    def test_merge_extras_count_into_visit_metrics(self):
+        eng = self._engine(metrics=True)
+        ws0, ws1, _ = (eng.states[g] for g in sorted(eng.states))
+        eng.mark_dirty(ws1)
+        dirty = eng._take_dirty()
+        base = eng.metrics.value("engine.sweep.window_visits")
+        per_win = eng.metrics.value(f"engine.sweep.visited.win{ws0.gid}")
+        eng.mark_dirty(ws0)
+        eng._merge_marked(dirty)
+        assert eng.metrics.value("engine.sweep.window_visits") == base + 1
+        assert eng.metrics.value(f"engine.sweep.visited.win{ws0.gid}") == per_win + 1

@@ -32,7 +32,7 @@ from typing import Any
 
 import numpy as np
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..network.model import NetworkModel
 from ..rma.flags import A_A_A_R
 from ..rma.window import LOCK_SHARED
@@ -78,7 +78,7 @@ class FactDbConfig:
     #: space; derived facts the second half).
     universe: int = 256
     firings_per_rank: int = 30
-    engine: str = "nonblocking"
+    engine: str = DEFAULT_ENGINE
     nonblocking: bool = False
     reorder: bool = False
     #: Max in-flight derivations per rank (nonblocking modes).

@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..network.model import NetworkModel
 
 __all__ = ["HaloConfig", "HaloResult", "run_halo"]
@@ -34,7 +34,7 @@ class HaloConfig:
     nranks: int
     cells_per_rank: int = 64
     iterations: int = 10
-    engine: str = "nonblocking"
+    engine: str = DEFAULT_ENGINE
     nonblocking: bool = False
     #: Extra µs of interior compute per iteration (overlap fodder).
     interior_work_us: float = 0.0

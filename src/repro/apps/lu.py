@@ -39,7 +39,7 @@ from typing import Any
 
 import numpy as np
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..network.model import NetworkModel
 
 __all__ = ["LUConfig", "LUResult", "run_lu"]
@@ -53,7 +53,7 @@ class LUConfig:
 
     nranks: int
     m: int
-    engine: str = "nonblocking"
+    engine: str = DEFAULT_ENGINE
     nonblocking: bool = False
     #: µs of compute charged per updated cell (None = really compute).
     work_per_cell_us: float | None = None

@@ -30,7 +30,7 @@ from typing import Any
 
 import numpy as np
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..network.model import NetworkModel
 from ..rma.flags import A_A_E_R
 
@@ -52,7 +52,7 @@ class Stencil2DConfig:
     pc: int
     tile: int = 8
     iterations: int = 4
-    engine: str = "nonblocking"
+    engine: str = DEFAULT_ENGINE
     nonblocking: bool = False
     #: Interior-update compute charged per iteration (µs).
     interior_work_us: float = 0.0

@@ -31,7 +31,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING, Any
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..network.model import NetworkModel
 from ..rma.checker import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
 from ..rma.flags import A_A_A_R
@@ -51,7 +51,7 @@ class TransactionsConfig:
     nranks: int
     txns_per_rank: int = 50
     slots_per_rank: int = 64
-    engine: str = "nonblocking"
+    engine: str = DEFAULT_ENGINE
     nonblocking: bool = False
     reorder: bool = False
     max_pending: int = 32

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..rma.flags import A_A_A_R, A_A_E_R, E_A_A_R, E_A_E_R
 from .calibration import DELAY_US, default_model
 from .harness import Series
@@ -279,7 +279,7 @@ def fig06_late_unlock(
 # Figs. 7–11 — progress-engine optimization flags (nonblocking only)
 # ---------------------------------------------------------------------------
 def _flag_runtime(nranks: int) -> MPIRuntime:
-    return MPIRuntime(nranks, cores_per_node=1, engine="nonblocking", model=default_model())
+    return MPIRuntime(nranks, cores_per_node=1, engine=DEFAULT_ENGINE, model=default_model())
 
 
 def fig07_aaar_gats(

@@ -28,6 +28,7 @@ SERIES: tuple[Series, ...] = (
     Series("MVAPICH", "mvapich", False),
     Series("New", "nonblocking", False),
     Series("New nonblocking", "nonblocking", True),
+    Series("Signal", "signal", True),
 )
 
 

@@ -54,7 +54,7 @@ from typing import Any, Callable, Generator
 
 import numpy as np
 
-from ..mpi.runtime import MPIRuntime
+from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
 from ..rma.flags import E_A_A_R
 from ..rma.window import LOCK_EXCLUSIVE, LOCK_SHARED
 from .calibration import default_model
@@ -176,7 +176,7 @@ WORKLOADS: dict[str, tuple[Callable[..., Generator], dict[str, int]]] = {
 # ---------------------------------------------------------------------------
 def _run_once(app, shape: dict[str, int], dirty_tracking: bool, metrics: bool) -> dict:
     rt = MPIRuntime(
-        shape["nranks"], cores_per_node=1, engine="nonblocking",
+        shape["nranks"], cores_per_node=1, engine=DEFAULT_ENGINE,
         model=default_model(), metrics=metrics,
     )
     for eng in rt.engines:

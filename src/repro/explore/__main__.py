@@ -2,10 +2,13 @@
 
 Subcommands::
 
-    python -m repro.explore run [--workloads halo,lu] [--schedules 4]
-        [--seed 0x5EED] [--max-extra-us 0.5] [--json] [--out report.json]
+    python -m repro.explore run [--workloads halo,lu] [--engines signal,nonblocking]
+        [--schedules 4] [--seed 0x5EED] [--max-extra-us 0.5] [--json]
+        [--out report.json]
         Differential sweep: workloads x engine variants x (baseline +
-        N explored schedules).  Exit 1 if any digest disagrees.
+        N explored schedules).  --engines restricts the variant matrix
+        to the named engines (canonical or legacy names).  Exit 1 if
+        any digest disagrees.
 
     python -m repro.explore replay --workload W --variant V
         (--seed S | --spec-file f.json) [--expect-strict SHA] [--json]
@@ -46,6 +49,9 @@ def _parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="differential schedule sweep")
     run.add_argument("--workloads", default=None,
                      help=f"comma list from {sorted(WORKLOADS)} (default: all)")
+    run.add_argument("--engines", default=None,
+                     help="comma list of engine names; only variants running on "
+                          "those engines are swept (default: all variants)")
     run.add_argument("--schedules", type=int, default=4,
                      help="explored schedules per workload/variant (default 4)")
     run.add_argument("--seed", type=_int, default=0x5EED, help="base seed")
@@ -84,13 +90,42 @@ def _load_spec(args) -> PerturbationSpec:
     return PerturbationSpec(seed=args.seed, max_extra_us=args.max_extra_us)
 
 
+def _select_variants(engines_arg: str | None):
+    """Resolve ``--engines`` to a variant subset (None = all)."""
+    if engines_arg is None:
+        return VARIANTS
+    from ..rma.engine.registry import ENGINES, canonical_engine
+
+    wanted = set()
+    for token in engines_arg.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            wanted.add(canonical_engine(token))
+        except ValueError:
+            raise SystemExit(
+                f"unknown engine {token!r} in --engines; "
+                f"known engines: {', '.join(sorted(ENGINES))}"
+            ) from None
+    variants = tuple(v for v in VARIANTS if v.engine in wanted)
+    if not variants:
+        raise SystemExit(
+            "--engines selected no variants; "
+            f"known engines: {', '.join(sorted(ENGINES))}"
+        )
+    return variants
+
+
 def _cmd_run(args) -> int:
     names = args.workloads.split(",") if args.workloads else None
+    variants = _select_variants(args.engines)
     report = explore(
         workloads=names,
         nschedules=args.schedules,
         base_seed=args.seed,
         max_extra_us=args.max_extra_us,
+        variants=variants,
     )
     doc = report.to_json()
     if args.out:
@@ -101,7 +136,7 @@ def _cmd_run(args) -> int:
         print()
     else:
         print(f"explored {len(report.runs)} runs "
-              f"({len(names or sorted(WORKLOADS))} workloads x {len(VARIANTS)} variants "
+              f"({len(names or sorted(WORKLOADS))} workloads x {len(variants)} variants "
               f"x {1 + args.schedules} schedules)")
         if report.ok:
             print("all digests agree")

@@ -114,6 +114,21 @@ def _omega_counters(runtime: "MPIRuntime") -> dict[str, dict]:
     return out
 
 
+def _signal_counters(runtime: "MPIRuntime") -> dict[str, dict]:
+    """Counter-signal boards per ``"gid/rank"`` (engine-only; empty
+    under the ω engines, whose windows carry no signal board)."""
+    out: dict[str, dict] = {}
+    for rank, engine in enumerate(runtime.engines):
+        for gid, ws in sorted(engine.states.items()):
+            board = ws.signal_board
+            if board is None:
+                continue
+            snap = board.snapshot()
+            if snap:
+                out[f"{gid}/{rank}"] = snap
+    return out
+
+
 def _omega_invariants(runtime: "MPIRuntime") -> list[str]:
     """ω-counter conservation audit at quiescence (strict: must be []).
 
@@ -166,6 +181,7 @@ def build_digest(context: "ExplorationContext", result: dict) -> OutcomeDigest:
     verdict = {"violations": 0, "kinds": {}}
     invariants: list[str] = []
     omega: dict[str, dict] = {}
+    signal: dict[str, dict] = {}
     for runtime in context.runtimes:
         memory.update(_window_memory(runtime))
         rv = _checker_verdict(runtime)
@@ -174,6 +190,7 @@ def build_digest(context: "ExplorationContext", result: dict) -> OutcomeDigest:
             verdict["kinds"][kind] = verdict["kinds"].get(kind, 0) + count
         invariants.extend(_omega_invariants(runtime))
         omega.update(_omega_counters(runtime))
+        signal.update(_signal_counters(runtime))
     verdict["kinds"] = dict(sorted(verdict["kinds"].items()))
     strict = {
         "result": result,
@@ -184,6 +201,7 @@ def build_digest(context: "ExplorationContext", result: dict) -> OutcomeDigest:
     engine_only = {
         "notifications": context.notification_multiset(),
         "omega": omega,
+        "signal": signal,
     }
     return OutcomeDigest(strict=strict, engine_only=engine_only)
 

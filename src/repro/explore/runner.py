@@ -1,11 +1,11 @@
 """Workload registry, engine-variant matrix, and the differential sweep.
 
-The oracle's design is the paper's own test matrix: every workload runs
-on all three engine series — **MVAPICH** (baseline engine, blocking
-calls), **New** (redesigned engine, blocking calls) and **New
-nonblocking** (redesigned engine, i* calls) — under identical explored
-schedules, and their :class:`~repro.explore.digest.OutcomeDigest`\\ s are
-compared:
+The oracle's design is the paper's test matrix grown by one column:
+every workload runs on four engine series — **MVAPICH** (baseline
+engine, blocking calls), **New** (redesigned engine, blocking calls),
+**New nonblocking** (redesigned engine, i* calls) and **Signal**
+(counter-signal engine, i* calls) — under identical explored schedules,
+and their :class:`~repro.explore.digest.OutcomeDigest`\\ s are compared:
 
 - the ``strict`` digest part must agree across *everything* (engines ×
   schedules): the application answer, final window bytes, checker
@@ -17,7 +17,7 @@ compared:
 
 Workloads are deliberately small instances of the five real apps — big
 enough to produce cross-rank traffic on every synchronization style
-(fence, GATS, exclusive/shared locks), small enough that a 3-variant ×
+(fence, GATS, exclusive/shared locks), small enough that a 4-variant ×
 N-schedule sweep stays in CI-smoke territory.
 """
 
@@ -51,11 +51,12 @@ class EngineVariant:
     nonblocking: bool
 
 
-#: The paper's three test series (§IX).
+#: The paper's three test series (§IX) plus the counter-signal engine.
 VARIANTS: tuple[EngineVariant, ...] = (
     EngineVariant("mvapich", "mvapich", False),
     EngineVariant("new", "nonblocking", False),
     EngineVariant("new-nonblocking", "nonblocking", True),
+    EngineVariant("signal", "signal", True),
 )
 
 

@@ -20,6 +20,15 @@ Engines
 ``"adaptive"``
     The baseline plus the per-target lazy/eager lock switching of the
     paper's reference [12] (see :mod:`repro.rma.engine.adaptive`).
+``"signal"``
+    The counter-signal engine: the nonblocking policy core over
+    mscclpp-style per-pair monotonic epoch counters delivered as
+    one-sided 8-byte writes — no ω-triples, no grant packets — plus the
+    foMPI-style notified-access surface (``put_notify``/``get_notify``/
+    ``notify_wait``; see :mod:`repro.rma.engine.signal`).
+
+The name table lives in :mod:`repro.rma.engine.registry`; legacy
+spellings resolve through :func:`~repro.rma.engine.registry.canonical_engine`.
 """
 
 from __future__ import annotations
@@ -42,25 +51,14 @@ __all__ = ["MPIRuntime", "ENGINES"]
 
 AppFn = Callable[..., Generator[Any, Any, Any]]
 
-#: Registered engine names -> factory(runtime, rank) (populated lazily to
-#: avoid import cycles; see :func:`_engine_factory`).
-ENGINES = ("nonblocking", "mvapich", "adaptive")
-
-
-def _engine_factory(name: str):
-    from ..rma.engine.adaptive import AdaptiveEngine
-    from ..rma.engine.mvapich import MvapichEngine
-    from ..rma.engine.nonblocking import NonblockingEngine
-
-    factories = {
-        "nonblocking": NonblockingEngine,
-        "mvapich": MvapichEngine,
-        "adaptive": AdaptiveEngine,
-    }
-    try:
-        return factories[name]
-    except KeyError:
-        raise ValueError(f"unknown engine {name!r}; choose from {sorted(factories)}") from None
+#: Canonical engine names, re-exported from the registry (the single
+#: source of truth; kept here because ``repro.mpi`` re-exports it).
+from ..rma.engine.registry import (  # noqa: E402
+    DEFAULT_ENGINE,
+    ENGINES,
+    canonical_engine,
+    engine_factory as _engine_factory,
+)
 
 
 class MPIRuntime:
@@ -71,7 +69,7 @@ class MPIRuntime:
         nranks: int,
         cores_per_node: int = 8,
         model: NetworkModel | None = None,
-        engine: str = "nonblocking",
+        engine: str = DEFAULT_ENGINE,
         flow_control: bool = True,
         trace: bool = False,
         metrics: bool = False,
@@ -122,7 +120,7 @@ class MPIRuntime:
 
         self.tracer = Tracer(self.sim, enabled=trace)
         self.fabric.tracer = self.tracer
-        self.engine_name = engine
+        self.engine_name = canonical_engine(engine)
         factory = _engine_factory(engine)
         self.middlewares = [RankMiddleware(self.sim, self.fabric, r) for r in range(nranks)]
         self.engines = []

@@ -22,6 +22,7 @@ import argparse
 import json
 import sys
 
+from ..rma.engine.registry import DEFAULT_ENGINE, ENGINES
 from .chrometrace import validate_chrome_trace, write_chrome_trace_file
 from .report import format_obs_report
 
@@ -36,8 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=8, help="halo iterations (default 8)")
     p.add_argument("--cores-per-node", type=int, default=2,
                    help="ranks per node; >1 exercises the intranode FIFO path (default 2)")
-    p.add_argument("--engine", default="nonblocking",
-                   choices=("nonblocking", "mvapich", "adaptive"))
+    p.add_argument("--engine", default=DEFAULT_ENGINE, choices=ENGINES)
     p.add_argument("--nonblocking", action="store_true",
                    help="drive the §V MPI_WIN_I* API (nonblocking engine only)")
     p.add_argument("--trace", metavar="FILE", help="write Chrome trace-event JSON")

@@ -34,6 +34,8 @@ EVENT_KINDS = frozenset(
         "done_recv",           # completion notification received
         "grant_sent",          # access grant (exposure post / lock grant)
         "grant_recv",
+        "signal_sent",         # counter-signal engine: 8-byte signal write sent
+        "signal_recv",         # counter-signal engine: signal applied to inbound
         "lock_request",
         "lock_grant",
         "lock_release",

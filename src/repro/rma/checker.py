@@ -267,6 +267,31 @@ class RmaChecker:
                 access_id=ep.access_ids[op.target],
                 g=int(ws.g[op.target]),
             )
+        # (b') counter-signal form of the same probe: the access epoch
+        # reserved a GRANT counter value that the target's signal has
+        # not yet reached.  Deliberately not skipped under NOCHECK —
+        # like the ω probe, it catches false NOCHECK assertions.
+        if (
+            ep.kind is EpochKind.GATS_ACCESS
+            and op.target in ep.signal_expected
+            and ws.signal_board is not None
+        ):
+            from .notify import SignalChannel
+
+            expected = ep.signal_expected[op.target]
+            if not ws.signal_board.reached(SignalChannel.GRANT, op.target, expected):
+                self._flag(
+                    ViolationKind.OMEGA_VIOLATION,
+                    ws,
+                    f"op {op.uid} ({op.kind.value}) issued to rank {op.target} with "
+                    f"GRANT reservation {expected} > inbound="
+                    f"{int(ws.signal_board.inbound[SignalChannel.GRANT, op.target])} "
+                    f"(no matching exposure signaled"
+                    f"{'; MPI_MODE_NOCHECK asserted falsely' if ep.nocheck else ''})",
+                    epoch=ep,
+                    access_id=expected,
+                    g=int(ws.signal_board.inbound[SignalChannel.GRANT, op.target]),
+                )
         # (d) NOCHECK lock epochs: the application asserted no
         # conflicting lock exists; verify against the target's hosted
         # lock manager.

@@ -1,9 +1,22 @@
-"""RMA engines: the paper's nonblocking redesign and the MVAPICH-style
-baseline, over shared transport/packet machinery."""
+"""RMA engines: the paper's nonblocking redesign, the MVAPICH-style
+baseline, the adaptive hybrid and the counter-signal engine, over
+shared transport/packet machinery."""
 
 from .adaptive import AdaptiveEngine
 from .base import RmaEngineBase
 from .mvapich import MvapichEngine
 from .nonblocking import NonblockingEngine
+from .registry import DEFAULT_ENGINE, ENGINES, canonical_engine, engine_factory
+from .signal import SignalEngine
 
-__all__ = ["RmaEngineBase", "NonblockingEngine", "MvapichEngine", "AdaptiveEngine"]
+__all__ = [
+    "RmaEngineBase",
+    "NonblockingEngine",
+    "MvapichEngine",
+    "AdaptiveEngine",
+    "SignalEngine",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "canonical_engine",
+    "engine_factory",
+]

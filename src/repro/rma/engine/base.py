@@ -74,6 +74,12 @@ class RmaEngineBase:
     #: Whether the proposed MPI_WIN_I* API is available.
     supports_nonblocking: bool = True
 
+    #: Whether the foMPI-style notified-access surface is available
+    #: (``Window.signal``/``notify_wait``/``put_notify``/``get_notify``
+    #: and request-based ops inside active-target epochs) — only the
+    #: counter-signal engine provides it.
+    supports_notified_access: bool = False
+
     #: Event-driven progress switch.  ``True`` (production): sweeps visit
     #: only windows on the dirty worklist — every point that can change
     #: epoch state (packet arrival, grant update, FIFO notification

@@ -209,29 +209,71 @@ class NonblockingEngine(RmaEngineBase):
                 for target in ep.targets:
                     ep.lock_held[target] = True
                 return
-            # §VII-B: only activated epochs modify ω.
-            for target in ep.targets:
-                ep.access_ids[target] = ws.next_access_id(target)
-            if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
-                for target in ep.targets:
-                    self._send(
-                        target,
-                        self.model.control_bytes,
-                        LockRequestPacket(
-                            ws.gid,
-                            origin=self.rank,
-                            exclusive=ep.exclusive,
-                            access_id=ep.access_ids[target],
-                        ),
-                        ServiceKind.CONTROL,
-                        needs_attention=True,
-                    )
+            self._enroll_access(ws, ep)
         elif ep.kind is EpochKind.GATS_EXPOSURE:
-            for origin in ep.origin_group:
-                ep.exposure_ids[origin] = ws.e[origin] + 1
-                self._send_grant(ws, origin)
+            self._enroll_exposure(ws, ep)
         elif ep.kind is EpochKind.FENCE:
-            self._broadcast_fence_open(ws, ep.fence_round)
+            self._announce_fence(ws, ep)
+
+    # -- synchronization-protocol hooks (overridden by the counter-signal
+    # engine; everything above and below is protocol-independent policy) --
+    def _enroll_access(self, ws: WindowState, ep: Epoch) -> None:
+        """Enter an activating access-side epoch into the matching
+        protocol.  ω form (§VII-B): allocate ``A_i = ++a`` per target;
+        passive-target kinds additionally send their lock request."""
+        for target in ep.targets:
+            ep.access_ids[target] = ws.next_access_id(target)
+        if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
+            for target in ep.targets:
+                self._send(
+                    target,
+                    self.model.control_bytes,
+                    LockRequestPacket(
+                        ws.gid,
+                        origin=self.rank,
+                        exclusive=ep.exclusive,
+                        access_id=ep.access_ids[target],
+                    ),
+                    ServiceKind.CONTROL,
+                    needs_attention=True,
+                )
+
+    def _enroll_exposure(self, ws: WindowState, ep: Epoch) -> None:
+        """Enter an activating exposure epoch: grant every origin (ω
+        form: ``e++`` locally, ``g++`` remotely)."""
+        for origin in ep.origin_group:
+            ep.exposure_ids[origin] = ws.e[origin] + 1
+            self._send_grant(ws, origin)
+
+    def _announce_fence(self, ws: WindowState, ep: Epoch) -> None:
+        """Announce an activating fence round to every peer."""
+        self._broadcast_fence_open(ws, ep.fence_round)
+
+    def _access_granted(self, ws: WindowState, ep: Epoch, target: int) -> bool:
+        """Whether the matching protocol granted this access epoch's
+        enrollment at ``target`` (ω form: ``A_i <= g_r``)."""
+        return ws.access_granted(target, ep.access_ids[target])
+
+    def _grants_vector(self, ws: WindowState, ep: Epoch, targets: list[int]):
+        """Vectorized :meth:`_access_granted` over a pending peer group
+        (§VII-B): one fancy-indexed gather + compare."""
+        ids = ep.access_ids
+        return ws.g[targets] >= np.fromiter(
+            (ids[t] for t in targets), np.int64, len(targets)
+        )
+
+    def _fence_open_seen(self, ws: WindowState, target: int, round_no: int) -> bool:
+        """Whether ``target`` announced entering fence round ``round_no``."""
+        return ws.remote_fence_open[target] >= round_no
+
+    def _fence_done_reached(self, ws: WindowState, ep: Epoch) -> bool:
+        """Barrier test for a closing fence: every peer completed the
+        round.  The ω form also reclaims the round's sender set."""
+        peers = set(ws.win.group.ranks) - {self.rank}
+        if ws.fence_done_from[ep.fence_round] >= peers:
+            del ws.fence_done_from[ep.fence_round]
+            return True
+        return False
 
     # =====================================================================
     # Op readiness and posting
@@ -242,13 +284,13 @@ class NonblockingEngine(RmaEngineBase):
         if ep.kind is EpochKind.GATS_ACCESS:
             # NOCHECK: the application guarantees the matching post has
             # already happened; skip the grant wait.
-            return ep.nocheck or ws.access_granted(target, ep.access_ids[target])
+            return ep.nocheck or self._access_granted(ws, ep, target)
         if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL):
             return ep.lock_held.get(target, False)
         if ep.kind is EpochKind.FENCE:
             if target == self.rank:
                 return True
-            return ws.remote_fence_open[target] >= ep.fence_round
+            return self._fence_open_seen(ws, target, ep.fence_round)
         raise AssertionError(f"ops not allowed in {ep.kind}")
 
     def _post_ready_ops(self, ws: WindowState, intranode: bool) -> int:
@@ -267,14 +309,11 @@ class NonblockingEngine(RmaEngineBase):
             targets = ep.unissued_targets()
             granted = None
             if ep.kind is EpochKind.GATS_ACCESS and not ep.nocheck and len(targets) > 1:
-                # Vectorized ω matching (§VII-B): one fancy-indexed
-                # gather + compare covers the whole pending peer group;
-                # per-target iteration below keeps the issue order and
-                # match/wait accounting identical to the scalar walk.
-                ids = ep.access_ids
-                granted = ws.g[targets] >= np.fromiter(
-                    (ids[t] for t in targets), np.int64, len(targets)
-                )
+                # Vectorized matching: one gather + compare covers the
+                # whole pending peer group; per-target iteration below
+                # keeps the issue order and match/wait accounting
+                # identical to the scalar walk.
+                granted = self._grants_vector(ws, ep, targets)
             for i, target in enumerate(targets):
                 if is_intra[target] != intranode:
                     continue
@@ -347,7 +386,7 @@ class NonblockingEngine(RmaEngineBase):
                 for target in ep.targets:
                     if (
                         target not in done_sent
-                        and (ep.nocheck or ws.access_granted(target, ep.access_ids[target]))
+                        and (ep.nocheck or self._access_granted(ws, ep, target))
                         and not ep.pending_to(target)
                     ):
                         self._send_done(ws, ep, target)
@@ -393,9 +432,7 @@ class NonblockingEngine(RmaEngineBase):
             if ep.app_closed and ep.unissued_count == 0 and ep.undelivered == 0:
                 if not ep.fence_done_sent:
                     self._broadcast_fence_done(ws, ep)
-                peers = set(ws.win.group.ranks) - {self.rank}
-                if ws.fence_done_from[ep.fence_round] >= peers:
-                    del ws.fence_done_from[ep.fence_round]
+                if self._fence_done_reached(ws, ep):
                     self._complete_epoch(ws, ep)
                     return True
             return False

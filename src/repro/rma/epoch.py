@@ -119,6 +119,10 @@ class Epoch:
         self._undelivered_count = 0
         #: Access ids per target (assigned at activation; §VII-B).
         self.access_ids: dict[int, int] = {}
+        #: Counter-signal engine: expected inbound counter value per peer
+        #: (GRANT channel for access epochs, DONE for exposures, LOCK for
+        #: passive-target epochs; empty under the ω engines).
+        self.signal_expected: dict[int, int] = {}
         #: Exposure indices per origin (assigned at activation).
         self.exposure_ids: dict[int, int] = {}
         #: Lock held per target (lock / lock_all epochs).

@@ -1,0 +1,147 @@
+"""Counter-signal state: the mscclpp-style epoch-id protocol.
+
+The :class:`~repro.rma.engine.signal.SignalEngine` synchronizes epochs
+without ω-triples or grant messages.  Every rank keeps, per window, one
+:class:`SignalBoard` of per-(channel, peer) monotonic 64-bit counters:
+
+``outbound[ch, peer]``
+    How many signals this rank has *sent* to ``peer`` on channel ``ch``.
+    ``signal()`` increments it and writes the new value one-sidedly into
+    the peer's ``inbound`` replica (a single 8-byte RDMA write — the
+    ``inboundReplica`` of mscclpp's ``epoch.hpp``).
+``inbound[ch, peer]``
+    The local replica of ``peer``'s outbound counter.  Applied with
+    ``max()``, so a duplicated or retransmitted signal is a no-op — the
+    same idempotence contract as ``GrantUpdate.grant_seq``.
+``expected[ch, peer]``
+    How many of ``peer``'s signals this rank has *consumed*: epoch
+    enrollment and ``notify_wait`` both reserve the next expected value
+    and then wait for ``inbound`` to reach it.
+
+Channels keep the independent signal streams apart (a lock grant must
+never satisfy a GATS grant wait); within one (channel, pair) the
+counters align by *program order* on both sides, exactly as the ω
+counters conflate their per-pair streams — the per-pair FIFO fabric
+lanes make the k-th signal sent the k-th applied.
+
+Counters saturate at :data:`SIGNAL_LIMIT` (2^62): far below int64
+overflow, far above any real run.  Crossing it raises — wraparound
+would silently break the monotonic ``max()`` application.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..mpi.errors import RmaInternalError
+
+__all__ = ["SignalChannel", "SignalBoard", "SIGNAL_LIMIT"]
+
+#: Counter ceiling (2^62): bumping past it raises instead of wrapping.
+SIGNAL_LIMIT = 1 << 62
+
+
+class SignalChannel(enum.IntEnum):
+    """Independent per-pair signal streams."""
+
+    #: Exposure/access matching: target signals "you may access me".
+    GRANT = 0
+    #: Access-epoch completion: origin signals "my epoch's ops landed".
+    DONE = 1
+    #: Passive target: lock host signals "your lock request is granted".
+    LOCK = 2
+    #: Fence entry announcements (value = fence round, not a count).
+    FENCE_OPEN = 3
+    #: Fence completion announcements (value = fence round).
+    FENCE_DONE = 4
+    #: Application-level notified access (``signal()``/``notify_wait``,
+    #: ``put_notify``/``get_notify``).
+    NOTIFY = 5
+
+
+class SignalBoard:
+    """Per-window (channel × peer) counter triple of one rank."""
+
+    __slots__ = ("outbound", "inbound", "expected", "dup_signals_ignored")
+
+    def __init__(self, nranks: int):
+        shape = (len(SignalChannel), nranks)
+        self.outbound = np.zeros(shape, dtype=np.int64)
+        self.inbound = np.zeros(shape, dtype=np.int64)
+        self.expected = np.zeros(shape, dtype=np.int64)
+        #: Signals discarded by the idempotent ``max()`` application
+        #: (nonzero only if duplicate suppression is bypassed).
+        self.dup_signals_ignored = 0
+
+    # -- sender side -------------------------------------------------------
+    def bump_outbound(self, channel: int, peer: int) -> int:
+        """Allocate the next outbound value toward ``peer`` (the value a
+        ``signal()`` writes into the peer's inbound replica)."""
+        value = int(self.outbound[channel, peer]) + 1
+        if value >= SIGNAL_LIMIT:
+            raise RmaInternalError(
+                f"signal counter wraparound: channel {SignalChannel(channel).name} "
+                f"toward peer {peer} reached {SIGNAL_LIMIT}"
+            )
+        self.outbound[channel, peer] = value
+        return value
+
+    def raise_outbound(self, channel: int, peer: int, value: int) -> int:
+        """Outbound floor for round-valued channels (fences announce the
+        round number, not a count); monotonic like everything here."""
+        if value >= SIGNAL_LIMIT:
+            raise RmaInternalError(
+                f"signal counter wraparound: channel {SignalChannel(channel).name} "
+                f"toward peer {peer} reached {SIGNAL_LIMIT}"
+            )
+        if value > self.outbound[channel, peer]:
+            self.outbound[channel, peer] = value
+        return value
+
+    # -- receiver side -------------------------------------------------------
+    def apply(self, channel: int, peer: int, value: int) -> bool:
+        """``inbound = max(inbound, value)``; False when the signal was a
+        duplicate/replay (idempotent, like ``GrantUpdate.grant_seq``)."""
+        if value <= self.inbound[channel, peer]:
+            self.dup_signals_ignored += 1
+            return False
+        self.inbound[channel, peer] = value
+        return True
+
+    def bump_expected(self, channel: int, peer: int, count: int = 1) -> int:
+        """Consume ``count`` future signals from ``peer``; returns the
+        inbound value that satisfies the reservation."""
+        value = int(self.expected[channel, peer]) + count
+        if value >= SIGNAL_LIMIT:
+            raise RmaInternalError(
+                f"signal counter wraparound: expected {SignalChannel(channel).name} "
+                f"from peer {peer} reached {SIGNAL_LIMIT}"
+            )
+        self.expected[channel, peer] = value
+        return value
+
+    def reached(self, channel: int, peer: int, value: int) -> bool:
+        """``wait(expected)`` probe: has the inbound replica caught up?"""
+        return bool(self.inbound[channel, peer] >= value)
+
+    def unconsumed(self, channel: int, peer: int) -> int:
+        """Signals arrived but not yet reserved by any wait/test."""
+        return int(self.inbound[channel, peer] - self.expected[channel, peer])
+
+    # -- introspection -------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, dict[str, int]]]:
+        """JSON-stable nonzero counters per channel (digest material)."""
+        out: dict[str, dict[str, dict[str, int]]] = {}
+        for ch in SignalChannel:
+            entry = {}
+            for name, arr in (
+                ("out", self.outbound), ("in", self.inbound), ("exp", self.expected)
+            ):
+                row = {str(r): int(v) for r, v in enumerate(arr[ch]) if v}
+                if row:
+                    entry[name] = row
+            if entry:
+                out[ch.name.lower()] = entry
+        return out

@@ -88,6 +88,7 @@ class RmaOp:
         "delivered",
         "deliver_time",
         "request",
+        "notify_target",
     )
 
     def __init__(
@@ -135,6 +136,10 @@ class RmaOp:
         self.deliver_time: float | None = None
         #: Request handle for request-based variants (rput/rget/...).
         self.request = request
+        #: Notified access (``put_notify``/``get_notify``): rank to send
+        #: a NOTIFY signal to once the op's data movement is ordered /
+        #: complete (None for plain ops; counter-signal engine only).
+        self.notify_target: int | None = None
 
     @property
     def target_range(self) -> tuple[int, int]:

@@ -32,6 +32,7 @@ __all__ = [
     "CasRequest",
     "CasResponse",
     "GrantUpdate",
+    "SignalUpdate",
     "DonePacket",
     "LockRequestPacket",
     "UnlockPacket",
@@ -173,6 +174,23 @@ class GrantUpdate(RmaPayload):
     granter: int
     lock_access_id: int | None = None
     grant_seq: int | None = None
+
+
+@dataclass
+class SignalUpdate(RmaPayload):
+    """One-sided 8-byte write of a counter-signal value (the counter
+    protocol of :mod:`repro.rma.notify`; mscclpp's ``epoch.hpp``).
+
+    ``value`` is the signaler's full outbound counter on ``channel``
+    *after* the increment that produced this signal — never a delta.
+    The receiver applies it as ``inbound = max(inbound, value)``, so a
+    replayed or retransmitted SignalUpdate is a no-op: the same
+    idempotence contract as :class:`GrantUpdate.grant_seq`.
+    """
+
+    channel: int
+    signaler: int
+    value: int
 
 
 @dataclass

@@ -54,6 +54,14 @@ class WindowState:
         #: application (nonzero only if duplicate suppression is bypassed).
         self.dup_grants_ignored = 0
 
+        # -- counter-signal engine ---------------------------------------
+        #: Per-(channel, peer) signal counters (attached by the signal
+        #: engine's ``register_window``; None under the ω engines).
+        self.signal_board = None
+        #: Pending ``notify_wait`` reservations: (source, value, request)
+        #: triples resolved when the NOTIFY inbound replica catches up.
+        self.signal_waits: list[tuple[int, int, Any]] = []
+
         # -- epochs ---------------------------------------------------------
         #: All epochs not yet retired, in application open order.  A
         #: deque: the serial-activation scan (§VII-A) walks it in order
@@ -160,6 +168,9 @@ class WindowState:
             leaks["queued_lock_requests"] = [w.origin for w in queued]
         if self.lock_backlog:
             leaks["lock_backlog"] = len(self.lock_backlog)
+        waiting = [req.name for _src, _val, req in self.signal_waits if not req.done]
+        if waiting:
+            leaks["signal_waits"] = waiting
         return leaks
 
     def notify_flushes(self, op: "RmaOp", local: bool) -> None:

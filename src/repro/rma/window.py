@@ -167,6 +167,14 @@ class Window:
                 f"the {self.group.runtime.engine_name!r} engine is blocking-only"
             )
 
+    def _require_notified(self, routine: str) -> None:
+        if not self.engine.supports_notified_access:
+            raise UnsupportedOperation(
+                f"{routine} requires the counter-signal engine; the "
+                f"{self.group.runtime.engine_name!r} engine has no "
+                f"notified-access support"
+            )
+
     def _blocking_wait(self, req: Request, call: str, epoch: Epoch | None):
         """Drive a blocking synchronization: wait on the internal request
         with block_enter/block_exit trace bracketing."""
@@ -564,6 +572,7 @@ class Window:
         compare: np.ndarray | None = None,
         result_buf: np.ndarray | None = None,
         request: OpRequest | None = None,
+        notify_target: int | None = None,
     ) -> RmaOp:
         ep = self._epoch_for(target)
         self._check_target_range(target, disp, nbytes)
@@ -582,6 +591,9 @@ class Window:
             result_buf=result_buf,
             request=request,
         )
+        # Must be set before add_op: the engine may issue the op (and
+        # send its same-lane notification) synchronously inside it.
+        op.notify_target = notify_target
         self.engine.add_op(self, ep, op)
         return op
 
@@ -663,12 +675,16 @@ class Window:
             data=new_arr, compare=cmp_arr, result_buf=result,
         )
 
-    # -- request-based variants (passive target only, MPI-3 §11.3) -------------
+    # -- request-based variants (passive target only, MPI-3 §11.3;
+    # the counter-signal engine relaxes them to every epoch kind) ------------
     def _request_op(
         self, kind: OpKind, target: int, remote: bool
     ) -> OpRequest:
         ep = self._epoch_for(target)
-        if ep.kind not in (EpochKind.LOCK, EpochKind.LOCK_ALL):
+        if (
+            ep.kind not in (EpochKind.LOCK, EpochKind.LOCK_ALL)
+            and not self.engine.supports_notified_access
+        ):
             raise RmaUsageError(
                 "request-based RMA operations are reserved for passive-target epochs"
             )
@@ -723,6 +739,70 @@ class Window:
         self._make_op(
             OpKind.GET_ACCUMULATE, target_rank, target_disp, arr.nbytes, dtype,
             reduce_op=op, data=arr, result_buf=result, request=req,
+        )
+        return req
+
+    # ======================================================================
+    # Notified access (foMPI-style; counter-signal engine only)
+    # ======================================================================
+    def signal(self, target: int) -> None:
+        """Send one application-level counter signal to ``target``
+        (consumed there by :meth:`notify_wait`/:meth:`test_signal`).
+        Self-signals (``target == rank``) are legal and synchronous."""
+        self._require_notified("Window.signal")
+        self.engine.signal_peer(self, target)
+
+    def test_signal(self, source: int, count: int = 1) -> bool:
+        """Nonblocking probe: consume ``count`` signals from ``source``
+        if that many have arrived unconsumed; False leaves them alone."""
+        self._require_notified("Window.test_signal")
+        return self.engine.test_notify(self, source, count)
+
+    def inotify_wait(self, source: int, count: int = 1) -> Request:
+        """Request-first :meth:`notify_wait`: reserves the next ``count``
+        signals from ``source`` immediately; the request completes when
+        they have all arrived."""
+        self._require_notified("Window.inotify_wait")
+        return self.engine.make_notify_wait(self, source, count)
+
+    def notify_wait(self, source: int, count: int = 1) -> Generator[Any, Any, None]:
+        """Block until ``count`` further signals from ``source`` arrive
+        (foMPI's ``MPI_Notify_wait``)."""
+        req = self.inotify_wait(source, count)
+        if not req.done:
+            tracer = self.group.runtime.tracer
+            tracer.emit("block_enter", self.rank, self.group.gid, None, call="notify_wait")
+            yield from req.wait()
+            tracer.emit("block_exit", self.rank, self.group.gid, None, call="notify_wait")
+
+    def put_notify(
+        self, data: np.ndarray, target_rank: int, target_disp: int = 0
+    ) -> OpRequest:
+        """foMPI-style notified put: like :meth:`rput`, plus one signal
+        delivered to the target *after* the data is applied there (the
+        signal rides the same FIFO fabric lane as the put payload, so no
+        extra round trip orders it)."""
+        self._require_notified("Window.put_notify")
+        req = self._request_op(OpKind.PUT, target_rank, remote=False)
+        arr, dtype = self._capture(data)
+        self._make_op(
+            OpKind.PUT, target_rank, target_disp, arr.nbytes, dtype, data=arr,
+            request=req, notify_target=target_rank,
+        )
+        return req
+
+    def get_notify(
+        self, buffer: np.ndarray, target_rank: int, target_disp: int = 0
+    ) -> OpRequest:
+        """foMPI-style notified get: like :meth:`rget`, plus one signal
+        delivered to the target once the data has arrived back at the
+        origin (the target learns its memory was read)."""
+        self._require_notified("Window.get_notify")
+        req = self._request_op(OpKind.GET, target_rank, remote=True)
+        dtype = from_numpy(np.asarray(buffer).dtype)
+        self._make_op(
+            OpKind.GET, target_rank, target_disp, buffer.nbytes, dtype,
+            result_buf=buffer, request=req, notify_target=target_rank,
         )
         return req
 

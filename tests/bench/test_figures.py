@@ -17,7 +17,7 @@ from repro.bench.figures import (
     fig06_late_unlock,
 )
 
-MV, NEW, NB = SERIES
+MV, NEW, NB, SIG = SERIES
 DELAY = 1000.0
 PUT_1MB = 345.0  # calibrated transfer incl. handshakes
 
@@ -29,7 +29,7 @@ class TestFig02LatePost:
 
     def test_access_epoch_cannot_avoid_delay(self, results):
         """'The delay of the Late Post cannot be avoided by the
-        origin-side epoch': ~1340 µs for all three series."""
+        origin-side epoch': ~1340 µs for every series."""
         for series, r in results.items():
             assert r["access_epoch"] == pytest.approx(DELAY + PUT_1MB, rel=0.05), series
 

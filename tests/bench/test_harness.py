@@ -7,14 +7,15 @@ from repro.bench.calibration import default_model, expected_put_us
 
 
 class TestSeries:
-    def test_three_paper_series(self):
+    def test_paper_series_plus_signal(self):
         names = [s.name for s in SERIES]
-        assert names == ["MVAPICH", "New", "New nonblocking"]
+        assert names == ["MVAPICH", "New", "New nonblocking", "Signal"]
 
     def test_engines(self):
         assert SERIES[0].engine == "mvapich"
         assert SERIES[1].engine == "nonblocking" and not SERIES[1].nonblocking
         assert SERIES[2].nonblocking
+        assert SERIES[3].engine == "signal" and SERIES[3].nonblocking
 
     def test_label(self):
         assert series_label(SERIES[0]) == "MVAPICH"

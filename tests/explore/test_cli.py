@@ -17,8 +17,45 @@ def test_run_json_report(capsys, tmp_path):
     doc = json.loads(capsys.readouterr().out)
     assert doc["ok"] is True
     assert doc["mismatches"] == []
-    assert len(doc["runs"]) == 3 * 3  # 3 variants x (baseline + 2 schedules)
+    assert len(doc["runs"]) == 4 * 3  # 4 variants x (baseline + 2 schedules)
     assert json.loads(out.read_text()) == doc
+
+
+def test_run_engines_filter(capsys):
+    code = main(["run", "--workloads", "transactions", "--schedules", "1",
+                 "--engines", "signal", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert len(doc["runs"]) == 1 * 2  # signal variant only x (baseline + 1)
+    assert {r["variant"] for r in doc["runs"]} == {"signal"}
+
+
+def test_run_engines_filter_accepts_legacy_names(capsys):
+    from repro.rma.engine import registry
+
+    registry._warned_legacy.clear()  # warn-once state from earlier tests
+    with pytest.warns(DeprecationWarning):
+        code = main(["run", "--workloads", "transactions", "--schedules", "1",
+                     "--engines", "counter-signal,baseline", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert {r["variant"] for r in doc["runs"]} == {"signal", "mvapich"}
+
+
+def test_run_engines_filter_rejects_unknown():
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--workloads", "transactions", "--engines", "fompi"])
+    msg = str(exc.value)
+    assert "fompi" in msg
+    for name in ("adaptive", "mvapich", "nonblocking", "signal"):
+        assert name in msg
+
+
+def test_run_engines_filter_rejects_empty():
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--workloads", "transactions", "--engines", " , "])
+    assert "known engines" in str(exc.value)
 
 
 def test_replay_is_byte_identical(capsys):

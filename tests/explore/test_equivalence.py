@@ -1,7 +1,7 @@
 """Cross-engine differential equivalence (the tentpole's oracle).
 
 Every workload — all five real apps plus the ordering microworkload —
-must produce an identical strict outcome digest on all three engine
+must produce an identical strict outcome digest on all four engine
 variants of the paper's test matrix, under the baseline schedule and
 under explored schedules; and each variant's engine-only digest must be
 schedule-independent.  This is satellite-free territory: any failure

@@ -15,6 +15,7 @@ from repro.explore.mutation import activation_gate_disabled
 from repro.rma.engine.nonblocking import NonblockingEngine
 
 _NEW_NB = VARIANTS[2]  # the variant that exercises deferred epochs
+_SIGNAL = VARIANTS[3]  # signal engine: inherits the same deferral path
 
 
 def test_gate_flag_restored_even_on_error():
@@ -33,10 +34,11 @@ def test_sweep_finds_the_mutation_within_64_schedules():
         report = explore(workloads=["ordering"], nschedules=64)
     assert not report.ok
     strict = [m for m in report.mismatches if m["kind"] == "strict"]
-    # the bug lives in deferred-epoch activation: only the nonblocking
-    # call series diverges, which is itself a diagnostic
+    # the bug lives in deferred-epoch activation: only the variants
+    # driven through the nonblocking call series (which both the ω and
+    # the counter-signal engines defer) diverge — itself a diagnostic
     assert strict
-    assert {m["variant"] for m in strict} == {_NEW_NB.name}
+    assert {m["variant"] for m in strict} == {_NEW_NB.name, _SIGNAL.name}
     # the divergence is in real outcomes, not timing: window memory and
     # the application answer
     joined = " ".join(p for m in strict for p in m["paths"])

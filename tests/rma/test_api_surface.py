@@ -37,6 +37,7 @@ BLOCKING_TO_REQUEST_FIRST = {
     "flush_local": "iflush_local",
     "flush_all": "iflush_all",
     "flush_local_all": "iflush_local_all",
+    "notify_wait": "inotify_wait",
 }
 
 

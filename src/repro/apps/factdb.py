@@ -88,6 +88,12 @@ class FactDbConfig:
     seed: int = 42
     cores_per_node: int = 8
     model: NetworkModel | None = None
+    #: Collect :mod:`repro.obs` telemetry (see :class:`FactDbResult.runtime`).
+    metrics: bool = False
+    #: Record the event trace (needed for Chrome trace export).
+    trace: bool = False
+    #: Record causal spans (see :mod:`repro.obs.causal`).
+    causal: bool = False
     #: Schedule-exploration context (see :mod:`repro.explore`).
     exploration: Any = None
 
@@ -107,6 +113,9 @@ class FactDbResult:
     #: Final value of every window slot, indexed [rank][slot].
     table: np.ndarray
     total_firings: int
+    #: The finished runtime (for ``metrics_summary()`` / trace export);
+    #: ``None`` unless the config asked for telemetry.
+    runtime: "MPIRuntime | None" = None
 
     def derived_total(self) -> int:
         """Sum of all counters (base + derived)."""
@@ -200,6 +209,9 @@ def run_factdb(cfg: FactDbConfig) -> FactDbResult:
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        metrics=cfg.metrics,
+        trace=cfg.trace,
+        causal=cfg.causal,
         exploration=cfg.exploration,
     )
     finish = [0.0] * cfg.nranks
@@ -208,4 +220,5 @@ def run_factdb(cfg: FactDbConfig) -> FactDbResult:
         elapsed_us=max(finish),
         table=np.stack(tables),
         total_firings=cfg.nranks * cfg.firings_per_rank,
+        runtime=runtime if (cfg.metrics or cfg.trace or cfg.causal) else None,
     )

@@ -44,6 +44,8 @@ class HaloConfig:
     metrics: bool = False
     #: Record the event trace (needed for Chrome trace export).
     trace: bool = False
+    #: Record causal spans (see :mod:`repro.obs.causal`).
+    causal: bool = False
     #: Schedule-exploration context (see :mod:`repro.explore`).
     exploration: Any = None
 
@@ -120,9 +122,10 @@ def run_halo(cfg: HaloConfig, initial: np.ndarray | None = None) -> HaloResult:
         model=cfg.model,
         metrics=cfg.metrics,
         trace=cfg.trace,
+        causal=cfg.causal,
         exploration=cfg.exploration,
     )
     strips = runtime.run(app)
     field = np.concatenate(strips)
-    keep = runtime if (cfg.metrics or cfg.trace) else None
+    keep = runtime if (cfg.metrics or cfg.trace or cfg.causal) else None
     return HaloResult(elapsed_us=max(stats.values()), field=field, runtime=keep)

@@ -65,6 +65,12 @@ class LUConfig:
     seed: int = 7
     cores_per_node: int = 8
     model: NetworkModel | None = None
+    #: Collect :mod:`repro.obs` telemetry (see :class:`LUResult.runtime`).
+    metrics: bool = False
+    #: Record the event trace (needed for Chrome trace export).
+    trace: bool = False
+    #: Record causal spans (see :mod:`repro.obs.causal`).
+    causal: bool = False
     #: Schedule-exploration context (see :mod:`repro.explore`).
     exploration: Any = None
 
@@ -78,6 +84,9 @@ class LUResult:
     comm_us: list[float]
     #: Reassembled U factor (real mode only).
     u_matrix: np.ndarray | None
+    #: The finished runtime (for ``metrics_summary()`` / trace export);
+    #: ``None`` unless the config asked for telemetry.
+    runtime: MPIRuntime | None = None
 
     @property
     def comm_fraction(self) -> float:
@@ -210,6 +219,9 @@ def run_lu(cfg: LUConfig) -> LUResult:
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        metrics=cfg.metrics,
+        trace=cfg.trace,
+        causal=cfg.causal,
         exploration=cfg.exploration,
     )
     stats: dict = {}
@@ -222,4 +234,5 @@ def run_lu(cfg: LUConfig) -> LUResult:
         for rows in results:
             for i, row in rows.items():
                 u[i] = row
-    return LUResult(elapsed_us=elapsed, comm_us=comm, u_matrix=u)
+    keep = runtime if (cfg.metrics or cfg.trace or cfg.causal) else None
+    return LUResult(elapsed_us=elapsed, comm_us=comm, u_matrix=u, runtime=keep)

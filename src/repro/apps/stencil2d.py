@@ -58,6 +58,12 @@ class Stencil2DConfig:
     interior_work_us: float = 0.0
     cores_per_node: int = 4
     model: NetworkModel | None = None
+    #: Collect :mod:`repro.obs` telemetry (see :class:`Stencil2DResult.runtime`).
+    metrics: bool = False
+    #: Record the event trace (needed for Chrome trace export).
+    trace: bool = False
+    #: Record causal spans (see :mod:`repro.obs.causal`).
+    causal: bool = False
     #: Schedule-exploration context (see :mod:`repro.explore`).
     exploration: Any = None
 
@@ -72,6 +78,9 @@ class Stencil2DResult:
 
     elapsed_us: float
     grid: np.ndarray  # (pr*tile, pc*tile)
+    #: The finished runtime (for ``metrics_summary()`` / trace export);
+    #: ``None`` unless the config asked for telemetry.
+    runtime: MPIRuntime | None = None
 
 
 def reference_stencil2d(initial: np.ndarray, iterations: int) -> np.ndarray:
@@ -177,6 +186,9 @@ def run_stencil2d(cfg: Stencil2DConfig, initial: np.ndarray | None = None) -> St
         cores_per_node=cfg.cores_per_node,
         engine=cfg.engine,
         model=cfg.model,
+        metrics=cfg.metrics,
+        trace=cfg.trace,
+        causal=cfg.causal,
         exploration=cfg.exploration,
     )
     tiles = runtime.run(app)
@@ -184,4 +196,5 @@ def run_stencil2d(cfg: Stencil2DConfig, initial: np.ndarray | None = None) -> St
     for rank, tile in enumerate(tiles):
         r, c = divmod(rank, cfg.pc)
         grid[r * cfg.tile : (r + 1) * cfg.tile, c * cfg.tile : (c + 1) * cfg.tile] = tile
-    return Stencil2DResult(elapsed_us=max(stats.values()), grid=grid)
+    keep = runtime if (cfg.metrics or cfg.trace or cfg.causal) else None
+    return Stencil2DResult(elapsed_us=max(stats.values()), grid=grid, runtime=keep)

@@ -70,6 +70,12 @@ class TransactionsConfig:
     fault_plan: "FaultPlan | None" = None
     #: Run the RMA semantics checker on every window ("raise"/"report").
     semantics_check: str | None = None
+    #: Collect :mod:`repro.obs` telemetry (see :class:`TransactionsResult.runtime`).
+    metrics: bool = False
+    #: Record the event trace (needed for Chrome trace export).
+    trace: bool = False
+    #: Record causal spans (see :mod:`repro.obs.causal`).
+    causal: bool = False
     #: Schedule-exploration context (see :mod:`repro.explore`).
     exploration: Any = None
 
@@ -97,6 +103,9 @@ class TransactionsResult:
     dup_suppressed: int = 0
     #: Injector counters snapshot (None without a fault plan).
     faults_injected: dict | None = None
+    #: The finished runtime (for ``metrics_summary()`` / trace export);
+    #: ``None`` unless the config asked for telemetry.
+    runtime: "MPIRuntime | None" = None
 
     @property
     def throughput_txn_per_s(self) -> float:
@@ -166,6 +175,9 @@ def run_transactions(cfg: TransactionsConfig) -> TransactionsResult:
         model=cfg.model,
         flow_control=cfg.flow_control,
         fault_plan=cfg.fault_plan,
+        metrics=cfg.metrics,
+        trace=cfg.trace,
+        causal=cfg.causal,
         exploration=cfg.exploration,
     )
     finish_times = [0.0] * cfg.nranks
@@ -182,4 +194,5 @@ def run_transactions(cfg: TransactionsConfig) -> TransactionsResult:
         retransmissions=rel.retransmissions if rel is not None else 0,
         dup_suppressed=rel.dup_suppressed if rel is not None else 0,
         faults_injected=dict(injector.counters) if injector is not None else None,
+        runtime=runtime if (cfg.metrics or cfg.trace or cfg.causal) else None,
     )

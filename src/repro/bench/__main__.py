@@ -8,13 +8,19 @@ Usage::
 
     python -m repro.bench                    # every microbenchmark figure
     python -m repro.bench fig02 fig06 ...    # a subset
+    python -m repro.bench protocol_cost      # causal blocked-time figure
+                                             # (4 engine series x 6 workloads,
+                                             # see repro.obs.critpath)
     python -m repro.bench --json out.json    # machine-readable rows
     python -m repro.bench --json -           # JSON to stdout
     python -m repro.bench --check BENCH_seed.json [--tolerance 0.2]
-                          [--diff-out diff.json]
+                          [--figure-tolerance NAME=VAL] [--diff-out diff.json]
                                              # regression guard: re-run and
                                              # diff against a baseline doc;
                                              # exit 1 on per-figure drift
+                                             # (protocol_cost is held exact
+                                             # by default: it is integer
+                                             # virtual-time data)
     python -m repro.bench --wallclock        # host-throughput suite: flat /
                                              # worklist / full-scan sweeping
                                              # over hot_idle, lock_heavy,
@@ -134,17 +140,61 @@ def _fig11_data() -> FigData:
             _flag_rows(figures.fig11_eaar))
 
 
-#: Figure name -> builder of (title, columns, rows).
+def _protocol_cost_data() -> FigData:
+    """Per-category blocked time of the four engine series across the
+    six test-matrix workloads (the paper's protocol-cost story told by
+    the causal recorder; see ``docs/OBSERVABILITY.md``).
+
+    Values are integer nanoseconds of epoch-active time attributed by
+    :func:`repro.obs.critpath.attribute_epochs` — fully deterministic,
+    so the baseline check holds this figure to exact equality (see
+    :data:`DEFAULT_FIGURE_TOLERANCES`).
+    """
+    from ..obs.causal import CATEGORIES
+    from ..obs.critpath import critpath_report
+    from ..obs.workloads import WORKLOADS, run_instrumented
+
+    label = {"mvapich": "MVAPICH", "new": "New",
+             "new-nonblocking": "New nonblocking", "signal": "Signal"}
+    rows: dict[str, dict] = {}
+    for series_key in ("mvapich", "new", "new-nonblocking", "signal"):
+        for workload in sorted(WORKLOADS):
+            runtime = run_instrumented(workload, series_key, metrics=False)
+            doc = critpath_report(runtime, include_epochs=False)
+            rows[f"{label[series_key]}/{workload}"] = {
+                c: doc["blocked_ns"][c] for c in CATEGORIES
+            }
+    return "Protocol cost: per-category blocked time", CATEGORIES, rows, "ns"
+
+
+#: Figure name -> builder of (title, columns, rows[, unit]).
 BUILDERS = {
     name[1:-5]: fn
     for name, fn in list(globals().items())
     if re.fullmatch(r"_fig\d+_data", name) and callable(fn)
 }
+# Not a paper figure, so registered explicitly (the regex only
+# harvests the fig\d+ builders).
+BUILDERS["protocol_cost"] = _protocol_cost_data
+
+#: Per-figure tolerance overrides applied by ``--check`` on top of the
+#: global ``--tolerance`` (CLI ``--figure-tolerance`` wins over these).
+DEFAULT_FIGURE_TOLERANCES = {"protocol_cost": 0.0}
+
+
+def _build(name: str) -> tuple:
+    """Run one builder; normalizes to (title, columns, rows, unit)."""
+    out = BUILDERS[name]()
+    if len(out) == 3:
+        title, columns, rows = out
+        return title, columns, rows, "µs"
+    return out
 
 
 def _render(name: str) -> str:
-    title, columns, rows = BUILDERS[name]()
-    return format_table(title, columns, rows)
+    title, columns, rows, unit = _build(name)
+    precision = 0 if unit == "ns" else 1
+    return format_table(title, columns, rows, unit=unit, precision=precision)
 
 
 def fig02() -> str:
@@ -187,11 +237,16 @@ def fig11() -> str:
     return _render("fig11")
 
 
+def protocol_cost() -> str:
+    return _render("protocol_cost")
+
+
 ALL = {
     name: fn
     for name, fn in list(globals().items())
     if re.fullmatch(r"fig\d+", name) and callable(fn)
 }
+ALL["protocol_cost"] = protocol_cost
 
 
 def run_meta() -> dict:
@@ -225,12 +280,12 @@ def collect_json(names: list[str]) -> list[dict]:
     """Machine-readable per-series rows for the given figures."""
     doc = []
     for name in names:
-        title, columns, rows = BUILDERS[name]()
+        title, columns, rows, unit = _build(name)
         doc.append(
             {
                 "figure": name,
                 "title": title,
-                "unit": "µs",
+                "unit": unit,
                 "columns": [str(c) for c in columns],
                 "rows": [
                     {
@@ -246,18 +301,38 @@ def collect_json(names: list[str]) -> list[dict]:
 
 
 def check_baseline(baseline_path: str, wanted: list[str], tolerance: float,
-                   diff_out: str | None) -> int:
+                   diff_out: str | None,
+                   figure_tolerances: dict[str, float] | None = None,
+                   subset: bool = False) -> int:
     """Regression-guard mode: re-run ``wanted`` figures, diff against the
     baseline document, optionally write the diff artifact; returns the
-    process exit code (1 = drift beyond tolerance)."""
+    process exit code (1 = drift beyond tolerance).
+
+    Per-figure tolerances start from :data:`DEFAULT_FIGURE_TOLERANCES`
+    (the deterministic ``protocol_cost`` figure is held exact) with
+    ``--figure-tolerance`` entries layered on top.
+
+    With ``subset`` (the user named figures explicitly), the baseline
+    is filtered to those figures before comparing — the comparison
+    itself stays symmetric (see :mod:`repro.bench.check`), so a full
+    check still flags a figure that vanished without re-baselining.
+    """
     from .check import compare_docs
 
+    fig_tols = dict(DEFAULT_FIGURE_TOLERANCES)
+    fig_tols.update(figure_tolerances or {})
     with open(baseline_path) as fh:
         baseline = json.load(fh)
+    if subset:
+        keep = set(wanted)
+        baseline["figures"] = [
+            f for f in baseline.get("figures", []) if f["figure"] in keep
+        ]
     known = {f["figure"] for f in baseline.get("figures", [])}
     names = [w for w in wanted if w in known]
     current = {"meta": run_meta(), "figures": collect_json(names)}
-    verdict = compare_docs(baseline, current, tolerance=tolerance)
+    verdict = compare_docs(baseline, current, tolerance=tolerance,
+                           figure_tolerances=fig_tols)
     verdict["baseline"] = baseline_path
     verdict["baseline_meta"] = baseline.get("meta")
     verdict["current_meta"] = current["meta"]
@@ -362,6 +437,7 @@ def main(argv: list[str]) -> int:
     wallclock = False
     tolerance = 0.2
     tolerance_given = False
+    figure_tolerances: dict[str, float] = {}
     samples = 1
     wanted: list[str] = []
     it = iter(argv)
@@ -394,6 +470,17 @@ def main(argv: list[str]) -> int:
             except (StopIteration, ValueError):
                 print("--tolerance needs a number (e.g. 0.2)", file=sys.stderr)
                 return 2
+        elif arg == "--figure-tolerance":
+            spec = next(it, None)
+            name, sep, val = (spec or "").partition("=")
+            try:
+                if not (name and sep):
+                    raise ValueError
+                figure_tolerances[name] = float(val)
+            except ValueError:
+                print("--figure-tolerance needs NAME=VALUE "
+                      "(e.g. protocol_cost=0)", file=sys.stderr)
+                return 2
         elif arg == "--diff-out":
             diff_out = next(it, None)
             if diff_out is None:
@@ -408,13 +495,15 @@ def main(argv: list[str]) -> int:
         if not tolerance_given:
             tolerance = 0.3  # wall clock is machine-dependent; be generous
         return run_wallclock_cli(json_path, check_path, tolerance, samples)
+    subset = bool(wanted)
     wanted = wanted or sorted(ALL)
     unknown = [w for w in wanted if w not in ALL]
     if unknown:
         print(f"unknown figures: {unknown}; available: {sorted(ALL)}", file=sys.stderr)
         return 2
     if check_path is not None:
-        return check_baseline(check_path, wanted, tolerance, diff_out)
+        return check_baseline(check_path, wanted, tolerance, diff_out,
+                              figure_tolerances, subset=subset)
     if json_path is not None:
         doc = {"meta": run_meta(), "figures": collect_json(wanted)}
         if json_path == "-":

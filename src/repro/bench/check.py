@@ -44,7 +44,12 @@ def _fig_values(fig: dict) -> int:
     return sum(len(r["values"]) for r in fig["rows"])
 
 
-def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
+def compare_docs(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.2,
+    figure_tolerances: "dict[str, float] | None" = None,
+) -> dict:
     """Diff two bench JSON documents; returns the guard verdict.
 
     ``{"ok": bool, "tolerance": float, "checked": int, "drifts": [...]}``
@@ -52,15 +57,25 @@ def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
     relative change (``None`` for structural drifts).  Structure is
     checked in both directions; see the module docstring for what
     ``checked`` counts.
+
+    ``figure_tolerances`` overrides the global tolerance per figure —
+    e.g. ``{"protocol_cost": 0.0}`` holds the (deterministic, integer)
+    blocked-time figure to exact equality while the latency figures
+    keep the looser global bound.
     """
     if tolerance < 0:
         raise ValueError(f"negative tolerance: {tolerance}")
+    figure_tolerances = figure_tolerances or {}
+    for fig_name, tol in figure_tolerances.items():
+        if tol < 0:
+            raise ValueError(f"negative tolerance for {fig_name!r}: {tol}")
     base_figs = {f["figure"]: f for f in baseline.get("figures", [])}
     cur_figs = {f["figure"]: f for f in current.get("figures", [])}
     drifts: list[dict] = []
     checked = 0
 
     for name in sorted(base_figs):
+        fig_tol = figure_tolerances.get(name, tolerance)
         if name not in cur_figs:
             checked += _fig_values(base_figs[name])
             drifts.append(_drift(name, "*", "*", "present", "missing", None))
@@ -85,7 +100,7 @@ def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
                         drifts.append(_drift(name, series, column, b, c, None))
                     continue
                 rel = (c - b) / abs(b)
-                if abs(rel) > tolerance:
+                if abs(rel) > fig_tol:
                     drifts.append(_drift(name, series, column, b, c, round(rel, 4)))
             # Reverse direction: columns the baseline has never seen.
             for column in sorted(set(cur_rows[series]) - set(base_rows[series])):
@@ -106,6 +121,7 @@ def compare_docs(baseline: dict, current: dict, tolerance: float = 0.2) -> dict:
     return {
         "ok": not drifts,
         "tolerance": tolerance,
+        "figure_tolerances": dict(sorted(figure_tolerances.items())),
         "checked": checked,
         "drifts": drifts,
     }

@@ -113,6 +113,10 @@ class ReliabilityLayer:
         #: Optional :class:`repro.obs.MetricsRegistry`, set by the
         #: runtime when built with ``metrics=True``.
         self.metrics = None
+        #: Optional :class:`repro.obs.causal.CausalRecorder`; each
+        #: retransmission becomes a span covering the lost-attempt
+        #: window, parented to the message's span.
+        self.causal = None
 
     def bind(self, fabric: "Fabric") -> None:
         """Install the fabric this layer serves (done by the runtime)."""
@@ -141,6 +145,7 @@ class ReliabilityLayer:
         st = self._pending.get((msg.src, msg.dst, ticket.rel_seq))
         if st is None:  # acked while queued on flow control
             return
+        prev_sent = st.last_sent_us
         st.attempts += 1
         st.last_sent_us = self.sim.now
         if st.attempts > 1:
@@ -148,6 +153,19 @@ class ReliabilityLayer:
             m = self.metrics
             if m is not None:
                 m.inc("rel.retransmissions")
+            causal = self.causal
+            if causal is not None:
+                # The span covers the lost-attempt window: from the
+                # previous transmission to this retransmission.
+                sid = causal.begin(
+                    "retransmit", rank=msg.src,
+                    meta={"dst": msg.dst, "seq": st.seq,
+                          "attempt": st.attempts},
+                )
+                span = causal.spans[sid]
+                span.t0 = prev_sent
+                span.parent = ticket.causal_sid
+                causal.end(sid)
             self._trace("retry", msg, st.seq, attempts=st.attempts)
         patience = delivery_delay_us + self.cfg.rto_for_attempt(st.attempts)
         self.sim.schedule(patience, self._check, msg.src, msg.dst, ticket.rel_seq,

@@ -73,6 +73,7 @@ class MPIRuntime:
         flow_control: bool = True,
         trace: bool = False,
         metrics: bool = False,
+        causal: bool = False,
         fault_plan: "FaultPlan | None" = None,
         reliability: "bool | ReliabilityConfig | None" = None,
         exploration: Any = None,
@@ -95,6 +96,16 @@ class MPIRuntime:
         else:
             self.metrics = None
             self.profiler = None
+        # Causal span recorder (repro.obs.causal): created before the
+        # fabric and engines so they capture the reference; threaded
+        # into the kernel so context crosses schedule()/fire boundaries.
+        if causal:
+            from ..obs.causal import CausalRecorder
+
+            self.causal: "CausalRecorder | None" = CausalRecorder(self.sim)
+            self.sim.causal = self.causal
+        else:
+            self.causal = None
         injector, rel = self._build_fault_stack(self.sim, fault_plan, reliability)
         self.fault_plan = fault_plan
         self.fabric = Fabric(
@@ -114,6 +125,11 @@ class MPIRuntime:
                 gate.metrics = self.metrics
             if rel is not None:
                 rel.metrics = self.metrics
+        if self.causal is not None:
+            self.fabric.causal = self.causal
+            self.fabric.flow.causal = self.causal
+            if rel is not None:
+                rel.causal = self.causal
         # Tracer before the engines: they capture the reference at
         # construction (its ``enabled`` flag gates hot-path emit calls).
         from ..patterns.trace import Tracer
@@ -257,6 +273,10 @@ class MPIRuntime:
         plan is active — the injector's fault counters folded in as
         ``faults.*`` counters (zero hot-path cost: the injector keeps
         its own counts and they are merged here, at snapshot time).
+        The counter-signal engine additionally contributes its
+        per-window :class:`~repro.rma.notify.SignalBoard` snapshots
+        under ``"signal_board"`` (nonzero counters only, same
+        merge-at-snapshot pattern).
         """
         if self.metrics is None:
             return None
@@ -272,4 +292,15 @@ class MPIRuntime:
             for name, value in self.exploration.sched_counters().items():
                 summary["counters"][name] = value
         summary["counters"] = dict(sorted(summary["counters"].items()))
+        boards: dict[str, Any] = {}
+        for rank, eng in enumerate(self.engines):
+            for gid in sorted(eng.states):
+                board = getattr(eng.states[gid], "signal_board", None)
+                if board is None:
+                    continue
+                snap = board.snapshot()
+                if snap:
+                    boards[f"rank{rank}.win{gid}"] = snap
+        if boards:
+            summary["signal_board"] = boards
         return summary

@@ -73,7 +73,7 @@ class SendTicket:
     """
 
     __slots__ = (
-        "sim", "message", "rel_seq", "sent_us",
+        "sim", "message", "rel_seq", "sent_us", "causal_sid",
         "_local_done", "_local_time", "_local_cbs", "_local_event",
         "_delivered_done", "_delivered_time", "_payload", "_delivered_cbs",
         "_delivered_event",
@@ -83,6 +83,8 @@ class SendTicket:
         self.sim = sim
         self.message = message
         self.rel_seq: int | None = None
+        #: Message span id when causal recording is on (else None).
+        self.causal_sid: int | None = None
         #: Virtual time of the originating send() call (metrics).
         self.sent_us: float = sim.now
         self._local_done = False
@@ -217,6 +219,11 @@ class Fabric:
         #: Optional :class:`repro.obs.MetricsRegistry`, set by the
         #: runtime when built with ``metrics=True``.
         self.metrics = None
+        #: Optional :class:`repro.obs.causal.CausalRecorder`, set by the
+        #: runtime when built with ``causal=True``.  Every message
+        #: becomes a span from send() to _deliver(); the delivery
+        #: handler runs under the message's causal context.
+        self.causal = None
         #: Per-message transmission attempt counts (uid -> attempts);
         #: only maintained when an injector or the reliability layer is
         #: active.
@@ -285,10 +292,26 @@ class Fabric:
 
             m.inc(f"fabric.sends.{kind.name.lower()}")
             m.observe("fabric.msg_bytes", nbytes, BYTES_BUCKETS)
+        causal = self.causal
+        if causal is not None:
+            ticket.causal_sid = causal.begin(
+                "msg", rank=src,
+                meta={"dst": dst, "ptype": type(payload).__name__,
+                      "nbytes": nbytes},
+            )
 
         if src == dst:
             ticket._fire_local()
-            self._deliver(ticket)
+            if causal is not None:
+                # Loopback delivers synchronously inside the caller's
+                # frame: run the handler under the message's context,
+                # then restore the caller's so sibling sends keep their
+                # true parent.
+                prev = causal.current
+                self._deliver(ticket)
+                causal.current = prev
+            else:
+                self._deliver(ticket)
             return ticket
 
         if self.reliability is not None:
@@ -431,6 +454,9 @@ class Fabric:
         m = self.metrics
         if m is not None:
             m.observe("fabric.delivery_us", self.sim.now - ticket.sent_us)
+        causal = self.causal
+        if causal is not None and ticket.causal_sid is not None:
+            causal.deliver(ticket.causal_sid)
         handler = self._handler_list[msg.dst]
         if handler is not None:
             handler(msg.payload, msg.src)

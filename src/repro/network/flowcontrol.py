@@ -93,6 +93,9 @@ class FlowControl:
         )
         #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
         self.metrics = None
+        #: Optional :class:`repro.obs.causal.CausalRecorder` (None =
+        #: disabled); stalled sends become ``fc_stall`` spans.
+        self.causal = None
 
     def pool(self, src: int, dst: int) -> CreditPool:
         """The credit pool for the directed pair (created on demand)."""
@@ -121,15 +124,25 @@ class FlowControl:
             return
         pool = self.pool(src, dst)
         m = self.metrics
-        if m is not None and (pool.available <= 0 or pool.queued):
+        causal = self.causal
+        if (m is not None or causal is not None) and (pool.available <= 0 or pool.queued):
             # This send will stall; wrap the grant to time the wait.
             # The closure is fine here — stalls are the rare path.
-            m.inc("fc.stalls")
+            if m is not None:
+                m.inc("fc.stalls")
             start = self.sim.now
+            sid = (causal.begin("fc_stall", rank=src, meta={"dst": dst})
+                   if causal is not None else None)
             inner, inner_args = on_granted, args
 
             def on_granted() -> None:
-                m.observe("fc.credit_wait_us", self.sim.now - start)
+                if m is not None:
+                    m.observe("fc.credit_wait_us", self.sim.now - start)
+                if sid is not None:
+                    # end_cause = whatever released the credit; the
+                    # resumed send runs under the stall span's context.
+                    causal.end(sid)
+                    causal.current = sid
                 inner(*inner_args)
 
             args = ()

@@ -11,18 +11,31 @@ Three cooperating pieces, all opt-in via ``MPIRuntime(metrics=True)``:
   profiler (per-step invocation/work/wall-clock accounting);
 - :mod:`~repro.obs.chrometrace` — a schema-checked Chrome
   trace-event JSON exporter combining the
-  :class:`~repro.patterns.trace.Tracer` stream with metric samples
-  (loads in chrome://tracing and Perfetto).
+  :class:`~repro.patterns.trace.Tracer` stream with metric samples and
+  causal flow arrows (loads in chrome://tracing and Perfetto);
+- :mod:`~repro.obs.causal` + :mod:`~repro.obs.critpath` — a causal
+  span/edge recorder threaded through the DES (opt-in via
+  ``MPIRuntime(causal=True)``) and, on top of it, exact blocked-time
+  attribution per epoch and a critical-path extractor.
 
 ``python -m repro.obs`` runs an instrumented halo-exchange demo and
-prints the per-step / per-epoch report or writes a trace file; see
-``docs/OBSERVABILITY.md`` for the model and a walkthrough.
+prints the per-step / per-epoch report or writes a trace file;
+``python -m repro.obs critpath`` runs one test-matrix workload and
+prints where its epochs' time went; see ``docs/OBSERVABILITY.md`` for
+the model and a walkthrough.
 """
 
+from .causal import CATEGORIES, CausalRecorder, Span, span_category
 from .chrometrace import (
     export_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace_file,
+)
+from .critpath import (
+    ConservationError,
+    attribute_epochs,
+    critical_path,
+    critpath_report,
 )
 from .metrics import (
     BYTES_BUCKETS,
@@ -38,6 +51,7 @@ from .report import (
     format_counters,
     format_epoch_profile,
     format_obs_report,
+    format_signal_boards,
     format_step_profile,
 )
 
@@ -59,4 +73,13 @@ __all__ = [
     "format_step_profile",
     "format_epoch_profile",
     "format_counters",
+    "format_signal_boards",
+    "CausalRecorder",
+    "Span",
+    "CATEGORIES",
+    "span_category",
+    "ConservationError",
+    "attribute_epochs",
+    "critical_path",
+    "critpath_report",
 ]

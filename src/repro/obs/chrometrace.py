@@ -10,7 +10,15 @@ intervals as duration events, everything else instant) and folds in the
 - the 7-step progress profile as per-step ``C`` samples (``work`` and
   ``invocations`` series);
 - the full metrics summary (histograms included) under
-  ``otherData.metrics`` for downstream tooling.
+  ``otherData.metrics`` for downstream tooling;
+- when the runtime carries a :mod:`repro.obs.causal` recorder, one
+  flow-event pair (``s`` at the source rank, ``f`` at the destination)
+  per completed message span, so Perfetto draws the causal arrows
+  between rank tracks.
+
+Every track is named: ``process_name`` for the job, per-rank
+``thread_name``/``thread_sort_index`` metadata so rank order is stable
+in the viewer regardless of event order.
 
 The produced document loads in ``chrome://tracing`` and
 https://ui.perfetto.dev (the JSON flavour of the trace-event format);
@@ -31,7 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["export_chrome_trace", "write_chrome_trace_file", "validate_chrome_trace"]
 
 #: Trace-event phases this exporter may produce.
-_EMITTED_PHASES = frozenset("BEXibenMC")
+_EMITTED_PHASES = frozenset("BEXibenMCsf")
+
+#: Phases that require an ``id`` (async + flow events).
+_ID_PHASES = frozenset("bensf")
 
 
 def export_chrome_trace(runtime: "MPIRuntime") -> dict:
@@ -45,12 +56,33 @@ def export_chrome_trace(runtime: "MPIRuntime") -> dict:
 
     events: list[dict] = [
         {
-            "ph": "M", "name": "thread_name", "pid": 0, "tid": rank,
-            "args": {"name": f"rank {rank}"},
+            "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+            "args": {"name": f"repro {runtime.engine_name} x{runtime.nranks}"},
         }
-        for rank in range(runtime.nranks)
     ]
+    for rank in range(runtime.nranks):
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": rank,
+             "args": {"name": f"rank {rank}"}}
+        )
+        events.append(
+            {"ph": "M", "name": "thread_sort_index", "pid": 0, "tid": rank,
+             "args": {"sort_index": rank}}
+        )
     events.extend(to_chrome_trace(runtime.tracer))
+    causal = getattr(runtime, "causal", None)
+    if causal is not None:
+        for span in causal.message_spans():
+            meta = span.meta or {}
+            name = meta.get("ptype", "msg")
+            events.append(
+                {"ph": "s", "cat": "msg", "name": name, "id": span.sid,
+                 "pid": 0, "tid": span.rank, "ts": span.t0}
+            )
+            events.append(
+                {"ph": "f", "cat": "msg", "name": name, "id": span.sid, "bp": "e",
+                 "pid": 0, "tid": meta.get("dst", span.rank), "ts": span.t1}
+            )
 
     other: dict[str, Any] = {"nranks": runtime.nranks, "engine": runtime.engine_name}
     summary = runtime.metrics_summary()
@@ -120,8 +152,8 @@ def validate_chrome_trace(doc: Any) -> int:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 _fail(i, ev, f"complete event needs non-negative dur, got {dur!r}")
-        if ph in ("b", "e", "n") and "id" not in ev:
-            _fail(i, ev, "async event needs an id")
+        if ph in _ID_PHASES and "id" not in ev:
+            _fail(i, ev, "async/flow event needs an id")
         if ph == "C":
             args = ev.get("args")
             if not isinstance(args, dict) or not args:

@@ -1,0 +1,286 @@
+"""Blocked-time attribution and critical-path extraction
+(``repro.obs.critpath``).
+
+Consumes the span graph recorded by :mod:`repro.obs.causal` and
+answers the paper's overlap question with data:
+
+- :func:`attribute_epochs` decomposes each completed epoch's virtual
+  lifetime (``activate → complete``) into the exhaustive,
+  non-overlapping categories of
+  :data:`~repro.obs.causal.CATEGORIES`.  The decomposition is a
+  priority sweep on an integer-nanosecond grid, so the **conservation
+  invariant** — categories sum *exactly* to the epoch's active time —
+  is exact integer arithmetic, checked on every epoch and raised as
+  :class:`ConservationError` if ever violated.
+- :func:`critical_path` walks the graph backward from an epoch's
+  completion (end-cause edges first, begin-parent edges as fallback)
+  to the longest dependency chain, with per-category share.
+- :func:`critpath_report` bundles both into a deterministic
+  JSON-stable document (virtual time only — byte-identical across
+  same-seed runs).
+
+Category semantics
+------------------
+``issue``         op serialization: issue until the origin buffer is
+                  reusable (local completion).
+``fabric``        op in flight past serialization: local completion
+                  until remote delivery.
+``flow_control``  credit-stall intervals of messages causally inside
+                  the epoch's ops.
+``grant_wait``    activation until the first op toward a target could
+                  issue (access/fence epochs: the grant / fence-open /
+                  signal wait the protocol imposes).
+``lock_wait``     activation until the lock handoff arrived
+                  (explicitly measured at the grant-arrival sites of
+                  both the ω and the counter-signal protocols).
+``retransmit``    lost-attempt windows of messages causally inside the
+                  epoch's ops (reliability layer).
+``drain``         everything else — closing waits (done packets,
+                  unlock acks, fence-done rounds) and exposure
+                  lifetimes.
+
+When candidates overlap, the earlier category in
+:data:`~repro.obs.causal.CATEGORIES` wins (retransmit >
+flow_control > fabric > issue > lock_wait > grant_wait > drain).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .causal import CATEGORIES, CausalRecorder, EpochRecord, ns, span_category
+
+__all__ = [
+    "ConservationError",
+    "attribute_epochs",
+    "critical_path",
+    "critpath_report",
+]
+
+#: Epoch kinds whose activation-to-first-issue gap is a protocol grant
+#: wait (lock kinds measure their wait explicitly; exposure epochs
+#: issue nothing).
+_GRANT_WAIT_KINDS = frozenset({"fence", "gats_access"})
+
+_PRIORITY = {cat: i for i, cat in enumerate(CATEGORIES)}
+_DRAIN = "drain"
+
+
+class ConservationError(AssertionError):
+    """The blocked-time categories failed to sum to ``active_us``."""
+
+
+def _epoch_extra_intervals(
+    recorder: CausalRecorder,
+) -> dict[int, list[tuple[str, int, int]]]:
+    """Resolve flow-control stall and retransmit spans to the epoch
+    they belong to (via causal parents) as nanosecond intervals."""
+    out: dict[int, list[tuple[str, int, int]]] = {}
+    for span in recorder.spans:
+        if span.kind == "fc_stall":
+            cat = "flow_control"
+        elif span.kind == "retransmit":
+            cat = "retransmit"
+        else:
+            continue
+        if span.t1 is None:
+            continue
+        uid = recorder.resolve_epoch(span)
+        if uid < 0:
+            continue  # control-plane stall/retry, not tied to an epoch
+        out.setdefault(uid, []).append((cat, ns(span.t0), ns(span.t1)))
+    return out
+
+
+def _attribute_one(
+    er: EpochRecord,
+    waits: list[tuple[str, float, float]],
+    extra: list[tuple[str, int, int]],
+) -> dict[str, int]:
+    """Priority-sweep one epoch; returns exact per-category ns."""
+    cats = dict.fromkeys(CATEGORIES, 0)
+    if er.activate_us is None:
+        return cats
+    a, c = ns(er.activate_us), ns(er.complete_us)
+    if c <= a:
+        return cats
+
+    ivals: list[tuple[int, int, int]] = []  # (priority, lo, hi)
+
+    def add(cat: str, lo: int, hi: int) -> None:
+        lo, hi = max(lo, a), min(hi, c)
+        if hi > lo:
+            ivals.append((_PRIORITY[cat], lo, hi))
+
+    first_issue: dict[int, int] = {}
+    for target, issue_us, local_us, deliver_us in er.ops:
+        i = ns(issue_us)
+        loc = ns(local_us) if local_us is not None else i
+        d = ns(deliver_us) if deliver_us is not None else c
+        add("issue", i, min(loc, d))
+        add("fabric", min(loc, d), d)
+        prev = first_issue.get(target)
+        if prev is None or i < prev:
+            first_issue[target] = i
+    if er.kind in _GRANT_WAIT_KINDS:
+        for fi in first_issue.values():
+            add("grant_wait", a, fi)
+    for cat, t0_us, t1_us in waits:
+        add(cat, ns(t0_us), ns(t1_us))
+    for cat, lo, hi in extra:
+        add(cat, lo, hi)
+
+    if not ivals:
+        cats[_DRAIN] = c - a
+        return cats
+
+    points = sorted({a, c, *(lo for _p, lo, _hi in ivals), *(hi for _p, _lo, hi in ivals)})
+    for j in range(len(points) - 1):
+        lo, hi = points[j], points[j + 1]
+        best = None
+        for pri, ilo, ihi in ivals:
+            if ilo <= lo and ihi >= hi and (best is None or pri < best):
+                best = pri
+        cats[CATEGORIES[best] if best is not None else _DRAIN] += hi - lo
+    return cats
+
+
+def attribute_epochs(recorder: CausalRecorder) -> list[dict[str, Any]]:
+    """Per-epoch blocked-time decomposition, in completion order.
+
+    Enforces the conservation invariant on every epoch: the category
+    values are an exact integer partition of ``active_ns``; a mismatch
+    raises :class:`ConservationError`.
+    """
+    extras = _epoch_extra_intervals(recorder)
+    out = []
+    for er in recorder.epochs:
+        cats = _attribute_one(
+            er, recorder.waits.get(er.uid, []), extras.get(er.uid, [])
+        )
+        active_ns = (
+            ns(er.complete_us) - ns(er.activate_us)
+            if er.activate_us is not None and er.complete_us > er.activate_us
+            else 0
+        )
+        total = sum(cats.values())
+        if total != active_ns:
+            raise ConservationError(
+                f"epoch {er.uid} ({er.kind}, rank {er.rank}): categories sum "
+                f"to {total}ns but active time is {active_ns}ns"
+            )
+        out.append(
+            {
+                "epoch": er.uid,
+                "kind": er.kind,
+                "rank": er.rank,
+                "win": er.win,
+                "active_ns": active_ns,
+                "categories_ns": cats,
+            }
+        )
+    return out
+
+
+def critical_path(
+    recorder: CausalRecorder, epoch_uid: int | None = None, max_len: int = 10_000
+) -> dict[str, Any]:
+    """Longest dependency chain ending at an epoch's completion.
+
+    Walks backward from the epoch span: end-cause edges first (what
+    made each span finish), begin-parent edges when the end cause is
+    unknown or already visited.  Defaults to the job's last-completing
+    epoch (ties broken by uid — deterministic).
+    """
+    if not recorder.epochs:
+        return {"chain": [], "shares_ns": dict.fromkeys(CATEGORIES, 0),
+                "wall_ns": 0, "epoch": None}
+    if epoch_uid is None:
+        er = max(recorder.epochs, key=lambda e: (e.complete_us, e.uid))
+    else:
+        matches = [e for e in recorder.epochs if e.uid == epoch_uid]
+        if not matches:
+            raise KeyError(f"no completed epoch with uid {epoch_uid}")
+        er = matches[0]
+
+    spans = recorder.spans
+    chain: list[int] = []
+    seen: set[int] = set()
+    sid: int | None = er.sid
+    while sid is not None and sid not in seen and len(chain) < max_len:
+        seen.add(sid)
+        chain.append(sid)
+        span = spans[sid]
+        nxt = span.end_cause
+        if nxt is None or nxt in seen:
+            nxt = span.parent
+        if nxt is not None and nxt in seen:
+            nxt = None
+        sid = nxt
+
+    def finish(s) -> float:
+        return s.t1 if s.t1 is not None else s.t0
+
+    shares: dict[str, int] = {}
+    steps = []
+    for i, cur in enumerate(chain):
+        span = spans[cur]
+        cat = span_category(span)
+        contrib = 0
+        if i + 1 < len(chain):
+            contrib = max(0, ns(finish(span)) - ns(finish(spans[chain[i + 1]])))
+            shares[cat] = shares.get(cat, 0) + contrib
+        steps.append(
+            {
+                "sid": span.sid,
+                "kind": span.kind,
+                "category": cat,
+                "rank": span.rank,
+                "t0_us": span.t0,
+                "t1_us": span.t1,
+                "contrib_ns": contrib,
+                "detail": dict(sorted(span.meta.items())) if span.meta else {},
+            }
+        )
+    wall = ns(finish(spans[chain[0]])) - ns(finish(spans[chain[-1]])) if chain else 0
+    return {
+        "epoch": er.uid,
+        "kind": er.kind,
+        "rank": er.rank,
+        "length": len(chain),
+        "wall_ns": wall,
+        "shares_ns": dict(sorted(shares.items())),
+        "chain": steps,
+    }
+
+
+def critpath_report(runtime: Any, include_epochs: bool = True) -> dict[str, Any]:
+    """Deterministic report document: attribution totals + the critical
+    path.  Only virtual-time quantities — byte-identical across
+    same-seed runs of the same workload."""
+    recorder = runtime.causal
+    if recorder is None:
+        raise ValueError("runtime was built without causal=True")
+    per_epoch = attribute_epochs(recorder)
+    totals = dict.fromkeys(CATEGORIES, 0)
+    per_kind: dict[str, dict[str, int]] = {}
+    active_total = 0
+    for entry in per_epoch:
+        active_total += entry["active_ns"]
+        kind_tot = per_kind.setdefault(entry["kind"], dict.fromkeys(CATEGORIES, 0))
+        for cat, v in entry["categories_ns"].items():
+            totals[cat] += v
+            kind_tot[cat] += v
+    doc: dict[str, Any] = {
+        "engine": getattr(runtime, "engine_name", None),
+        "nranks": runtime.nranks,
+        "epochs_completed": len(per_epoch),
+        "spans": len(recorder.spans),
+        "active_ns_total": active_total,
+        "blocked_ns": totals,
+        "blocked_ns_by_kind": dict(sorted(per_kind.items())),
+        "critical_path": critical_path(recorder),
+    }
+    if include_epochs:
+        doc["per_epoch"] = sorted(per_epoch, key=lambda e: e["epoch"])
+    return doc

@@ -21,6 +21,7 @@ __all__ = [
     "format_step_profile",
     "format_epoch_profile",
     "format_counters",
+    "format_signal_boards",
     "format_obs_report",
 ]
 
@@ -83,6 +84,24 @@ def format_counters(summary: dict, prefix: str = "") -> str:
     return "\n".join(lines)
 
 
+def format_signal_boards(summary: dict) -> str:
+    """Render the counter-signal engine's per-window
+    :class:`~repro.rma.notify.SignalBoard` state (nonzero counters
+    only; empty string for the other engines, which have no boards)."""
+    boards = summary.get("signal_board")
+    if not boards:
+        return ""
+    lines = ["== signal boards (final counter state) =="]
+    for where in sorted(boards):
+        lines.append(where)
+        for channel in sorted(boards[where]):
+            for direction in sorted(boards[where][channel]):
+                cells = boards[where][channel][direction]
+                body = "  ".join(f"{peer}:{cells[peer]}" for peer in sorted(cells, key=int))
+                lines.append(f"  {channel:<12}{direction:<5}{body}")
+    return "\n".join(lines)
+
+
 def format_obs_report(runtime: "MPIRuntime") -> str:
     """The full ``python -m repro.obs`` report for one finished run."""
     summary = runtime.metrics_summary()
@@ -94,4 +113,7 @@ def format_obs_report(runtime: "MPIRuntime") -> str:
         format_epoch_profile(summary),
         format_counters(summary),
     ]
+    boards = format_signal_boards(summary)
+    if boards:
+        sections.append(boards)
     return "\n\n".join(sections)

@@ -88,6 +88,13 @@ class AdaptiveEngine(MvapichEngine):
         elif not eager and key in self._eager_pairs:
             self._eager_pairs.discard(key)
             self.mode_switches.append((self.sim.now, gid, target, "lazy"))
+        else:
+            return
+        if self.causal is not None:
+            self.causal.instant(
+                "mode_switch", rank=self.rank, win=gid,
+                meta={"target": target, "mode": "eager" if eager else "lazy"},
+            )
 
     def _retry_pressure(self) -> int:
         rel = self.fabric.reliability

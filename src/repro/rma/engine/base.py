@@ -122,6 +122,8 @@ class RmaEngineBase:
         #: every hook below is then one attribute check, like the tracer).
         self.metrics = getattr(runtime, "metrics", None)
         self.profiler = getattr(runtime, "profiler", None)
+        #: Causal span recorder (None unless ``MPIRuntime(causal=True)``).
+        self.causal = getattr(runtime, "causal", None)
         #: Schedule-exploration context (None outside repro.explore runs);
         #: feeds the delivered-notification multiset of the outcome digest.
         self._explore = getattr(runtime, "exploration", None)
@@ -414,10 +416,11 @@ class RmaEngineBase:
                     and not ep.lock_held.get(p.granter, False)
                 ):
                     ep.lock_held[p.granter] = True
-                    if m is not None:
-                        start = ep.activate_time if ep.activate_time is not None else ep.open_time
-                        if start is not None:
-                            m.observe("omega.lock_grant_wait_us", self.sim.now - start)
+                    start = ep.activate_time if ep.activate_time is not None else ep.open_time
+                    if m is not None and start is not None:
+                        m.observe("omega.lock_grant_wait_us", self.sim.now - start)
+                    if self.causal is not None and start is not None:
+                        self.causal.wait(ep.uid, "lock_wait", start, self.sim.now)
                     break
         if self._trace_enabled():
             self._trace("grant_recv", ws, granter=p.granter, g=int(ws.g[p.granter]))
@@ -579,6 +582,13 @@ class RmaEngineBase:
         if self._is_intra[target]:
             fifo = self._fifo if self._fifo is not None else self.fifo
             fifo.send(target, NotifyKind.EPOCH_COMPLETE, pack_win_value(ws.gid, access_id))
+            if self.causal is not None:
+                # FIFO dones never cross the fabric, so they get their
+                # own (zero-duration) span here.
+                self.causal.instant(
+                    "done.fifo", rank=self.rank, win=ws.gid, epoch=epoch.uid,
+                    meta={"target": target},
+                )
         else:
             self._send(
                 target,
@@ -695,6 +705,18 @@ class RmaEngineBase:
         m = self.metrics
         if m is not None:
             m.inc("rma.ops_issued")
+        causal = self.causal
+        if causal is not None:
+            # The op span is the causal parent of every message the op
+            # puts on the wire: enter it for the issue body, restore the
+            # caller's context at the end of this method.
+            op.causal_sid = causal.begin(
+                "op", rank=self.rank, win=ws.gid, epoch=op.epoch.uid,
+                meta={"op": op.kind.value, "target": op.target,
+                      "nbytes": op.nbytes},
+            )
+            _prev_ctx = causal.current
+            causal.current = op.causal_sid
         if self._trace_enabled():
             self._trace("op_issue", ws, op.epoch, op_kind=op.kind.value, target=op.target,
                         nbytes=op.nbytes)
@@ -754,6 +776,8 @@ class RmaEngineBase:
             self.sim.schedule(0.0, self._op_local, ws, op)
         else:  # pragma: no cover - exhaustive
             raise AssertionError(f"unhandled op kind {op.kind}")
+        if causal is not None:
+            causal.current = _prev_ctx
 
     def _send_accumulate_payload(self, ws: WindowState, op: RmaOp) -> None:
         fetch = op.kind is OpKind.GET_ACCUMULATE
@@ -774,6 +798,7 @@ class RmaEngineBase:
         if op.local_done:
             return
         op.local_done = True
+        op.local_time = self.sim.now
         self.mark_dirty(ws)
         prof = self.profiler
         if prof is not None:
@@ -794,6 +819,9 @@ class RmaEngineBase:
         prof = self.profiler
         if prof is not None:
             prof.tally(1)
+        causal = self.causal
+        if causal is not None and op.causal_sid is not None:
+            causal.end(op.causal_sid)
         if self._trace_enabled():
             self._trace(
                 "op_delivered", ws, op.epoch, side="origin", target=op.target,
@@ -802,6 +830,7 @@ class RmaEngineBase:
         if not op.local_done:
             # Result-bearing ops: remote completion implies local.
             op.local_done = True
+            op.local_time = self.sim.now
             ws.notify_flushes(op, local=True)
         ws.notify_flushes(op, local=False)
         if op.request is not None and not op.request.done:
@@ -814,6 +843,8 @@ class RmaEngineBase:
     def _open_epoch(self, ws: WindowState, ep: Epoch) -> Epoch:
         ep.open_time = self.sim.now
         ws.epochs.append(ep)
+        if self.causal is not None:
+            self.causal.epoch_open(self.rank, ws.gid, ep)
         self.mark_dirty(ws)
         if self._trace_enabled():
             self._trace("epoch_open", ws, ep, epoch_kind=ep.kind.value)
@@ -844,6 +875,8 @@ class RmaEngineBase:
     def _complete_epoch(self, ws: WindowState, ep: Epoch) -> None:
         ep.state = EpochState.COMPLETED
         ep.complete_time = self.sim.now
+        if self.causal is not None:
+            self.causal.epoch_complete(self.rank, ws.gid, ep)
         m = self.metrics
         if m is not None:
             kind = ep.kind.value

@@ -188,6 +188,9 @@ class MvapichEngine(RmaEngineBase):
         self.mark_dirty(ws)
         if self._trace_enabled():
             self._trace("epoch_activate", ws, ep)
+        if self.causal is not None:
+            self.causal.instant("epoch_activate", rank=self.rank, win=ws.gid,
+                                epoch=ep.uid, meta={"lazy": True})
         if ep.nocheck:
             # MPI_MODE_NOCHECK: no acquisition protocol, no ω traffic.
             for target in ep.targets:

@@ -201,6 +201,9 @@ class NonblockingEngine(RmaEngineBase):
             checker.on_epoch_activate(ws, ep, active_preceding)
         if self._trace_enabled():
             self._trace("epoch_activate", ws, ep)
+        if self.causal is not None:
+            self.causal.instant("epoch_activate", rank=self.rank, win=ws.gid,
+                                epoch=ep.uid, meta={"deferred": len(active_preceding)})
         if ep.kind in (EpochKind.GATS_ACCESS, EpochKind.LOCK, EpochKind.LOCK_ALL):
             if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and ep.nocheck:
                 # MPI_MODE_NOCHECK: no acquisition protocol at all — the

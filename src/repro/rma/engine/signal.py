@@ -83,6 +83,11 @@ class SignalEngine(NonblockingEngine):
         if self._trace_enabled():
             self._trace("signal_sent", ws, peer=peer, channel=channel.name.lower(),
                         value=value)
+        if self.causal is not None:
+            self.causal.instant(
+                "signal", rank=self.rank, win=ws.gid,
+                meta={"channel": channel.name.lower(), "peer": peer, "value": value},
+            )
         self._send(
             peer,
             8,
@@ -242,10 +247,11 @@ class SignalEngine(NonblockingEngine):
                 and ep.signal_expected.get(granter, SIGNAL_LIMIT) <= inbound
             ):
                 ep.lock_held[granter] = True
-                if m is not None:
-                    start = ep.activate_time if ep.activate_time is not None else ep.open_time
-                    if start is not None:
-                        m.observe("signal.lock_grant_wait_us", self.sim.now - start)
+                start = ep.activate_time if ep.activate_time is not None else ep.open_time
+                if m is not None and start is not None:
+                    m.observe("signal.lock_grant_wait_us", self.sim.now - start)
+                if self.causal is not None and start is not None:
+                    self.causal.wait(ep.uid, "lock_wait", start, self.sim.now)
 
     # =====================================================================
     # Notified access (foMPI-style; NOTIFY channel)

@@ -85,10 +85,12 @@ class RmaOp:
         "issued",
         "issue_time",
         "local_done",
+        "local_time",
         "delivered",
         "deliver_time",
         "request",
         "notify_target",
+        "causal_sid",
     )
 
     def __init__(
@@ -131,6 +133,7 @@ class RmaOp:
         self.issue_time: float | None = None
         #: Local completion (origin buffer reusable).
         self.local_done = False
+        self.local_time: float | None = None
         #: Remote completion (applied at target; result back for gets).
         self.delivered = False
         self.deliver_time: float | None = None
@@ -140,6 +143,8 @@ class RmaOp:
         #: a NOTIFY signal to once the op's data movement is ordered /
         #: complete (None for plain ops; counter-signal engine only).
         self.notify_target: int | None = None
+        #: Causal span id when the run records spans (repro.obs.causal).
+        self.causal_sid: int | None = None
 
     @property
     def target_range(self) -> tuple[int, int]:

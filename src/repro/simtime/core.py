@@ -77,6 +77,12 @@ class Simulator:
         self._failed: list[SimProcess] = []
         #: Optional schedule-exploration policy (None = historical FIFO).
         self.policy = policy
+        #: Optional causal recorder (:mod:`repro.obs.causal`).  When
+        #: set, the context current at :meth:`schedule` time is saved
+        #: per ``seq`` and restored before the callback fires, so
+        #: causality flows across the schedule/fire boundary.  One
+        #: attribute check per event when disabled.
+        self.causal = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -97,6 +103,9 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
+        causal = self.causal
+        if causal is not None and causal.current is not None:
+            causal._ctx[self._seq] = causal.current
         when = self._now + delay
         if self.policy is not None:
             extra, key = self.policy.perturb(when, self._seq, lane)
@@ -162,6 +171,8 @@ class Simulator:
         failed = self._failed
         free = self._free
         pop = heapq.heappop
+        causal = self.causal
+        ctx = causal._ctx if causal is not None else None
         batching = self.policy is None
         batch: list[list[Any]] = []
         while heap:
@@ -192,6 +203,11 @@ class Simulator:
                         i += 1
                         fn = entry[3]
                         args = entry[4]
+                        if causal is not None:
+                            # Restore the causal context captured when
+                            # this callback was scheduled (before the
+                            # entry is recycled and its seq reused).
+                            causal.current = ctx.pop(entry[2], None)
                         # Recycle the entry; drop callback refs so the
                         # slab never pins closures or packet payloads
                         # past their firing.
@@ -213,6 +229,8 @@ class Simulator:
                 continue
             fn = entry[3]
             args = entry[4]
+            if causal is not None:
+                causal.current = ctx.pop(entry[2], None)
             # Recycle the entry; drop callback refs so the slab never
             # pins closures or packet payloads past their firing.
             entry[3] = entry[4] = None

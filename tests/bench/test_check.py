@@ -108,6 +108,53 @@ class TestCompareDocs:
             compare_docs(_doc({}), _doc({}), tolerance=-0.1)
 
 
+class TestFigureTolerances:
+    """Per-figure overrides: hold a deterministic figure to exact
+    equality while the rest keep the looser global bound."""
+
+    def test_tighter_override_flags_drift_global_would_pass(self):
+        verdict = compare_docs(
+            _doc({"a": 10.0}), _doc({"a": 10.5}),
+            tolerance=0.2, figure_tolerances={"fig02": 0.0})
+        assert not verdict["ok"]
+        assert verdict["drifts"][0]["rel_change"] == 0.05
+
+    def test_looser_override_passes_drift_global_would_flag(self):
+        verdict = compare_docs(
+            _doc({"a": 10.0}), _doc({"a": 14.0}),
+            tolerance=0.2, figure_tolerances={"fig02": 0.5})
+        assert verdict["ok"]
+
+    def test_override_scoped_to_named_figure(self):
+        base = _doc({"a": 10.0})
+        base["figures"].append({
+            "figure": "fig03", "title": "t", "unit": "µs",
+            "columns": ["a"],
+            "rows": [{"series": "New", "values": {"a": 10.0}}],
+        })
+        cur = _doc({"a": 10.5})
+        cur["figures"].append({
+            "figure": "fig03", "title": "t", "unit": "µs",
+            "columns": ["a"],
+            "rows": [{"series": "New", "values": {"a": 10.5}}],
+        })
+        verdict = compare_docs(base, cur, tolerance=0.2,
+                               figure_tolerances={"fig02": 0.0})
+        # fig02 drifts at its exact bound; fig03 stays on the global one.
+        assert [d["figure"] for d in verdict["drifts"]] == ["fig02"]
+
+    def test_negative_figure_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="fig02"):
+            compare_docs(_doc({}), _doc({}),
+                         figure_tolerances={"fig02": -0.1})
+
+    def test_verdict_records_overrides(self):
+        verdict = compare_docs(_doc({"a": 1.0}), _doc({"a": 1.0}),
+                               figure_tolerances={"z": 0.1, "a": 0.0})
+        assert verdict["figure_tolerances"] == {"a": 0.0, "z": 0.1}
+        assert list(verdict["figure_tolerances"]) == ["a", "z"]
+
+
 class TestCheckCli:
     def test_check_against_self_passes(self, tmp_path, capsys):
         """Regenerate one cheap figure, self-check it, inspect the
@@ -148,3 +195,30 @@ class TestCheckCli:
     def test_bad_flag_usage(self, capsys):
         assert main(["--check"]) == 2
         assert main(["--tolerance", "abc"]) == 2
+
+    def test_subset_check_filters_full_baseline(self, tmp_path):
+        # A named-figure check against a multi-figure baseline compares
+        # only the named figure — the others are not structural drifts.
+        baseline = tmp_path / "base.json"
+        assert main(["fig02", "fig08", "--json", str(baseline)]) == 0
+        assert main(["--check", str(baseline), "fig02"]) == 0
+        # Doctor fig08: the fig02-only check stays blind to it, the
+        # unfiltered check catches it.
+        doc = json.loads(baseline.read_text())
+        fig08 = next(f for f in doc["figures"] if f["figure"] == "fig08")
+        row = fig08["rows"][0]
+        row["values"][fig08["columns"][0]] += 1000.0
+        baseline.write_text(json.dumps(doc))
+        assert main(["--check", str(baseline), "fig02"]) == 0
+        assert main(["--check", str(baseline)]) == 1
+
+    def test_figure_tolerance_flag(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        assert main(["fig02", "--json", str(baseline)]) == 0
+        # Exact per-figure bound on a deterministic rerun still passes.
+        assert main(["--check", str(baseline),
+                     "--figure-tolerance", "fig02=0.0", "fig02"]) == 0
+
+    def test_figure_tolerance_flag_malformed(self, capsys):
+        assert main(["--figure-tolerance", "fig02", "fig02"]) == 2
+        assert main(["--figure-tolerance", "fig02=abc", "fig02"]) == 2

@@ -124,8 +124,9 @@ class TestCliRunner:
         out = capsys.readouterr().out
         assert "A_A_A_R" in out
 
-    def test_registry_contains_exactly_the_ten_figures(self):
+    def test_registry_contains_the_ten_figures_plus_protocol_cost(self):
         from repro.bench.__main__ import ALL
 
-        assert sorted(ALL) == [f"fig{n:02d}" for n in range(2, 12)]
+        expected = [f"fig{n:02d}" for n in range(2, 12)] + ["protocol_cost"]
+        assert sorted(ALL) == expected
         assert all(callable(fn) for fn in ALL.values())

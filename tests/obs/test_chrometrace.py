@@ -8,6 +8,7 @@ import pytest
 from repro.obs import (
     export_chrome_trace,
     format_obs_report,
+    format_signal_boards,
     validate_chrome_trace,
     write_chrome_trace_file,
 )
@@ -51,11 +52,40 @@ class TestExport:
     def test_thread_name_metadata(self):
         doc = export_chrome_trace(instrumented_run())
         meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        assert {e["args"]["name"] for e in meta} == {"rank 0", "rank 1"}
+        by_kind = {}
+        for e in meta:
+            by_kind.setdefault(e["name"], []).append(e)
+        names = {e["args"]["name"] for e in by_kind["thread_name"]}
+        assert names == {"rank 0", "rank 1"}
+        assert len(by_kind["process_name"]) == 1
+        assert "nonblocking" in by_kind["process_name"][0]["args"]["name"]
+        # Stable viewer ordering: one sort_index per rank, equal to it.
+        sorts = {e["tid"]: e["args"]["sort_index"]
+                 for e in by_kind["thread_sort_index"]}
+        assert sorts == {0: 0, 1: 1}
 
     def test_metrics_only_run_still_valid(self):
         doc = export_chrome_trace(instrumented_run(trace=False))
         assert validate_chrome_trace(doc) > 0
+
+    def test_flow_events_from_causal_recorder(self):
+        doc = export_chrome_trace(instrumented_run(causal=True))
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert starts and len(starts) == len(ends)
+        # Each pair shares an id; the finish is a binding end at the
+        # destination rank, never earlier than its start.
+        by_id = {e["id"]: e for e in starts}
+        for fin in ends:
+            assert fin["bp"] == "e"
+            assert fin["ts"] >= by_id[fin["id"]]["ts"]
+        # The one internode payload (rank 0 put -> rank 1) appears.
+        assert any(e["name"] == "PutData" for e in starts)
+
+    def test_no_flow_events_without_causal(self):
+        doc = export_chrome_trace(instrumented_run())
+        assert not [e for e in doc["traceEvents"] if e["ph"] in "sf"]
 
     def test_write_file(self, tmp_path):
         path = tmp_path / "trace.json"
@@ -97,6 +127,13 @@ class TestValidate:
         with pytest.raises(ValueError, match="needs an id"):
             validate_chrome_trace(doc)
 
+    def test_rejects_flow_event_without_id(self):
+        doc = {"traceEvents": [
+            {"ph": "s", "ts": 0.0, "pid": 0, "tid": 0, "name": "msg", "cat": "msg"},
+        ]}
+        with pytest.raises(ValueError, match="needs an id"):
+            validate_chrome_trace(doc)
+
     def test_rejects_unbalanced_durations(self):
         doc = {"traceEvents": [
             {"ph": "B", "ts": 0.0, "pid": 0, "tid": 0, "name": "blk"},
@@ -126,6 +163,38 @@ class TestReport:
         for needle in ("7-step progress profile", "epoch lifecycle latency",
                        "counters", "fence"):
             assert needle in text
+
+
+class TestSignalBoard:
+    """metrics_summary folds the counter-signal engine's per-window
+    SignalBoard snapshots in; the report renders them."""
+
+    def test_summary_carries_boards_for_signal_engine(self):
+        summary = instrumented_run(engine="signal").metrics_summary()
+        boards = summary["signal_board"]
+        # One board per (rank, window): 2 ranks x 1 window.
+        assert set(boards) == {"rank0.win0", "rank1.win0"}
+        for snap in boards.values():
+            assert snap  # nonzero counters only — empty boards are dropped
+            for channel in snap.values():
+                for direction, cells in channel.items():
+                    assert direction in ("out", "in", "exp")
+                    assert all(v != 0 for v in cells.values())
+
+    def test_summary_omits_boards_for_other_engines(self):
+        for engine in ("nonblocking", "mvapich", "adaptive"):
+            summary = instrumented_run(engine=engine).metrics_summary()
+            assert "signal_board" not in summary
+
+    def test_report_includes_board_section_only_when_present(self):
+        text = format_obs_report(instrumented_run(engine="signal"))
+        assert "signal boards" in text
+        assert "rank0.win0" in text
+        assert "signal boards" not in format_obs_report(instrumented_run())
+
+    def test_format_signal_boards_empty_without_snapshot(self):
+        assert format_signal_boards({}) == ""
+        assert format_signal_boards({"counters": {}}) == ""
 
 
 class TestCli:

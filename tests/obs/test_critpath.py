@@ -1,0 +1,196 @@
+"""Blocked-time attribution (conservation invariant) and the
+critical-path extractor, on real runs of every engine."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.halo import HaloConfig, run_halo
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.obs.causal import CATEGORIES
+from repro.obs.critpath import attribute_epochs, critical_path, critpath_report
+from tests.conftest import make_runtime
+
+ALL_ENGINES = ("mvapich", "adaptive", "nonblocking", "signal")
+
+
+def check_conservation(recorder):
+    """attribute_epochs raises on violation; re-check the sums here so a
+    silent bug in its own guard cannot pass."""
+    entries = attribute_epochs(recorder)
+    for e in entries:
+        assert sum(e["categories_ns"].values()) == e["active_ns"]
+        assert set(e["categories_ns"]) == set(CATEGORIES)
+        assert all(v >= 0 for v in e["categories_ns"].values())
+    return entries
+
+
+class TestConservation:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_halo_all_engines(self, engine):
+        res = run_halo(HaloConfig(
+            nranks=4, cells_per_rank=16, iterations=4, cores_per_node=2,
+            interior_work_us=5.0, engine=engine, causal=True,
+        ))
+        entries = check_conservation(res.runtime.causal)
+        assert entries
+        assert sum(e["active_ns"] for e in entries) > 0
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_under_packet_loss(self, engine):
+        # Retransmit spans are backdated into the lost attempt's window;
+        # they must still partition exactly.
+        plan = FaultPlan(seed=5, rules=(FaultRule(FaultKind.DROP, rate=0.15),))
+        rt = make_runtime(2, engine, causal=True, fault_plan=plan)
+
+        def app(proc):
+            win = yield from proc.win_allocate(4096)
+            yield from proc.barrier()
+            yield from win.fence()
+            for _ in range(5):
+                win.put(np.ones(64), (proc.rank + 1) % proc.size, 0)
+                yield from win.fence()
+            yield from proc.barrier()
+
+        rt.run(app)
+        entries = check_conservation(rt.causal)
+        assert entries
+
+    def test_under_flow_control_stalls(self):
+        rt = make_runtime(2, causal=True)
+
+        def app(proc):
+            win = yield from proc.win_allocate(1 << 20)
+            yield from proc.barrier()
+            if proc.rank == 0:
+                yield from win.lock(1)
+                for _ in range(80):
+                    win.put(np.ones(1024), 1, 0)
+                yield from win.unlock(1)
+            yield from proc.barrier()
+
+        rt.run(app)
+        entries = check_conservation(rt.causal)
+        total = {c: sum(e["categories_ns"][c] for e in entries) for c in CATEGORIES}
+        assert total["flow_control"] > 0
+        assert total["lock_wait"] > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.fixed_dictionaries({
+        "nranks": st.integers(2, 5),
+        "cells": st.sampled_from([8, 16]),
+        "iters": st.integers(1, 4),
+        "cores_per_node": st.sampled_from([1, 2]),
+        "work": st.sampled_from([0.0, 3.0, 11.0]),
+        "engine": st.sampled_from(ALL_ENGINES),
+        "nonblocking": st.booleans(),
+    }))
+    def test_conservation_property(self, params):
+        if params["nonblocking"] and params["engine"] in ("mvapich", "adaptive"):
+            params["nonblocking"] = False  # blocking-only engines
+        res = run_halo(HaloConfig(
+            nranks=params["nranks"],
+            cells_per_rank=params["cells"],
+            iterations=params["iters"],
+            cores_per_node=params["cores_per_node"],
+            interior_work_us=params["work"],
+            engine=params["engine"],
+            nonblocking=params["nonblocking"],
+            causal=True,
+        ))
+        entries = check_conservation(res.runtime.causal)
+        # Every rank closed every fence interval.
+        assert len(entries) == params["nranks"] * (params["iters"] + 1)
+
+
+class TestCriticalPath:
+    def runtime(self, engine="nonblocking"):
+        res = run_halo(HaloConfig(
+            nranks=3, cells_per_rank=8, iterations=3, cores_per_node=2,
+            interior_work_us=5.0, engine=engine, causal=True,
+        ))
+        return res.runtime
+
+    def test_chain_walks_back_from_last_epoch(self):
+        rec = self.runtime().causal
+        cp = critical_path(rec)
+        last = max(rec.epochs, key=lambda e: (e.complete_us, e.uid))
+        assert cp["epoch"] == last.uid
+        assert cp["chain"][0]["kind"] == "epoch"
+        assert cp["length"] == len(cp["chain"]) > 1
+        # Finish times are non-increasing along the backward walk up to
+        # clamping; the wall is non-negative and the shares are bounded.
+        assert cp["wall_ns"] >= 0
+        assert sum(cp["shares_ns"].values()) <= cp["wall_ns"] + len(cp["chain"])
+        assert all(v >= 0 for v in cp["shares_ns"].values())
+
+    def test_explicit_epoch_and_missing_epoch(self):
+        rec = self.runtime().causal
+        uid = rec.epochs[0].uid
+        assert critical_path(rec, uid)["epoch"] == uid
+        with pytest.raises(KeyError):
+            critical_path(rec, 10**9)
+
+    def test_chain_crosses_ranks(self):
+        rec = self.runtime().causal
+        cp = critical_path(rec)
+        assert len({step["rank"] for step in cp["chain"]}) > 1
+
+    def test_empty_recorder(self):
+        rt = make_runtime(2, causal=True)
+        cp = critical_path(rt.causal)
+        assert cp["epoch"] is None and cp["chain"] == []
+
+
+class TestReportDoc:
+    def test_report_shape_and_totals(self):
+        res = run_halo(HaloConfig(
+            nranks=3, cells_per_rank=8, iterations=2, engine="signal",
+            causal=True, metrics=True,
+        ))
+        doc = critpath_report(res.runtime)
+        assert doc["engine"] == "signal"
+        assert doc["epochs_completed"] == len(doc["per_epoch"])
+        assert set(doc["blocked_ns"]) == set(CATEGORIES)
+        assert doc["active_ns_total"] == sum(e["active_ns"] for e in doc["per_epoch"])
+        for cat in CATEGORIES:
+            assert doc["blocked_ns"][cat] == sum(
+                e["categories_ns"][cat] for e in doc["per_epoch"])
+        # by-kind totals fold back to the grand totals.
+        for cat in CATEGORIES:
+            assert sum(k[cat] for k in doc["blocked_ns_by_kind"].values()) \
+                == doc["blocked_ns"][cat]
+        assert json.dumps(doc)  # JSON-serializable
+
+    def test_requires_causal_runtime(self):
+        rt = make_runtime(2)
+        with pytest.raises(ValueError, match="causal=True"):
+            critpath_report(rt)
+
+
+class TestCliDeterminism:
+    def test_json_byte_identical_across_processes(self, tmp_path):
+        # Fresh interpreter per run: uid counters restart, so the JSON
+        # must be byte-identical — the obs-smoke CI gate.
+        out = []
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) \
+            + env.get("PYTHONPATH", "")
+        for i in (0, 1):
+            path = tmp_path / f"cp{i}.json"
+            subprocess.run(
+                [sys.executable, "-m", "repro.obs", "critpath",
+                 "--workload", "ordering", "--series", "signal",
+                 "--json", str(path)],
+                check=True, env=env, capture_output=True,
+            )
+            out.append(path.read_bytes())
+        assert out[0] == out[1]

@@ -80,6 +80,29 @@ class TestWired:
         assert steps["1"]["work"] > 0
         assert sum(e["wall_ms"] for e in steps.values()) > 0.0
 
+    def test_signal_engine_step_accounting(self):
+        # The counter-signal engine runs the deferral steps (2/3/4) like
+        # the nonblocking core it extends, but never touches the
+        # notification FIFO: dones travel as one-sided signal writes,
+        # so step 5 must stay idle even with ranks sharing a node.
+        rt = self.run_profiled("signal")
+        steps = rt.profiler.summary()["steps"]
+        for n in (1, 2, 3, 4, 6, 7):
+            assert steps[str(n)]["work"] > 0, f"step {n} idle"
+        assert steps["5"]["work"] == 0
+        assert steps["5"]["invocations"] > 0  # still swept, just empty
+
+    def test_adaptive_engine_step_accounting(self):
+        # The adaptive engine is the eager baseline plus lock-mode
+        # switching: no deferred epochs, so the deferral steps (2/3/4)
+        # stay idle and the baseline profile (1/5/6/7) does the work.
+        rt = self.run_profiled("adaptive")
+        steps = rt.profiler.summary()["steps"]
+        for n in (1, 5, 6, 7):
+            assert steps[str(n)]["work"] > 0, f"step {n} idle"
+        for n in (2, 3, 4):
+            assert steps[str(n)]["work"] == 0
+
     def test_profiler_absent_without_metrics(self):
         rt = make_runtime(2)
         assert rt.profiler is None

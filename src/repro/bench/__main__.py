@@ -39,6 +39,25 @@ Usage::
                                              # field (events, sweeps, window
                                              # visits, virtual time) drifted
                                              # at all
+    python -m repro.bench --scaling          # Fig. 12 rank-count sweep:
+                                             # contended fan-in at 64..4096
+                                             # simulated ranks, 4 series,
+                                             # plus the per-event host-cost
+                                             # slope (must stay ~flat)
+    python -m repro.bench --scaling --smoke  # CI subset (64, 256, 1024)
+    python -m repro.bench --scaling --ranks 64,128,256
+    python -m repro.bench --scaling --samples 2
+                                             # deterministic fields must
+                                             # agree across repeat runs
+    python -m repro.bench --scaling --slope-gate 0.35
+                                             # fail if per-event wall cost
+                                             # grows faster than N^gate
+    python -m repro.bench --scaling --check BENCH_seed.json
+                                             # exact comparison of every
+                                             # (series, rank count)
+                                             # throughput cell against the
+                                             # committed fig12_collapse
+                                             # figure (subset of ranks ok)
 
 The JSON document carries run metadata plus a list of figure objects,
 each with its per-series rows::
@@ -167,19 +186,32 @@ def _protocol_cost_data() -> FigData:
     return "Protocol cost: per-category blocked time", CATEGORIES, rows, "ns"
 
 
+def _fig12_collapse_data() -> FigData:
+    """Fig. 12's rank-count scaling sweep (see :mod:`repro.bench.scaling`):
+    aggregate throughput of the contended fan-in workload, 4 engine
+    series x rank counts 64..4096.  Pure virtual-time data — held to
+    exact equality by the baseline check."""
+    from .scaling import fig12_collapse_data
+
+    return fig12_collapse_data()
+
+
 #: Figure name -> builder of (title, columns, rows[, unit]).
 BUILDERS = {
     name[1:-5]: fn
     for name, fn in list(globals().items())
     if re.fullmatch(r"_fig\d+_data", name) and callable(fn)
 }
-# Not a paper figure, so registered explicitly (the regex only
-# harvests the fig\d+ builders).
+# Not paper figures 2-11, so registered explicitly (the regex only
+# harvests the bare fig\d+ builders).
 BUILDERS["protocol_cost"] = _protocol_cost_data
+BUILDERS["fig12_collapse"] = _fig12_collapse_data
 
 #: Per-figure tolerance overrides applied by ``--check`` on top of the
 #: global ``--tolerance`` (CLI ``--figure-tolerance`` wins over these).
-DEFAULT_FIGURE_TOLERANCES = {"protocol_cost": 0.0}
+#: Both figures are pure virtual-time data, so drift means a schedule
+#: changed and is never acceptable without re-baselining.
+DEFAULT_FIGURE_TOLERANCES = {"protocol_cost": 0.0, "fig12_collapse": 0.0}
 
 
 def _build(name: str) -> tuple:
@@ -241,12 +273,17 @@ def protocol_cost() -> str:
     return _render("protocol_cost")
 
 
+def fig12_collapse() -> str:
+    return _render("fig12_collapse")
+
+
 ALL = {
     name: fn
     for name, fn in list(globals().items())
     if re.fullmatch(r"fig\d+", name) and callable(fn)
 }
 ALL["protocol_cost"] = protocol_cost
+ALL["fig12_collapse"] = fig12_collapse
 
 
 def run_meta() -> dict:
@@ -430,11 +467,95 @@ def run_wallclock_cli(json_path: str | None, check_path: str | None,
     return 0
 
 
+def run_scaling_cli(json_path: str | None, check_path: str | None,
+                    ranks: tuple[int, ...], samples: int,
+                    slope_gate: float) -> int:
+    """``--scaling`` mode: run the Fig. 12 rank sweep, print/write the
+    report, gate the per-event host-cost slope, and (with ``--check``)
+    compare the throughput cells exactly against the committed
+    ``fig12_collapse`` figure.
+
+    Three gates, in order:
+
+    - repeat-run determinism (``--samples`` > 1; enforced inside
+      :func:`repro.bench.scaling.run_scaling` — a mismatch raises);
+    - the fitted log-log slope of wall µs/event against rank count must
+      not exceed ``slope_gate`` for any series (per-rank dense state
+      shows up as a clearly positive slope);
+    - against a baseline, every (series, rank count) throughput cell is
+      virtual-time data and must match *exactly*; the run's rank set
+      may be a subset of the committed figure's (the smoke job), but
+      unknown ranks or series fail.
+    """
+    from .scaling import format_scaling_report, run_scaling
+
+    doc = {"meta": run_meta(), "scaling": run_scaling(ranks, samples=samples)}
+    sc = doc["scaling"]
+    if json_path is not None:
+        if json_path == "-":
+            json.dump(doc, sys.stdout, indent=2)
+            print()
+        else:
+            with open(json_path, "w") as fh:
+                json.dump(doc, fh, indent=2)
+            print(f"wrote scaling report to {json_path}")
+    else:
+        print(format_scaling_report(sc))
+    failed = False
+    for name, slope in sc["per_event_slope"].items():
+        if slope > slope_gate:
+            print(f"FAIL: {name}: per-event cost slope {slope:+.3f} exceeds "
+                  f"gate {slope_gate:+.3f} (host cost grows with rank count)",
+                  file=sys.stderr)
+            failed = True
+    if check_path is not None:
+        with open(check_path) as fh:
+            baseline = json.load(fh)
+        fig = next((f for f in baseline.get("figures", [])
+                    if f["figure"] == "fig12_collapse"), None)
+        if fig is None:
+            print(f"FAIL: {check_path} has no fig12_collapse figure; "
+                  "regenerate it with --json", file=sys.stderr)
+            return 1
+        base = {row["series"]: row["values"] for row in fig["rows"]}
+        checked = 0
+        for name, by_rank in sc["cells"].items():
+            if name not in base:
+                print(f"FAIL: series {name} not in baseline figure",
+                      file=sys.stderr)
+                failed = True
+                continue
+            for nranks in sc["ranks"]:
+                cur = by_rank[nranks]["throughput"]
+                ref = base[name].get(str(nranks))
+                if ref is None:
+                    print(f"FAIL: {name}@{nranks}: rank count not in "
+                          "baseline figure", file=sys.stderr)
+                    failed = True
+                    continue
+                checked += 1
+                if cur != ref:
+                    print(f"FAIL: {name}@{nranks}: throughput {ref} -> {cur} "
+                          "(virtual-time drift)", file=sys.stderr)
+                    failed = True
+        print(f"scaling check: {checked} cells compared exactly "
+              f"against {check_path}")
+    if failed:
+        return 1
+    print(f"scaling ok (max per-event slope "
+          f"{sc['max_per_event_slope']:+.3f}, gate {slope_gate:+.3f})")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     json_path: str | None = None
     check_path: str | None = None
     diff_out: str | None = None
     wallclock = False
+    scaling = False
+    smoke = False
+    ranks_arg: str | None = None
+    slope_gate = 0.35
     tolerance = 0.2
     tolerance_given = False
     figure_tolerances: dict[str, float] = {}
@@ -444,6 +565,22 @@ def main(argv: list[str]) -> int:
     for arg in it:
         if arg == "--wallclock":
             wallclock = True
+        elif arg == "--scaling":
+            scaling = True
+        elif arg == "--smoke":
+            smoke = True
+        elif arg == "--ranks":
+            ranks_arg = next(it, None)
+            if ranks_arg is None:
+                print("--ranks needs a comma list (e.g. 64,256,1024)",
+                      file=sys.stderr)
+                return 2
+        elif arg == "--slope-gate":
+            try:
+                slope_gate = float(next(it))
+            except (StopIteration, ValueError):
+                print("--slope-gate needs a number (e.g. 0.35)", file=sys.stderr)
+                return 2
         elif arg == "--samples":
             try:
                 samples = int(next(it))
@@ -488,6 +625,28 @@ def main(argv: list[str]) -> int:
                 return 2
         else:
             wanted.append(arg)
+    if scaling:
+        if wanted or wallclock:
+            print("--scaling takes no figure names and excludes --wallclock",
+                  file=sys.stderr)
+            return 2
+        from .scaling import RANKS_FULL, RANKS_SMOKE
+
+        if ranks_arg is not None:
+            try:
+                ranks = tuple(int(r) for r in ranks_arg.split(",") if r)
+                if not ranks or any(r < 2 for r in ranks):
+                    raise ValueError
+            except ValueError:
+                print("--ranks needs positive integers (e.g. 64,256,1024)",
+                      file=sys.stderr)
+                return 2
+        else:
+            ranks = RANKS_SMOKE if smoke else RANKS_FULL
+        return run_scaling_cli(json_path, check_path, ranks, samples, slope_gate)
+    if smoke or ranks_arg is not None:
+        print("--smoke/--ranks only apply to --scaling", file=sys.stderr)
+        return 2
     if wallclock:
         if wanted:
             print("--wallclock takes no figure names", file=sys.stderr)

@@ -104,12 +104,13 @@ def _omega_counters(runtime: "MPIRuntime") -> dict[str, dict]:
     for rank, engine in enumerate(runtime.engines):
         for gid, ws in sorted(engine.states.items()):
             out[f"{gid}/{rank}"] = {
-                # ω counters are dense int64 vectors; keep the digest's
-                # sparse str->int JSON shape (and plain-int values).
-                "a": {str(r): int(v) for r, v in enumerate(ws.a) if v},
-                "e": {str(r): int(v) for r, v in enumerate(ws.e) if v},
-                "g": {str(r): int(v) for r, v in enumerate(ws.g) if v},
-                "done_id": {str(r): int(v) for r, v in enumerate(ws.done_id) if v},
+                # ω counters are pooled sparse vectors; items() yields
+                # nonzero entries in ascending rank order, keeping the
+                # digest's str->int JSON shape independent of touch order.
+                "a": {str(r): v for r, v in ws.a.items()},
+                "e": {str(r): v for r, v in ws.e.items()},
+                "g": {str(r): v for r, v in ws.g.items()},
+                "done_id": {str(r): v for r, v in ws.done_id.items()},
             }
     return out
 

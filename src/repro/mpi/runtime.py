@@ -121,8 +121,9 @@ class MPIRuntime:
         if self.metrics is not None:
             self.fabric.metrics = self.metrics
             self.fabric.flow.metrics = self.metrics
-            for gate in self.fabric.attention:
-                gate.metrics = self.metrics
+            # The gate table propagates the registry to every gate it
+            # materializes (gates are created lazily on first touch).
+            self.fabric.attention.metrics = self.metrics
             if rel is not None:
                 rel.metrics = self.metrics
         if self.causal is not None:

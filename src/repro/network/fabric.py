@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from .flowcontrol import FlowControl
 from .model import NetworkModel
-from .nic import AttentionGate, NicPorts
+from .nic import AttentionGateTable, NicPorts
 from .packets import Message, ServiceKind
 from .regcache import RegistrationCache
 from .topology import ClusterTopology
@@ -197,7 +197,10 @@ class Fabric:
             nranks=topology.nranks,
         )
         self._ports = [NicPorts() for _ in range(topology.nranks)]
-        self.attention = [AttentionGate(sim, r) for r in range(topology.nranks)]
+        #: Lazily materialized per-rank attention gates (touched ranks
+        #: only; a fresh gate is attentive with an empty queue, so
+        #: on-demand creation is invisible to virtual time).
+        self.attention = AttentionGateTable(sim)
         self._regcaches = [
             RegistrationCache(
                 self.model.regcache_capacity,
@@ -231,17 +234,14 @@ class Fabric:
         # Traffic accounting (used by benchmarks and tests).
         self.messages_sent = 0
         self.bytes_sent = 0
-        # Preallocated lane tuples (lanes key per-pair FIFO contracts in
-        # the kernel; equality is all that matters, so every send on a
-        # pair can share one tuple instead of allocating its own).
-        n = topology.nranks
-        self._net_lanes = [[("net", s, d) for d in range(n)] for s in range(n)]
-        self._attn_lanes = [("attn", d) for d in range(n)]
-        self._ack_lanes = [[("ack", s, d) for d in range(n)] for s in range(n)]
+        # Lanes key per-pair FIFO contracts in the kernel by *equality*,
+        # not identity, so the per-send tuple is built inline at each
+        # schedule site — a lookup table would have to build the same
+        # tuple just to probe it, and a dense one is O(nranks²).
         #: rank -> node id, flattened out of the topology object so the
         #: per-message intranode test is two list loads (node_of pays a
         #: range check per call).
-        self._node_id = [topology.node_of(r) for r in range(n)]
+        self._node_id = [topology.node_of(r) for r in range(topology.nranks)]
         #: (internode, intranode) latency/bandwidth pairs indexed by the
         #: boolean intranode flag — the model never changes after
         #: construction, so the per-transfer method calls fold away.
@@ -373,7 +373,7 @@ class Fabric:
                 delivery - now + flow.ack_latency, flow.pool(msg.src, msg.dst).release
             )
 
-        net_lane = self._net_lanes[msg.src][msg.dst]
+        net_lane = ("net", msg.src, msg.dst)
         if self.injector is None:
             # Per-pair wire arrival order is a fabric contract (the
             # middleware relies on FIFO delivery between two ranks), so
@@ -444,7 +444,7 @@ class Fabric:
             self.model.host_attention_overhead,
             self._deliver,
             ticket,
-            lane=self._attn_lanes[ticket.message.dst],
+            lane=("attn", ticket.message.dst),
         )
 
     def _deliver(self, ticket: SendTicket) -> None:
@@ -483,5 +483,5 @@ class Fabric:
         # Note the argument order: the ack for pair (dst -> src) keys the
         # sender-side pending entry (original src, original dst, seq).
         self.sim.schedule(
-            delay, self.reliability.on_ack, dst, src, seq, lane=self._ack_lanes[src][dst]
+            delay, self.reliability.on_ack, dst, src, seq, lane=("ack", src, dst)
         )

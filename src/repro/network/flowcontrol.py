@@ -85,12 +85,13 @@ class FlowControl:
         self.capacity = capacity
         self.ack_latency = ack_latency
         self.enabled = enabled and capacity > 0
+        # Sparse per-pair pools: memory is O(touched pairs), not nranks².
+        # A touched pair is one dict probe per send (the key tuple is
+        # needed for the probe anyway, so a dense grid buys nothing and
+        # costs 16M slots at 4096 ranks).
         self._pools: dict[tuple[int, int], CreditPool] = {}
-        #: Dense pool lookup when the rank count is known up front: two
-        #: list loads per send instead of a tuple allocation + dict probe.
-        self._grid: list[list[CreditPool | None]] | None = (
-            [[None] * nranks for _ in range(nranks)] if nranks else None
-        )
+        #: Reclaimed idle pools, reused before constructing new ones.
+        self._freelist: list[CreditPool] = []
         #: Optional :class:`repro.obs.MetricsRegistry` (None = disabled).
         self.metrics = None
         #: Optional :class:`repro.obs.causal.CausalRecorder` (None =
@@ -99,20 +100,33 @@ class FlowControl:
 
     def pool(self, src: int, dst: int) -> CreditPool:
         """The credit pool for the directed pair (created on demand)."""
-        grid = self._grid
-        if grid is not None:
-            pool = grid[src][dst]
-            if pool is None:
-                pool = CreditPool(self.capacity if self.enabled else 1)
-                grid[src][dst] = pool
-                self._pools[(src, dst)] = pool
-            return pool
         key = (src, dst)
         pool = self._pools.get(key)
         if pool is None:
-            pool = CreditPool(self.capacity if self.enabled else 1)
+            if self._freelist:
+                pool = self._freelist.pop()
+            else:
+                pool = CreditPool(self.capacity if self.enabled else 1)
             self._pools[key] = pool
         return pool
+
+    def reclaim_idle(self) -> int:
+        """Recycle pools that are back to full credits with no waiters
+        and no recorded stalls (their state is indistinguishable from a
+        fresh pool).  Returns the number reclaimed.  Callers with bursty
+        communication graphs can bound live pool count to the working
+        set; pools with stall statistics are kept so ``pair_stats``
+        stays complete."""
+        idle = [
+            key
+            for key, pool in self._pools.items()
+            if pool.available == pool.capacity
+            and not pool._waiters
+            and not pool.stall_count
+        ]
+        for key in idle:
+            self._freelist.append(self._pools.pop(key))
+        return len(idle)
 
     def acquire(self, src: int, dst: int, on_granted: Callable[..., None], *args: Any) -> None:
         """Acquire a credit for one packet src→dst (immediate if disabled).

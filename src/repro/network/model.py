@@ -60,6 +60,19 @@ class NetworkModel:
         target host CPU (lock grants, accumulate CTS).
     cas_processing:
         Target-side processing time for an atomic op application.
+    baseline_scan_cost_us:
+        Per-pending-item host cost the *legacy* (MVAPICH-style) engine
+        pays each time it services a lock grant: the baseline scans its
+        pending-state lists (queued lock waiters, live epochs, deferred
+        lock backlog) inside the progress engine, so grant service time
+        grows with the amount of outstanding state — exactly the
+        O(pending) progress cost that §VII-B's constant-time ω-counter
+        matching removes, and that "Quo Vadis MPI RMA?" documents for
+        production implementations.  The redesigned engines never pay
+        it.  Defaults to 0.0, which keeps the legacy engine's grants
+        free of scan cost (all pre-existing figures are bit-identical);
+        the ``--scaling`` benchmark turns it on to reproduce Fig. 12's
+        throughput collapse under contention at scale.
     """
 
     internode_latency: float = 2.0
@@ -77,6 +90,7 @@ class NetworkModel:
     ack_latency: float = 1.0
     host_attention_overhead: float = 0.3
     cas_processing: float = 0.2
+    baseline_scan_cost_us: float = 0.0
 
     def transfer_time(self, nbytes: int, intranode: bool) -> float:
         """Serialization time (port occupancy) for ``nbytes``."""

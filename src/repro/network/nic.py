@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Any, Callable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simtime import Simulator
 
-__all__ = ["PortPair", "NicPorts", "AttentionGate"]
+__all__ = ["PortPair", "NicPorts", "AttentionGate", "AttentionGateTable"]
 
 
 class PortPair:
@@ -150,3 +150,47 @@ class AttentionGate:
     def pending(self) -> int:
         """Deliveries waiting for attention."""
         return len(self._queue)
+
+
+class AttentionGateTable:
+    """Lazily materialized per-rank :class:`AttentionGate` lookup.
+
+    Gates exist only for ranks whose attention state was ever touched
+    (a gated delivery arrived, the process facade flipped the flag, or
+    fault injection stalled the host) — O(touched ranks), not O(nranks).
+    Untouched ranks are semantically identical to a fresh gate (ranks
+    start attentive with an empty queue), so on-demand creation cannot
+    change virtual time.  Iteration yields touched gates only.
+    """
+
+    __slots__ = ("_sim", "_gates", "_metrics")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._gates: dict[int, AttentionGate] = {}
+        self._metrics = None
+
+    def __getitem__(self, rank: int) -> AttentionGate:
+        gate = self._gates.get(rank)
+        if gate is None:
+            gate = AttentionGate(self._sim, rank)
+            gate.metrics = self._metrics
+            self._gates[rank] = gate
+        return gate
+
+    def __iter__(self):
+        return iter(self._gates.values())
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    @property
+    def metrics(self):
+        """Registry propagated to every gate, existing and future."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        for gate in self._gates.values():
+            gate.metrics = registry

@@ -45,6 +45,18 @@ class ClusterTopology:
         """Whether ranks ``a`` and ``b`` share a node (intranode path)."""
         return self.node_of(a) == self.node_of(b)
 
+    def node_span(self, rank: int) -> tuple[int, int]:
+        """Half-open rank range ``[lo, hi)`` sharing ``rank``'s node.
+
+        Block placement makes the same-node test for a fixed rank a span
+        check (``lo <= peer < hi``) — O(1) per peer with no per-rank
+        precomputed table, which is what the engines use instead of
+        scanning ``range(nranks)``.
+        """
+        self._check(rank)
+        lo = (rank // self.cores_per_node) * self.cores_per_node
+        return lo, min(lo + self.cores_per_node, self.nranks)
+
     def ranks_on_node(self, node: int) -> list[int]:
         """All ranks hosted on ``node``."""
         lo = node * self.cores_per_node

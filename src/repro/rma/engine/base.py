@@ -130,8 +130,8 @@ class RmaEngineBase:
         #: Hot-path caches, resolved once: the tracer (its ``enabled``
         #: flag gates emit calls), this rank's notification FIFO (the
         #: ``fifo`` property walks runtime->middleware every call), and
-        #: the intranode row of the topology (``same_node`` range-checks
-        #: per call; lane tables in the fabric are already O(n²)).
+        #: this rank's node span (block placement makes the same-node
+        #: test ``lo <= peer < hi`` — O(1) per peer, no O(nranks) table).
         self._tracer = getattr(runtime, "tracer", None)
         middlewares = getattr(runtime, "middlewares", None)
         self._fifo = (
@@ -140,9 +140,7 @@ class RmaEngineBase:
             else None
         )
         topo = runtime.fabric.topology
-        self._is_intra = tuple(
-            r == rank or topo.same_node(rank, r) for r in range(topo.nranks)
-        )
+        self._node_lo, self._node_hi = topo.node_span(rank)
 
     # -- small conveniences ------------------------------------------------
     @property
@@ -579,7 +577,7 @@ class RmaEngineBase:
         are control packets.
         """
         access_id = epoch.access_ids[target]
-        if self._is_intra[target]:
+        if self._node_lo <= target < self._node_hi:
             fifo = self._fifo if self._fifo is not None else self.fifo
             fifo.send(target, NotifyKind.EPOCH_COMPLETE, pack_win_value(ws.gid, access_id))
             if self.causal is not None:

@@ -128,13 +128,13 @@ class MvapichEngine(RmaEngineBase):
     # -- GATS access: issue-at-close with two-phase gating -----------------
     def _split_targets(self, ep: Epoch) -> tuple[list[int], list[int]]:
         """Internode/intranode partition of the epoch's target group,
-        computed once per epoch (targets are immutable) from the cached
-        intranode row instead of per-target topology calls per sweep."""
+        computed once per epoch (targets are immutable) via the O(1)
+        node-span test instead of per-target topology calls per sweep."""
         split = getattr(ep, "mv_split", None)
         if split is None:
-            is_intra = self._is_intra
-            inter = [t for t in ep.targets if not is_intra[t]]
-            intra = [t for t in ep.targets if is_intra[t]]
+            lo, hi = self._node_lo, self._node_hi
+            inter = [t for t in ep.targets if not lo <= t < hi]
+            intra = [t for t in ep.targets if lo <= t < hi]
             ep.mv_split = split = (inter, intra)
         return split
 
@@ -388,3 +388,54 @@ class MvapichEngine(RmaEngineBase):
         """A flush forces early lock acquisition, as in real MVAPICH."""
         if ep.kind in (EpochKind.LOCK, EpochKind.LOCK_ALL) and not ep.active:
             self._activate_lock(ws, ep)
+
+    # =====================================================================
+    # Lock hosting (target side): legacy O(pending-state) grant service
+    # =====================================================================
+    #: Virtual time until which the host progress engine is busy scanning
+    #: pending state, and the number of grants queued behind that scan
+    #: (serial server; see ``_grant_lock``).
+    _scan_busy_until = 0.0
+    _scan_pending = 0
+
+    def _grant_lock(self, ws: WindowState, waiter) -> None:
+        """Grant a lock after the legacy pending-state scan.
+
+        The baseline services passive-target grants from a progress
+        engine that walks its outstanding-state lists before acting on
+        each one (grants already queued behind the scan, queued lock
+        waiters, live epochs, the deferred lock backlog), so each grant
+        costs ``baseline_scan_cost_us`` per pending item — the
+        O(pending) progress cost that §VII-B's constant-time ω matching
+        removes.  The scan occupies the host serially, and every queued
+        grant is itself pending state the next scan must walk: under
+        fan-in the service time grows with the backlog it creates, and
+        past a critical arrival rate the queue — and with it grant
+        latency — diverges, collapsing throughput (Fig. 12).  At the
+        default cost of 0.0 this is exactly the base grant.
+        """
+        kappa = self.model.baseline_scan_cost_us
+        if kappa <= 0.0:
+            super()._grant_lock(ws, waiter)
+            return
+        pending = (
+            1
+            + self._scan_pending
+            + ws.lock_mgr.queue_depth
+            + len(ws.epochs)
+            + len(ws.lock_backlog)
+        )
+        now = self.sim.now
+        start = self._scan_busy_until if self._scan_busy_until > now else now
+        done = start + kappa * pending
+        self._scan_busy_until = done
+        self._scan_pending += 1
+        m = self.metrics
+        if m is not None:
+            m.observe("baseline.scan_cost_us", done - now)
+        self.sim.schedule(done - now, self._scanned_grant, ws, waiter)
+
+    def _scanned_grant(self, ws: WindowState, waiter) -> None:
+        """Deferred tail of :meth:`_grant_lock`: the scan has finished."""
+        self._scan_pending -= 1
+        super()._grant_lock(ws, waiter)

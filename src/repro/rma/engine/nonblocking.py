@@ -301,7 +301,7 @@ class NonblockingEngine(RmaEngineBase):
         returns the number of ops posted."""
         if not ws.unissued_total:
             return 0
-        is_intra = self._is_intra
+        node_lo, node_hi = self._node_lo, self._node_hi
         m = self.metrics
         posted = 0
         for ep in ws.epochs:
@@ -318,7 +318,7 @@ class NonblockingEngine(RmaEngineBase):
                 # identical to the scalar walk.
                 granted = self._grants_vector(ws, ep, targets)
             for i, target in enumerate(targets):
-                if is_intra[target] != intranode:
+                if (node_lo <= target < node_hi) != intranode:
                     continue
                 ready = (
                     bool(granted[i])

@@ -59,6 +59,11 @@ class LockManager:
         return list(self._queue)
 
     @property
+    def queue_depth(self) -> int:
+        """Number of waiting requests (O(1) — ``queued`` copies)."""
+        return len(self._queue)
+
+    @property
     def locked_exclusive(self) -> bool:
         """Whether an exclusive holder exists."""
         return any(self._holders.values())

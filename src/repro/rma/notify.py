@@ -33,9 +33,8 @@ from __future__ import annotations
 
 import enum
 
-import numpy as np
-
 from ..mpi.errors import RmaInternalError
+from ..simtime import SparseCounterMat
 
 __all__ = ["SignalChannel", "SignalBoard", "SIGNAL_LIMIT"]
 
@@ -67,10 +66,10 @@ class SignalBoard:
     __slots__ = ("outbound", "inbound", "expected", "dup_signals_ignored")
 
     def __init__(self, nranks: int):
-        shape = (len(SignalChannel), nranks)
-        self.outbound = np.zeros(shape, dtype=np.int64)
-        self.inbound = np.zeros(shape, dtype=np.int64)
-        self.expected = np.zeros(shape, dtype=np.int64)
+        nrows = len(SignalChannel)
+        self.outbound = SparseCounterMat(nrows, nranks)
+        self.inbound = SparseCounterMat(nrows, nranks)
+        self.expected = SparseCounterMat(nrows, nranks)
         #: Signals discarded by the idempotent ``max()`` application
         #: (nonzero only if duplicate suppression is bypassed).
         self.dup_signals_ignored = 0
@@ -139,7 +138,7 @@ class SignalBoard:
             for name, arr in (
                 ("out", self.outbound), ("in", self.inbound), ("exp", self.expected)
             ):
-                row = {str(r): int(v) for r, v in enumerate(arr[ch]) if v}
+                row = {str(r): v for r, v in arr.row_items(ch)}
                 if row:
                     entry[name] = row
             if entry:

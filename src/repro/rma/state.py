@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..simtime import SparseCounterVec
 from .locks import LockManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,16 +41,16 @@ class WindowState:
         self.gid = win.group.gid
 
         # -- ω-triples (per remote rank) ---------------------------------
-        # Dense int64 vectors indexed by rank (every peer starts at 0, so
-        # arrays are drop-in for the historical defaultdicts) — the
-        # engines' ready-mask tests compare whole peer groups at once
-        # instead of looping ``access_granted`` per target.
+        # Pooled sparse int64 vectors indexed by rank (every peer starts
+        # at 0, untouched peers allocate nothing) — the engines' ready-
+        # mask tests still compare whole peer groups at once via gather
+        # loads, but window registration is O(1) in nranks.
         nranks = win.group.runtime.nranks
-        self.a = np.zeros(nranks, dtype=np.int64)
-        self.e = np.zeros(nranks, dtype=np.int64)
-        self.g = np.zeros(nranks, dtype=np.int64)
+        self.a = SparseCounterVec(nranks)
+        self.e = SparseCounterVec(nranks)
+        self.g = SparseCounterVec(nranks)
         #: Highest done-packet access id received per origin (target side).
-        self.done_id = np.zeros(nranks, dtype=np.int64)
+        self.done_id = SparseCounterVec(nranks)
         #: Replayed GrantUpdates discarded by the idempotent ``max``
         #: application (nonzero only if duplicate suppression is bypassed).
         self.dup_grants_ignored = 0

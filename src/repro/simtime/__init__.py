@@ -23,10 +23,13 @@ from .core import Simulator, TieBreakPolicy
 from .errors import InvalidYield, ProcessFailed, SimtimeError, SimulationDeadlock
 from .events import AllOf, AnyOf, SimEvent, Timeout
 from .process import SimProcess
+from .sparse import SparseCounterMat, SparseCounterVec
 
 __all__ = [
     "Simulator",
     "TieBreakPolicy",
+    "SparseCounterVec",
+    "SparseCounterMat",
     "SimEvent",
     "Timeout",
     "AllOf",

@@ -124,9 +124,12 @@ class TestCliRunner:
         out = capsys.readouterr().out
         assert "A_A_A_R" in out
 
-    def test_registry_contains_the_ten_figures_plus_protocol_cost(self):
+    def test_registry_contains_the_ten_figures_plus_extras(self):
         from repro.bench.__main__ import ALL
 
-        expected = [f"fig{n:02d}" for n in range(2, 12)] + ["protocol_cost"]
+        expected = sorted(
+            [f"fig{n:02d}" for n in range(2, 12)]
+            + ["protocol_cost", "fig12_collapse"]
+        )
         assert sorted(ALL) == expected
         assert all(callable(fn) for fn in ALL.values())

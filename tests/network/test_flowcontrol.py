@@ -69,3 +69,32 @@ class TestFlowControl:
         sim.run()
         assert granted == ["first", "second"]
         assert sim.now == 5.0  # 3.0 delivery + 2.0 ack
+
+    def test_pools_materialize_only_for_touched_pairs(self):
+        """Pair state is lazy: untouched (src, dst) pairs allocate
+        nothing, however large the job (the satellite-1 fix for the
+        eager nranks x nranks grid)."""
+        sim = Simulator()
+        fc = FlowControl(sim, capacity=4, ack_latency=1.0, nranks=1 << 20)
+        assert len(fc._pools) == 0
+        fc.acquire(0, 1, lambda: None)
+        fc.acquire(7, 3, lambda: None)
+        fc.acquire(0, 1, lambda: None)
+        assert set(fc._pools) == {(0, 1), (7, 3)}
+
+    def test_reclaim_idle_recycles_quiet_pools(self):
+        """A pool with all credits home and no waiters is recycled to
+        the freelist; busy pools are left alone."""
+        sim = Simulator()
+        fc = FlowControl(sim, capacity=1, ack_latency=1.0)
+        fc.acquire(0, 1, lambda: None)   # holds the (0, 1) credit
+        fc.acquire(2, 3, lambda: None)
+        fc.pool(2, 3).release()          # (2, 3) back to full, idle
+        fc.pool(4, 5)                    # touched but never acquired
+        assert fc.reclaim_idle() == 2
+        assert set(fc._pools) == {(0, 1)}
+        # The freelist is reused before constructing a fresh pool.
+        recycled = set(fc._freelist)
+        assert len(recycled) == 2
+        assert fc.pool(9, 9) in recycled
+        assert len(fc._freelist) == 1

@@ -1,0 +1,172 @@
+"""Pooled sparse counter containers: dense equivalence + O(touched) sizing.
+
+The scale story (Fig. 12 regime) rests on these containers behaving
+*bit-identically* to the dense ``np.zeros(nranks)`` arrays they
+replaced while allocating only for touched keys.  The Hypothesis model
+test drives a sparse container and a dense reference through the same
+random op sequence and compares every read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime import SparseCounterMat, SparseCounterVec
+from repro.simtime.sparse import _INITIAL_POOL
+
+
+class TestVecBasics:
+    def test_untouched_reads_zero_without_materializing(self):
+        v = SparseCounterVec(1 << 20)
+        assert v[12345] == 0
+        assert v[999999] == 0
+        assert v.touched() == 0
+        assert len(v) == 0
+        assert 12345 not in v
+
+    def test_store_then_load(self):
+        v = SparseCounterVec(8)
+        v[3] = 7
+        v[3] += 2
+        assert v[3] == 9
+        assert 3 in v
+        assert v.touched() == 1
+
+    def test_growth_past_initial_pool(self):
+        v = SparseCounterVec()
+        keys = list(range(5 * _INITIAL_POOL))
+        for k in keys:
+            v[k] = k + 1
+        assert [v[k] for k in keys] == [k + 1 for k in keys]
+        assert v.touched() == len(keys)
+
+    def test_gather_returns_ndarray(self):
+        v = SparseCounterVec(64)
+        v[5] = 50
+        v[9] = 90
+        got = v[[9, 5, 7]]
+        assert isinstance(got, np.ndarray)
+        assert got.dtype == np.int64
+        assert got.tolist() == [90, 50, 0]
+
+    def test_items_nonzero_ascending_regardless_of_touch_order(self):
+        v = SparseCounterVec()
+        v[9] = 1
+        v[2] = 5
+        v[7] = 0  # touched but zero: excluded from items()
+        assert list(v.items()) == [(2, 5), (9, 1)]
+        assert v.touched() == 3
+
+    def test_sum(self):
+        v = SparseCounterVec()
+        v[1] = 10
+        v[40] = 32
+        assert v.sum() == 42
+
+
+class TestMatBasics:
+    def test_untouched_reads_zero(self):
+        m = SparseCounterMat(6, 1 << 20)
+        assert m[3, 123456] == 0
+        assert m.touched() == 0
+
+    def test_store_load_and_gather(self):
+        m = SparseCounterMat(6, 64)
+        m[1, 5] = 50
+        m[2, 5] = 7
+        assert m[1, 5] == 50
+        assert m[2, 5] == 7
+        got = m[1, [5, 6]]
+        assert isinstance(got, np.ndarray)
+        assert got.tolist() == [50, 0]
+
+    def test_row_items_ascending_and_row_scoped(self):
+        m = SparseCounterMat()
+        m[0, 9] = 1
+        m[0, 2] = 2
+        m[1, 4] = 3
+        m[0, 5] = 0
+        assert list(m.row_items(0)) == [(2, 2), (9, 1)]
+        assert list(m.row_items(1)) == [(4, 3)]
+
+    def test_growth_past_initial_pool(self):
+        m = SparseCounterMat()
+        for c in range(3 * _INITIAL_POOL):
+            m[c % 4, c] = c + 1
+        for c in range(3 * _INITIAL_POOL):
+            assert m[c % 4, c] == c + 1
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: sparse container == dense ndarray, op for op
+# ---------------------------------------------------------------------------
+_NRANKS = 32
+
+_vec_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.integers(0, _NRANKS - 1), st.integers(0, 50)),
+        st.tuples(st.just("add"), st.integers(0, _NRANKS - 1), st.integers(1, 5)),
+        st.tuples(st.just("get"), st.integers(0, _NRANKS - 1), st.just(0)),
+        st.tuples(
+            st.just("gather"),
+            st.lists(st.integers(0, _NRANKS - 1), min_size=1, max_size=6),
+            st.just(0),
+        ),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_vec_ops)
+@settings(max_examples=60, deadline=None)
+def test_vec_matches_dense_reference(ops):
+    sparse = SparseCounterVec(_NRANKS)
+    dense = np.zeros(_NRANKS, dtype=np.int64)
+    for what, key, val in ops:
+        if what == "set":
+            sparse[key] = val
+            dense[key] = val
+        elif what == "add":
+            sparse[key] += val
+            dense[key] += val
+        elif what == "get":
+            assert sparse[key] == int(dense[key])
+        else:
+            assert sparse[key].tolist() == dense[key].tolist()
+    assert sparse.sum() == int(dense.sum())
+    assert list(sparse.items()) == [
+        (i, int(v)) for i, v in enumerate(dense) if v
+    ]
+
+
+_mat_ops = st.lists(
+    st.tuples(
+        st.sampled_from(("set", "add", "get")),
+        st.integers(0, 3),
+        st.integers(0, _NRANKS - 1),
+        st.integers(0, 20),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_mat_ops)
+@settings(max_examples=60, deadline=None)
+def test_mat_matches_dense_reference(ops):
+    sparse = SparseCounterMat(4, _NRANKS)
+    dense = np.zeros((4, _NRANKS), dtype=np.int64)
+    for what, row, col, val in ops:
+        if what == "set":
+            sparse[row, col] = val
+            dense[row, col] = val
+        elif what == "add":
+            sparse[row, col] += val
+            dense[row, col] += val
+        else:
+            assert sparse[row, col] == int(dense[row, col])
+    for row in range(4):
+        assert list(sparse.row_items(row)) == [
+            (c, int(v)) for c, v in enumerate(dense[row]) if v
+        ]

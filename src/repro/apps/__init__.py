@@ -11,9 +11,22 @@
   database workload the paper's conclusion names as future work (§X).
 - :mod:`~repro.apps.stencil2d` — 2-D Jacobi with GATS neighbor-group
   halo exchange (the fine-grained active-target style of §II).
+- :mod:`~repro.apps.kvservice` — a sharded KV service: open-loop client
+  traffic through multi-tenant windows, shard rebalancing and stats
+  aggregation over :mod:`repro.coll` persistent collectives.
+
+Every config inherits the shared runtime surface from
+:class:`~repro.apps.config.BaseAppConfig`.
 """
 
+from .config import BaseAppConfig
 from .factdb import FactDbConfig, FactDbResult, run_factdb
+from .kvservice import (
+    KvServiceConfig,
+    KvServiceResult,
+    reference_kvservice,
+    run_kvservice,
+)
 from .stencil2d import (
     Stencil2DConfig,
     Stencil2DResult,
@@ -25,6 +38,11 @@ from .lu import LUConfig, LUResult, run_lu
 from .transactions import TransactionsConfig, TransactionsResult, run_transactions
 
 __all__ = [
+    "BaseAppConfig",
+    "KvServiceConfig",
+    "KvServiceResult",
+    "run_kvservice",
+    "reference_kvservice",
     "TransactionsConfig",
     "TransactionsResult",
     "run_transactions",

@@ -28,14 +28,16 @@ grand total equals ``sum(v_k over fired rules)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
-from ..network.model import NetworkModel
 from ..rma.flags import A_A_A_R
 from ..rma.window import LOCK_SHARED
+from .config import BaseAppConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mpi.runtime import MPIRuntime
 
 __all__ = ["FactDbConfig", "FactDbResult", "run_factdb"]
 
@@ -70,32 +72,20 @@ def _derive(key: int, universe: int) -> int:
 
 
 @dataclass(frozen=True)
-class FactDbConfig:
-    """Workload parameters."""
+class FactDbConfig(BaseAppConfig):
+    """Workload parameters (runtime knobs on :class:`BaseAppConfig`)."""
 
     nranks: int
     #: Distinct fact keys (base facts occupy the first half of the key
     #: space; derived facts the second half).
     universe: int = 256
     firings_per_rank: int = 30
-    engine: str = DEFAULT_ENGINE
-    nonblocking: bool = False
     reorder: bool = False
     #: Max in-flight derivations per rank (nonblocking modes).
     max_pending: int = 16
     #: Derivation compute cost per firing (µs).
     match_cost_us: float = 2.0
     seed: int = 42
-    cores_per_node: int = 8
-    model: NetworkModel | None = None
-    #: Collect :mod:`repro.obs` telemetry (see :class:`FactDbResult.runtime`).
-    metrics: bool = False
-    #: Record the event trace (needed for Chrome trace export).
-    trace: bool = False
-    #: Record causal spans (see :mod:`repro.obs.causal`).
-    causal: bool = False
-    #: Schedule-exploration context (see :mod:`repro.explore`).
-    exploration: Any = None
 
     @property
     def slots_per_rank(self) -> int:
@@ -141,7 +131,7 @@ def reference_table(cfg: FactDbConfig) -> np.ndarray:
 
 
 def _make_app(cfg: FactDbConfig, finish: list[float]):
-    info = {A_A_A_R: 1} if cfg.reorder else None
+    info = {**({A_A_A_R: 1} if cfg.reorder else {}), **cfg.checker_info()} or None
     n = cfg.nranks
     slots = cfg.slots_per_rank
 
@@ -204,21 +194,12 @@ def _make_app(cfg: FactDbConfig, finish: list[float]):
 
 def run_factdb(cfg: FactDbConfig) -> FactDbResult:
     """Run the rule engine; returns timing and the final table."""
-    runtime = MPIRuntime(
-        cfg.nranks,
-        cores_per_node=cfg.cores_per_node,
-        engine=cfg.engine,
-        model=cfg.model,
-        metrics=cfg.metrics,
-        trace=cfg.trace,
-        causal=cfg.causal,
-        exploration=cfg.exploration,
-    )
+    runtime = cfg.make_runtime()
     finish = [0.0] * cfg.nranks
     tables = runtime.run(_make_app(cfg, finish))
     return FactDbResult(
         elapsed_us=max(finish),
         table=np.stack(tables),
         total_firings=cfg.nranks * cfg.firings_per_rank,
-        runtime=runtime if (cfg.metrics or cfg.trace or cfg.causal) else None,
+        runtime=cfg.keep_runtime(runtime),
     )

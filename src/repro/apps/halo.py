@@ -12,12 +12,11 @@ Fence mitigation: with ``ifence``, the relaxation of *interior* cells
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
 import numpy as np
 
-from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
-from ..network.model import NetworkModel
+from ..mpi.runtime import MPIRuntime
+from .config import BaseAppConfig
 
 __all__ = ["HaloConfig", "HaloResult", "run_halo"]
 
@@ -28,26 +27,14 @@ _ITEM = 8
 
 
 @dataclass(frozen=True)
-class HaloConfig:
-    """Halo-exchange parameters."""
+class HaloConfig(BaseAppConfig):
+    """Halo-exchange parameters (runtime knobs on :class:`BaseAppConfig`)."""
 
     nranks: int
     cells_per_rank: int = 64
     iterations: int = 10
-    engine: str = DEFAULT_ENGINE
-    nonblocking: bool = False
     #: Extra µs of interior compute per iteration (overlap fodder).
     interior_work_us: float = 0.0
-    cores_per_node: int = 8
-    model: NetworkModel | None = None
-    #: Collect :mod:`repro.obs` telemetry (see :class:`HaloResult.runtime`).
-    metrics: bool = False
-    #: Record the event trace (needed for Chrome trace export).
-    trace: bool = False
-    #: Record causal spans (see :mod:`repro.obs.causal`).
-    causal: bool = False
-    #: Schedule-exploration context (see :mod:`repro.explore`).
-    exploration: Any = None
 
 
 @dataclass
@@ -83,7 +70,8 @@ def run_halo(cfg: HaloConfig, initial: np.ndarray | None = None) -> HaloResult:
     def app(proc):
         n, cells = proc.size, cfg.cells_per_rank
         rank = proc.rank
-        win = yield from proc.win_allocate((cells + 2) * _ITEM)
+        win = yield from proc.win_allocate((cells + 2) * _ITEM,
+                                           info=cfg.checker_info() or None)
         strip = initial[rank * cells : (rank + 1) * cells].astype(_F8).copy()
         left, right = (rank - 1) % n, (rank + 1) % n
         yield from proc.barrier()
@@ -115,17 +103,8 @@ def run_halo(cfg: HaloConfig, initial: np.ndarray | None = None) -> HaloResult:
         stats[rank] = proc.wtime() - t0
         return strip
 
-    runtime = MPIRuntime(
-        cfg.nranks,
-        cores_per_node=cfg.cores_per_node,
-        engine=cfg.engine,
-        model=cfg.model,
-        metrics=cfg.metrics,
-        trace=cfg.trace,
-        causal=cfg.causal,
-        exploration=cfg.exploration,
-    )
+    runtime = cfg.make_runtime()
     strips = runtime.run(app)
     field = np.concatenate(strips)
-    keep = runtime if (cfg.metrics or cfg.trace or cfg.causal) else None
-    return HaloResult(elapsed_us=max(stats.values()), field=field, runtime=keep)
+    return HaloResult(elapsed_us=max(stats.values()), field=field,
+                      runtime=cfg.keep_runtime(runtime))

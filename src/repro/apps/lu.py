@@ -35,12 +35,11 @@ Two compute modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
 import numpy as np
 
-from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
-from ..network.model import NetworkModel
+from ..mpi.runtime import MPIRuntime
+from .config import BaseAppConfig
 
 __all__ = ["LUConfig", "LUResult", "run_lu"]
 
@@ -48,13 +47,11 @@ _F8 = np.float64
 
 
 @dataclass(frozen=True)
-class LUConfig:
-    """LU run parameters."""
+class LUConfig(BaseAppConfig):
+    """LU run parameters (runtime knobs on :class:`BaseAppConfig`)."""
 
     nranks: int
     m: int
-    engine: str = DEFAULT_ENGINE
-    nonblocking: bool = False
     #: µs of compute charged per updated cell (None = really compute).
     work_per_cell_us: float | None = None
     #: Virtual-time cost charged per cell in *real* mode (numpy work
@@ -63,16 +60,6 @@ class LUConfig:
     #: Input matrix (real mode); generated diagonally dominant if None.
     matrix: np.ndarray | None = None
     seed: int = 7
-    cores_per_node: int = 8
-    model: NetworkModel | None = None
-    #: Collect :mod:`repro.obs` telemetry (see :class:`LUResult.runtime`).
-    metrics: bool = False
-    #: Record the event trace (needed for Chrome trace export).
-    trace: bool = False
-    #: Record causal spans (see :mod:`repro.obs.causal`).
-    causal: bool = False
-    #: Schedule-exploration context (see :mod:`repro.explore`).
-    exploration: Any = None
 
 
 @dataclass
@@ -118,7 +105,8 @@ def _make_app(cfg: LUConfig, stats: dict):
         rank = proc.rank
         comm_us = 0.0
         # Receive buffer for one pivot row's trailing cells.
-        win = yield from proc.win_allocate(m * _F8().itemsize)
+        win = yield from proc.win_allocate(m * _F8().itemsize,
+                                           info=cfg.checker_info() or None)
         rows = {i: base[i].astype(_F8).copy() for i in _owned_rows(rank, m, n)} if real else None
         yield from proc.barrier()
         t_start = proc.wtime()
@@ -214,16 +202,7 @@ def _update(proc, cfg: LUConfig, rows, rank: int, k: int, row_k):
 def run_lu(cfg: LUConfig) -> LUResult:
     """Run the kernel; in real mode also reassemble the combined LU
     factors (U in the upper triangle, L multipliers below)."""
-    runtime = MPIRuntime(
-        cfg.nranks,
-        cores_per_node=cfg.cores_per_node,
-        engine=cfg.engine,
-        model=cfg.model,
-        metrics=cfg.metrics,
-        trace=cfg.trace,
-        causal=cfg.causal,
-        exploration=cfg.exploration,
-    )
+    runtime = cfg.make_runtime()
     stats: dict = {}
     results = runtime.run(_make_app(cfg, stats))
     elapsed = max(stats["elapsed"].values())
@@ -234,5 +213,5 @@ def run_lu(cfg: LUConfig) -> LUResult:
         for rows in results:
             for i, row in rows.items():
                 u[i] = row
-    keep = runtime if (cfg.metrics or cfg.trace or cfg.causal) else None
-    return LUResult(elapsed_us=elapsed, comm_us=comm, u_matrix=u, runtime=keep)
+    return LUResult(elapsed_us=elapsed, comm_us=comm, u_matrix=u,
+                    runtime=cfg.keep_runtime(runtime))

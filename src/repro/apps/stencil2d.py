@@ -25,14 +25,13 @@ against a sequential reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
-from ..network.model import NetworkModel
+from ..mpi.runtime import MPIRuntime
 from ..rma.flags import A_A_E_R
+from .config import BaseAppConfig
 
 __all__ = ["Stencil2DConfig", "Stencil2DResult", "run_stencil2d", "reference_stencil2d"]
 
@@ -41,8 +40,8 @@ _ITEM = 8
 
 
 @dataclass(frozen=True)
-class Stencil2DConfig:
-    """2-D stencil parameters.
+class Stencil2DConfig(BaseAppConfig):
+    """2-D stencil parameters (runtime knobs on :class:`BaseAppConfig`).
 
     The global grid is ``(pr * tile) x (pc * tile)`` cells, with
     fixed-zero boundary conditions, partitioned into square tiles.
@@ -52,20 +51,9 @@ class Stencil2DConfig:
     pc: int
     tile: int = 8
     iterations: int = 4
-    engine: str = DEFAULT_ENGINE
-    nonblocking: bool = False
     #: Interior-update compute charged per iteration (µs).
     interior_work_us: float = 0.0
-    cores_per_node: int = 4
-    model: NetworkModel | None = None
-    #: Collect :mod:`repro.obs` telemetry (see :class:`Stencil2DResult.runtime`).
-    metrics: bool = False
-    #: Record the event trace (needed for Chrome trace export).
-    trace: bool = False
-    #: Record causal spans (see :mod:`repro.obs.causal`).
-    causal: bool = False
-    #: Schedule-exploration context (see :mod:`repro.explore`).
-    exploration: Any = None
+    cores_per_node: int = field(default=4, kw_only=True)
 
     @property
     def nranks(self) -> int:
@@ -124,7 +112,8 @@ def run_stencil2d(cfg: Stencil2DConfig, initial: np.ndarray | None = None) -> St
     def app(proc):
         t = cfg.tile
         r, c = divmod(proc.rank, cfg.pc)
-        win = yield from proc.win_allocate(4 * t * _ITEM, info={A_A_E_R: 1})
+        win = yield from proc.win_allocate(
+            4 * t * _ITEM, info={A_A_E_R: 1, **cfg.checker_info()})
         tile = initial[r * t : (r + 1) * t, c * t : (c + 1) * t].astype(_F8).copy()
         nbrs = {d: n for d, n in _neighbors(r, c, cfg.pr, cfg.pc).items() if n is not None}
         group = tuple(sorted(set(nbrs.values())))
@@ -181,20 +170,11 @@ def run_stencil2d(cfg: Stencil2DConfig, initial: np.ndarray | None = None) -> St
         stats[proc.rank] = proc.wtime() - t0
         return tile
 
-    runtime = MPIRuntime(
-        cfg.nranks,
-        cores_per_node=cfg.cores_per_node,
-        engine=cfg.engine,
-        model=cfg.model,
-        metrics=cfg.metrics,
-        trace=cfg.trace,
-        causal=cfg.causal,
-        exploration=cfg.exploration,
-    )
+    runtime = cfg.make_runtime()
     tiles = runtime.run(app)
     grid = np.zeros((rows, cols), dtype=_F8)
     for rank, tile in enumerate(tiles):
         r, c = divmod(rank, cfg.pc)
         grid[r * cfg.tile : (r + 1) * cfg.tile, c * cfg.tile : (c + 1) * cfg.tile] = tile
-    keep = runtime if (cfg.metrics or cfg.trace or cfg.causal) else None
-    return Stencil2DResult(elapsed_us=max(stats.values()), grid=grid, runtime=keep)
+    return Stencil2DResult(elapsed_us=max(stats.values()), grid=grid,
+                           runtime=cfg.keep_runtime(runtime))

@@ -29,15 +29,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
-from ..mpi.runtime import DEFAULT_ENGINE, MPIRuntime
-from ..network.model import NetworkModel
-from ..rma.checker import SEMANTICS_CHECK_INFO_KEY, SEMANTICS_MODE_INFO_KEY
 from ..rma.flags import A_A_A_R
+from .config import BaseAppConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..faults import FaultPlan
+    from ..mpi.runtime import MPIRuntime
 
 __all__ = ["TransactionsConfig", "TransactionsResult", "run_transactions"]
 
@@ -45,18 +43,15 @@ _SLOT_BYTES = 8
 
 
 @dataclass(frozen=True)
-class TransactionsConfig:
-    """Workload parameters."""
+class TransactionsConfig(BaseAppConfig):
+    """Workload parameters (runtime knobs on :class:`BaseAppConfig`)."""
 
     nranks: int
     txns_per_rank: int = 50
     slots_per_rank: int = 64
-    engine: str = DEFAULT_ENGINE
-    nonblocking: bool = False
     reorder: bool = False
     max_pending: int = 32
     seed: int = 2014
-    cores_per_node: int = 8
     #: Work between transactions (outside any epoch).
     think_time_us: float = 0.0
     #: Work inside each epoch between the update call and the unlock
@@ -64,20 +59,6 @@ class TransactionsConfig:
     #: baseline's lack of overlap: the eager engines hide this time
     #: behind lock acquisition and the transfer; the lazy one cannot.
     work_in_epoch_us: float = 0.0
-    flow_control: bool = True
-    model: NetworkModel | None = None
-    #: Chaos schedule applied to the fabric (arms the reliability layer).
-    fault_plan: "FaultPlan | None" = None
-    #: Run the RMA semantics checker on every window ("raise"/"report").
-    semantics_check: str | None = None
-    #: Collect :mod:`repro.obs` telemetry (see :class:`TransactionsResult.runtime`).
-    metrics: bool = False
-    #: Record the event trace (needed for Chrome trace export).
-    trace: bool = False
-    #: Record causal spans (see :mod:`repro.obs.causal`).
-    causal: bool = False
-    #: Schedule-exploration context (see :mod:`repro.explore`).
-    exploration: Any = None
 
     @property
     def window_bytes(self) -> int:
@@ -116,12 +97,9 @@ class TransactionsResult:
 
 
 def _make_app(cfg: TransactionsConfig, finish_times: list[float]):
-    info = {}
+    info = {**cfg.checker_info()}
     if cfg.reorder:
         info[A_A_A_R] = 1
-    if cfg.semantics_check:
-        info[SEMANTICS_CHECK_INFO_KEY] = 1
-        info[SEMANTICS_MODE_INFO_KEY] = cfg.semantics_check
 
     def app(proc):
         rng = np.random.default_rng(cfg.seed + proc.rank * 7919)
@@ -168,18 +146,7 @@ def _make_app(cfg: TransactionsConfig, finish_times: list[float]):
 
 def run_transactions(cfg: TransactionsConfig) -> TransactionsResult:
     """Execute the workload; returns throughput and the correctness sum."""
-    runtime = MPIRuntime(
-        cfg.nranks,
-        cores_per_node=cfg.cores_per_node,
-        engine=cfg.engine,
-        model=cfg.model,
-        flow_control=cfg.flow_control,
-        fault_plan=cfg.fault_plan,
-        metrics=cfg.metrics,
-        trace=cfg.trace,
-        causal=cfg.causal,
-        exploration=cfg.exploration,
-    )
+    runtime = cfg.make_runtime()
     finish_times = [0.0] * cfg.nranks
     sums = runtime.run(_make_app(cfg, finish_times))
     total = cfg.nranks * cfg.txns_per_rank
@@ -194,5 +161,5 @@ def run_transactions(cfg: TransactionsConfig) -> TransactionsResult:
         retransmissions=rel.retransmissions if rel is not None else 0,
         dup_suppressed=rel.dup_suppressed if rel is not None else 0,
         faults_injected=dict(injector.counters) if injector is not None else None,
-        runtime=runtime if (cfg.metrics or cfg.trace or cfg.causal) else None,
+        runtime=cfg.keep_runtime(runtime),
     )

@@ -171,19 +171,30 @@ def _protocol_cost_data() -> FigData:
     """
     from ..obs.causal import CATEGORIES
     from ..obs.critpath import critpath_report
-    from ..obs.workloads import WORKLOADS, run_instrumented
+    from ..obs.workloads import run_instrumented
+    from ..workloads import CLASSIC_WORKLOADS, SERIES
 
-    label = {"mvapich": "MVAPICH", "new": "New",
-             "new-nonblocking": "New nonblocking", "signal": "Signal"}
+    # Pinned to the classic six-workload matrix: the committed baseline
+    # is exact-equality, so registry growth must not change this figure.
+    label = {s.name: s.label for s in SERIES}
     rows: dict[str, dict] = {}
     for series_key in ("mvapich", "new", "new-nonblocking", "signal"):
-        for workload in sorted(WORKLOADS):
+        for workload in CLASSIC_WORKLOADS:
             runtime = run_instrumented(workload, series_key, metrics=False)
             doc = critpath_report(runtime, include_epochs=False)
             rows[f"{label[series_key]}/{workload}"] = {
                 c: doc["blocked_ns"][c] for c in CATEGORIES
             }
     return "Protocol cost: per-category blocked time", CATEGORIES, rows, "ns"
+
+
+def _coll_overlap_data() -> FigData:
+    """Blocking vs persistent-nonblocking collective invocations over
+    three counts shapes (see :mod:`repro.bench.coll_overlap`).  Pure
+    virtual-time data — held to exact equality by the baseline check."""
+    from .coll_overlap import coll_overlap_data
+
+    return coll_overlap_data()
 
 
 def _fig12_collapse_data() -> FigData:
@@ -205,13 +216,18 @@ BUILDERS = {
 # Not paper figures 2-11, so registered explicitly (the regex only
 # harvests the bare fig\d+ builders).
 BUILDERS["protocol_cost"] = _protocol_cost_data
+BUILDERS["coll_overlap"] = _coll_overlap_data
 BUILDERS["fig12_collapse"] = _fig12_collapse_data
 
 #: Per-figure tolerance overrides applied by ``--check`` on top of the
 #: global ``--tolerance`` (CLI ``--figure-tolerance`` wins over these).
-#: Both figures are pure virtual-time data, so drift means a schedule
-#: changed and is never acceptable without re-baselining.
-DEFAULT_FIGURE_TOLERANCES = {"protocol_cost": 0.0, "fig12_collapse": 0.0}
+#: All three figures are pure virtual-time data, so drift means a
+#: schedule changed and is never acceptable without re-baselining.
+DEFAULT_FIGURE_TOLERANCES = {
+    "protocol_cost": 0.0,
+    "coll_overlap": 0.0,
+    "fig12_collapse": 0.0,
+}
 
 
 def _build(name: str) -> tuple:
@@ -273,6 +289,10 @@ def protocol_cost() -> str:
     return _render("protocol_cost")
 
 
+def coll_overlap() -> str:
+    return _render("coll_overlap")
+
+
 def fig12_collapse() -> str:
     return _render("fig12_collapse")
 
@@ -283,6 +303,7 @@ ALL = {
     if re.fullmatch(r"fig\d+", name) and callable(fn)
 }
 ALL["protocol_cost"] = protocol_cost
+ALL["coll_overlap"] = coll_overlap
 ALL["fig12_collapse"] = fig12_collapse
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from ..workloads import SERIES as _SERIES_TABLE
+
 __all__ = ["Series", "SERIES", "series_label", "format_table"]
 
 
@@ -24,11 +26,10 @@ class Series:
     nonblocking: bool
 
 
-SERIES: tuple[Series, ...] = (
-    Series("MVAPICH", "mvapich", False),
-    Series("New", "nonblocking", False),
-    Series("New nonblocking", "nonblocking", True),
-    Series("Signal", "signal", True),
+#: The canonical series table (:data:`repro.workloads.SERIES`) under the
+#: bench harness's display names.
+SERIES: tuple[Series, ...] = tuple(
+    Series(s.label, s.engine, s.nonblocking) for s in _SERIES_TABLE
 )
 
 

@@ -1,0 +1,39 @@
+"""``repro.coll`` — persistent RMA collectives over nonblocking epochs.
+
+Plan once, execute many times::
+
+    coll = yield from plan_alltoallv(proc, counts)
+    for _ in range(iters):
+        coll.start(blocks)          # issues the prebuilt epoch chain
+        ...                         # overlapped compute (nonblocking drive)
+        received = yield from coll.wait()
+    yield from coll.finish()
+
+See :mod:`repro.coll.persistent` for the epoch styles (fence / PSCW /
+notified-access) and :mod:`repro.coll.schedule` for the compiled layout.
+"""
+
+from .persistent import (
+    STYLES,
+    PersistentAllgather,
+    PersistentAllreduce,
+    PersistentColl,
+    plan_allgather,
+    plan_allreduce,
+    plan_alltoallv,
+)
+from .schedule import CollSchedule, build_schedule, uniform_counts, validate_counts
+
+__all__ = [
+    "STYLES",
+    "CollSchedule",
+    "PersistentAllgather",
+    "PersistentAllreduce",
+    "PersistentColl",
+    "build_schedule",
+    "plan_allgather",
+    "plan_allreduce",
+    "plan_alltoallv",
+    "uniform_counts",
+    "validate_counts",
+]

@@ -15,18 +15,21 @@ and their :class:`~repro.explore.digest.OutcomeDigest`\\ s are compared:
   variant*: notification traffic differs legitimately between the
   engine designs but may never depend on the schedule.
 
-Workloads are deliberately small instances of the five real apps — big
+Workloads are deliberately small instances of the real apps — big
 enough to produce cross-rank traffic on every synchronization style
-(fence, GATS, exclusive/shared locks), small enough that a 4-variant ×
-N-schedule sweep stays in CI-smoke territory.
+(fence, GATS, exclusive/shared locks, persistent collectives), small
+enough that a 4-variant × N-schedule sweep stays in CI-smoke territory.
+The workload factories themselves live in the :mod:`repro.workloads`
+registry (the single source of workload names); this module owns the
+sweep and the digest comparison.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Callable
 
+from ..workloads import SERIES, get_workload, workload_names
 from .context import ExplorationContext
 from .digest import OutcomeDigest, build_digest, diff_digests
 from .policy import PerturbationSpec, specs_for
@@ -51,168 +54,30 @@ class EngineVariant:
     nonblocking: bool
 
 
-#: The paper's three test series (§IX) plus the counter-signal engine.
-VARIANTS: tuple[EngineVariant, ...] = (
-    EngineVariant("mvapich", "mvapich", False),
-    EngineVariant("new", "nonblocking", False),
-    EngineVariant("new-nonblocking", "nonblocking", True),
-    EngineVariant("signal", "signal", True),
+#: The paper's three test series (§IX) plus the counter-signal engine
+#: (the registry's canonical series table, in its order).
+VARIANTS: tuple[EngineVariant, ...] = tuple(
+    EngineVariant(s.name, s.engine, s.nonblocking) for s in SERIES
 )
 
 
-def _arr_sha(arr) -> str:
-    import numpy as np
+def _oracle_adapter(name: str) -> Callable[[EngineVariant, ExplorationContext], dict]:
+    oracle = get_workload(name).oracle
 
-    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+    def run(variant: EngineVariant, exploration: ExplorationContext) -> dict:
+        return oracle(variant.engine, variant.nonblocking, exploration)
 
-
-# -- workload runners (config sizes chosen for sweep speed) -----------------
-
-def _run_halo(variant: EngineVariant, exploration: ExplorationContext) -> dict:
-    from ..apps.halo import HaloConfig, run_halo
-
-    cfg = HaloConfig(
-        nranks=3, cells_per_rank=8, iterations=3,
-        engine=variant.engine, nonblocking=variant.nonblocking,
-        exploration=exploration,
-    )
-    res = run_halo(cfg)
-    return {"field_sha": _arr_sha(res.field)}
-
-
-def _run_stencil2d(variant: EngineVariant, exploration: ExplorationContext) -> dict:
-    from ..apps.stencil2d import Stencil2DConfig, run_stencil2d
-
-    cfg = Stencil2DConfig(
-        pr=2, pc=2, tile=4, iterations=2,
-        engine=variant.engine, nonblocking=variant.nonblocking,
-        exploration=exploration,
-    )
-    res = run_stencil2d(cfg)
-    return {"grid_sha": _arr_sha(res.grid)}
-
-
-def _run_lu(variant: EngineVariant, exploration: ExplorationContext) -> dict:
-    from ..apps.lu import LUConfig, run_lu
-
-    cfg = LUConfig(
-        nranks=3, m=6,  # real mode: the U factor is the checkable answer
-        engine=variant.engine, nonblocking=variant.nonblocking,
-        exploration=exploration,
-    )
-    res = run_lu(cfg)
-    return {"u_sha": _arr_sha(res.u_matrix)}
-
-
-def _run_transactions(variant: EngineVariant, exploration: ExplorationContext) -> dict:
-    from ..apps.transactions import TransactionsConfig, run_transactions
-
-    cfg = TransactionsConfig(
-        nranks=3, txns_per_rank=6, slots_per_rank=16,
-        engine=variant.engine, nonblocking=variant.nonblocking,
-        exploration=exploration,
-    )
-    res = run_transactions(cfg)
-    # fc_stalls / retransmissions / elapsed_us are timing-dependent by
-    # design — the integer counter sums are the schedule-free answer.
-    return {"applied": res.applied, "rank_sums": [int(s) for s in res.rank_sums]}
-
-
-def _run_factdb(variant: EngineVariant, exploration: ExplorationContext) -> dict:
-    from ..apps.factdb import FactDbConfig, run_factdb
-
-    cfg = FactDbConfig(
-        nranks=3, universe=32, firings_per_rank=5,
-        engine=variant.engine, nonblocking=variant.nonblocking,
-        exploration=exploration,
-    )
-    res = run_factdb(cfg)
-    return {"table_sha": _arr_sha(res.table), "total": res.derived_total()}
-
-
-def _run_ordering(variant: EngineVariant, exploration: ExplorationContext) -> dict:
-    """Deferred-epoch ordering pipeline (2 ranks, mixed epoch kinds).
-
-    Rank 0 issues three epochs back to back without waiting: an
-    exclusive-lock update (A0), an exposure epoch (E1) during which rank
-    1 puts into rank 0's window, and a second lock epoch (A2) that
-    *reads* a cell rank 1 only writes after its own GATS access epoch
-    completed.  The window carries ``A_A_A_R``, so A2 may legally
-    activate past the still-active A0 — but never past the *deferred*
-    E1: the §VII-A scan must stop at E1 (exposure-after-access is not
-    licensed).  Program order therefore guarantees A2's read happens
-    after E1 completed, i.e. after rank 1's local write (separated by at
-    least two internode hops, far beyond any legal schedule
-    perturbation).  An engine that skips blocked epochs in the scan
-    activates A2 early and reads the cell before rank 1 ever ran —
-    final window memory and the app answer both diverge.  This is the
-    workload the mutation self-test drives.
-    """
-    import numpy as np
-
-    from ..mpi.runtime import MPIRuntime
-    from ..rma.flags import A_A_A_R
-
-    _i8 = np.int64
-
-    def origin(proc):
-        win = yield from proc.win_allocate(4 * 8, info={A_A_A_R: 1})
-        yield from proc.barrier()
-        buf = np.zeros(1, dtype=_i8)
-        one = np.ones(1, dtype=_i8)
-        if variant.nonblocking:
-            win.ilock(1)
-            win.accumulate(one, 1, 0)                      # A0
-            r0 = win.iunlock(1)
-            win.ipost((1,))                                # E1
-            rexp = win.iwait()
-            win.ilock(1)
-            win.get(buf, 1, 2 * 8)                         # A2
-            r2 = win.iunlock(1)
-            yield from proc.waitall([r0, rexp, r2])
-        else:
-            yield from win.lock(1)
-            win.accumulate(one, 1, 0)
-            yield from win.unlock(1)
-            yield from win.post((1,))
-            yield from win.wait_epoch()
-            yield from win.lock(1)
-            win.get(buf, 1, 2 * 8)
-            yield from win.unlock(1)
-        win.view(_i8)[3] = buf[0]
-        yield from proc.barrier()
-        return int(buf[0])
-
-    def target(proc):
-        win = yield from proc.win_allocate(4 * 8, info={A_A_A_R: 1})
-        yield from proc.barrier()
-        payload = np.full(1, 42, dtype=_i8)
-        yield from win.start((0,))
-        win.put(payload, 0, 1 * 8)
-        yield from win.complete()
-        win.view(_i8)[2] = 7                               # after my epoch
-        yield from proc.barrier()
-        return 0
-
-    runtime = MPIRuntime(
-        2, cores_per_node=1,  # internode: hop latency >> perturbation bound
-        engine=variant.engine, exploration=exploration,
-    )
-    results = runtime.run_mixed({0: origin, 1: target})
-    return {"read": results[0]}
+    run.__name__ = f"_run_{name}"
+    return run
 
 
 #: Workload name -> runner(variant, exploration) -> schedule-free result
-#: summary.  Each runner builds its app config with the exploration
-#: context threaded through and extracts only schedule-independent
-#: fields (never elapsed_us / fc_stalls / comm_us).
+#: summary, resolved through :data:`repro.workloads.WORKLOADS`.  Each
+#: runner threads the exploration context through its app config and
+#: extracts only schedule-independent fields (never elapsed_us /
+#: fc_stalls / comm_us / latencies).
 WORKLOADS: dict[str, Callable[[EngineVariant, ExplorationContext], dict]] = {
-    "halo": _run_halo,
-    "stencil2d": _run_stencil2d,
-    "lu": _run_lu,
-    "transactions": _run_transactions,
-    "factdb": _run_factdb,
-    "ordering": _run_ordering,
+    name: _oracle_adapter(name) for name in workload_names()
 }
 
 
@@ -255,7 +120,13 @@ def run_workload(
     return a byte-identical digest — that is the replay guarantee the
     CLI's ``replay`` subcommand and the shrinker both rest on.
     """
-    runner = WORKLOADS[workload]
+    try:
+        runner = WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from "
+            f"{', '.join(workload_names())}"
+        ) from None
     context = ExplorationContext.from_spec(spec, semantics_check=semantics_check)
     result = runner(variant, context)
     digest = build_digest(context, result)

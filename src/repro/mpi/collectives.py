@@ -15,7 +15,15 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .process import MPIProcess
 
-__all__ = ["barrier", "bcast", "reduce_sum", "allreduce_sum", "gather"]
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce_sum",
+    "allreduce_sum",
+    "gather",
+    "alltoallv",
+    "allgather",
+]
 
 # Reserved internal tag bases (application tags must be >= 0).
 _TAG_BARRIER = -100
@@ -23,6 +31,8 @@ _TAG_BCAST = -200
 _TAG_REDUCE = -300
 _TAG_GATHER = -400
 _TAG_ALLRED = -500
+_TAG_A2AV = -600
+_TAG_AGATHER = -700
 
 
 def barrier(proc: "MPIProcess") -> Generator[Any, Any, None]:
@@ -132,3 +142,72 @@ def gather(
     sreq = proc.isend(root, np.asarray(value).nbytes, tag=_TAG_GATHER, data=np.asarray(value))
     yield from sreq.wait()
     return None
+
+
+def alltoallv(
+    proc: "MPIProcess",
+    blocks,
+    counts,
+    dtype=np.int64,
+) -> Generator[Any, Any, list[np.ndarray]]:
+    """Pairwise two-sided alltoallv — the reference the one-sided
+    persistent plans (:mod:`repro.coll`) are cross-checked against.
+
+    ``blocks[j]`` is this rank's contribution for rank ``j`` (``None``
+    stands for an empty block); ``counts[i][j]`` is the full element
+    matrix, so zero pairs exchange no message at all.  Returns one
+    received block per source rank (length ``counts[src][rank]``).
+    """
+    n, rank = proc.size, proc.rank
+    out: list[np.ndarray] = [np.zeros(0, dtype=dtype) for _ in range(n)]
+    rreqs = {
+        src: proc.irecv(src, tag=_TAG_A2AV)
+        for src in range(n)
+        if src != rank and counts[src][rank]
+    }
+    sends = []
+    for dst in range(n):
+        c = int(counts[rank][dst])
+        if not c:
+            continue
+        block = np.ascontiguousarray(
+            np.zeros(0, dtype=dtype) if blocks[dst] is None
+            else np.asarray(blocks[dst], dtype=dtype)
+        )
+        if block.size != c:
+            raise ValueError(
+                f"block for rank {dst} has {block.size} elements, "
+                f"counts say {c}")
+        if dst == rank:
+            out[rank] = block.copy()
+        else:
+            sends.append(proc.isend(dst, block.nbytes, tag=_TAG_A2AV, data=block))
+    for src, req in rreqs.items():
+        data = yield from req.wait()
+        out[src] = np.asarray(data).view(dtype)
+    for s in sends:
+        yield from s.wait()
+    return out
+
+
+def allgather(
+    proc: "MPIProcess", value: np.ndarray
+) -> Generator[Any, Any, np.ndarray]:
+    """Linear allgather; returns the rank-ordered concatenation.
+    Per-rank contribution sizes may differ (allgatherv included)."""
+    n, rank = proc.size, proc.rank
+    arr = np.ascontiguousarray(np.asarray(value))
+    rreqs = {src: proc.irecv(src, tag=_TAG_AGATHER) for src in range(n) if src != rank}
+    sends = [
+        proc.isend(dst, arr.nbytes, tag=_TAG_AGATHER, data=arr)
+        for dst in range(n)
+        if dst != rank
+    ]
+    parts: list[np.ndarray | None] = [None] * n
+    parts[rank] = arr.copy()
+    for src, req in rreqs.items():
+        data = yield from req.wait()
+        parts[src] = np.asarray(data).view(arr.dtype)
+    for s in sends:
+        yield from s.wait()
+    return np.concatenate(parts)  # type: ignore[arg-type]

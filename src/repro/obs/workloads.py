@@ -1,22 +1,26 @@
 """Instrumented runs of the test-matrix workloads
 (``repro.obs.workloads``).
 
-The differential oracle (:mod:`repro.explore.runner`) defines the six
-workloads and four engine series of the paper's test matrix; this
-module runs the same matrix cells with the observability stack switched
-on — metrics plus the :mod:`repro.obs.causal` span recorder — and hands
-back the finished runtime for :func:`repro.obs.critpath.critpath_report`,
-trace export or the report CLI.
+The :mod:`repro.workloads` registry defines the workloads and engine
+series of the paper's test matrix; this module runs the same matrix
+cells with the observability stack switched on — metrics plus the
+:mod:`repro.obs.causal` span recorder — and hands back the finished
+runtime for :func:`repro.obs.critpath.critpath_report`, trace export or
+the report CLI.
 
 The sizes are deliberately small (one run per cell of the
-``protocol_cost`` bench figure, 24 cells) and everything is virtual
-time, so results are deterministic: the same (workload, series) pair
-always yields byte-identical reports in a fresh process.
+``protocol_cost`` bench figure) and everything is virtual time, so
+results are deterministic: the same (workload, series) pair always
+yields byte-identical reports in a fresh process.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
+
+from ..workloads import SERIES as _SERIES_TABLE
+from ..workloads import WORKLOADS as _REGISTRY
+from ..workloads import get_series, get_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mpi.runtime import MPIRuntime
@@ -25,141 +29,14 @@ __all__ = ["SERIES", "WORKLOADS", "run_instrumented"]
 
 #: Series name -> (engine, nonblocking): the paper's three test series
 #: plus the counter-signal engine (same columns as the differential
-#: oracle and the wallclock suite).
+#: oracle and the wallclock suite), from the canonical registry table.
 SERIES: dict[str, tuple[str, bool]] = {
-    "mvapich": ("mvapich", False),
-    "new": ("nonblocking", False),
-    "new-nonblocking": ("nonblocking", True),
-    "signal": ("signal", True),
+    s.name: (s.engine, s.nonblocking) for s in _SERIES_TABLE
 }
 
-
-def _halo(engine: str, nonblocking: bool, metrics: bool, trace: bool) -> "MPIRuntime":
-    from ..apps.halo import HaloConfig, run_halo
-
-    res = run_halo(HaloConfig(
-        nranks=4, cells_per_rank=16, iterations=4, cores_per_node=2,
-        interior_work_us=8.0,  # overlap fodder: differentiates i* series
-        engine=engine, nonblocking=nonblocking,
-        metrics=metrics, trace=trace, causal=True,
-    ))
-    return res.runtime
-
-
-def _stencil2d(engine: str, nonblocking: bool, metrics: bool, trace: bool) -> "MPIRuntime":
-    from ..apps.stencil2d import Stencil2DConfig, run_stencil2d
-
-    res = run_stencil2d(Stencil2DConfig(
-        pr=2, pc=2, tile=4, iterations=3, cores_per_node=2,
-        interior_work_us=8.0,
-        engine=engine, nonblocking=nonblocking,
-        metrics=metrics, trace=trace, causal=True,
-    ))
-    return res.runtime
-
-
-def _lu(engine: str, nonblocking: bool, metrics: bool, trace: bool) -> "MPIRuntime":
-    from ..apps.lu import LUConfig, run_lu
-
-    res = run_lu(LUConfig(
-        nranks=3, m=8, cores_per_node=2,
-        engine=engine, nonblocking=nonblocking,
-        metrics=metrics, trace=trace, causal=True,
-    ))
-    return res.runtime
-
-
-def _transactions(engine: str, nonblocking: bool, metrics: bool, trace: bool) -> "MPIRuntime":
-    from ..apps.transactions import TransactionsConfig, run_transactions
-
-    res = run_transactions(TransactionsConfig(
-        nranks=3, txns_per_rank=8, slots_per_rank=16, cores_per_node=2,
-        work_in_epoch_us=4.0,  # lazy-lock baselines cannot hide this
-        engine=engine, nonblocking=nonblocking,
-        metrics=metrics, trace=trace, causal=True,
-    ))
-    return res.runtime
-
-
-def _factdb(engine: str, nonblocking: bool, metrics: bool, trace: bool) -> "MPIRuntime":
-    from ..apps.factdb import FactDbConfig, run_factdb
-
-    res = run_factdb(FactDbConfig(
-        nranks=3, universe=32, firings_per_rank=6, cores_per_node=2,
-        engine=engine, nonblocking=nonblocking,
-        metrics=metrics, trace=trace, causal=True,
-    ))
-    return res.runtime
-
-
-def _ordering(engine: str, nonblocking: bool, metrics: bool, trace: bool) -> "MPIRuntime":
-    """The deferred-epoch ordering pipeline of the differential oracle
-    (see :func:`repro.explore.runner._run_ordering` for the semantics),
-    instrumented."""
-    import numpy as np
-
-    from ..mpi.runtime import MPIRuntime
-    from ..rma.flags import A_A_A_R
-
-    _i8 = np.int64
-
-    def origin(proc):
-        win = yield from proc.win_allocate(4 * 8, info={A_A_A_R: 1})
-        yield from proc.barrier()
-        buf = np.zeros(1, dtype=_i8)
-        one = np.ones(1, dtype=_i8)
-        if nonblocking:
-            win.ilock(1)
-            win.accumulate(one, 1, 0)
-            r0 = win.iunlock(1)
-            win.ipost((1,))
-            rexp = win.iwait()
-            win.ilock(1)
-            win.get(buf, 1, 2 * 8)
-            r2 = win.iunlock(1)
-            yield from proc.waitall([r0, rexp, r2])
-        else:
-            yield from win.lock(1)
-            win.accumulate(one, 1, 0)
-            yield from win.unlock(1)
-            yield from win.post((1,))
-            yield from win.wait_epoch()
-            yield from win.lock(1)
-            win.get(buf, 1, 2 * 8)
-            yield from win.unlock(1)
-        win.view(_i8)[3] = buf[0]
-        yield from proc.barrier()
-        return int(buf[0])
-
-    def target(proc):
-        win = yield from proc.win_allocate(4 * 8, info={A_A_A_R: 1})
-        yield from proc.barrier()
-        payload = np.full(1, 42, dtype=_i8)
-        yield from win.start((0,))
-        win.put(payload, 0, 1 * 8)
-        yield from win.complete()
-        win.view(_i8)[2] = 7
-        yield from proc.barrier()
-        return 0
-
-    runtime = MPIRuntime(
-        2, cores_per_node=1, engine=engine,
-        metrics=metrics, trace=trace, causal=True,
-    )
-    runtime.run_mixed({0: origin, 1: target})
-    return runtime
-
-
-#: Workload name -> instrumented runner (same six names as the
-#: differential oracle's matrix).
-WORKLOADS = {
-    "halo": _halo,
-    "stencil2d": _stencil2d,
-    "lu": _lu,
-    "transactions": _transactions,
-    "factdb": _factdb,
-    "ordering": _ordering,
-}
+#: Workload name -> instrumented runner (the registry's matrix rows:
+#: ``(engine, nonblocking, metrics, trace) -> MPIRuntime``).
+WORKLOADS = {name: w.instrumented for name, w in _REGISTRY.items()}
 
 
 def run_instrumented(
@@ -167,9 +44,6 @@ def run_instrumented(
 ) -> "MPIRuntime":
     """Run one matrix cell with the causal recorder on; returns the
     finished runtime (``runtime.causal`` holds the span graph)."""
-    if workload not in WORKLOADS:
-        raise KeyError(f"unknown workload {workload!r} (have {sorted(WORKLOADS)})")
-    if series not in SERIES:
-        raise KeyError(f"unknown series {series!r} (have {sorted(SERIES)})")
-    engine, nonblocking = SERIES[series]
-    return WORKLOADS[workload](engine, nonblocking, metrics, trace)
+    runner = get_workload(workload).instrumented
+    s = get_series(series)
+    return runner(s.engine, s.nonblocking, metrics, trace)

@@ -361,6 +361,20 @@ class RmaChecker:
         if ep.kind in (EpochKind.GATS_EXPOSURE, EpochKind.FENCE):
             self.bump_interval(ws.gid, ws.rank)
 
+    def on_notify_consumed(self, ws: "WindowState", source: int) -> None:
+        """Notified-access synchronization edge (foMPI): signals ride
+        the same per-pair FIFO lane as data, so a notification this rank
+        consumes is ordered after every op ``source`` already delivered
+        here.  Retire those shadow ranges: a later conflicting access is
+        ordered after them through the notification chain (data notify →
+        copy-out → credit → reuse), not racing with them."""
+        key = (ws.gid, ws.rank)
+        ops = self._shadow.get(key)
+        if ops:
+            self._shadow[key] = [
+                op for op in ops if not (op.origin == source and op.delivered)
+            ]
+
     # -- lock hosting ------------------------------------------------------
     def on_lock_grant(self, ws: "WindowState", waiter: "LockWaiter") -> None:
         """Invariant check at every grant: exclusive holds never coexist

@@ -274,6 +274,7 @@ class SignalEngine(NonblockingEngine):
         target_value = board.bump_expected(SignalChannel.NOTIFY, source, count)
         req = Request(self.sim, f"notify-wait(src={source},v={target_value})")
         if board.reached(SignalChannel.NOTIFY, source, target_value):
+            self._notify_consumed(ws, source)
             req.complete()
         else:
             ws.signal_waits.append((source, target_value, req))
@@ -287,8 +288,16 @@ class SignalEngine(NonblockingEngine):
         board = ws.signal_board
         if board.unconsumed(SignalChannel.NOTIFY, source) >= count:
             board.bump_expected(SignalChannel.NOTIFY, source, count)
+            self._notify_consumed(ws, source)
             return True
         return False
+
+    def _notify_consumed(self, ws: WindowState, source: int) -> None:
+        """A NOTIFY consumption completed: a checker-visible foMPI
+        synchronization edge (see ``RmaChecker.on_notify_consumed``)."""
+        checker = self._checker_of(ws)
+        if checker is not None:
+            checker.on_notify_consumed(ws, source)
 
     def _resolve_notify_waits(self, ws: WindowState, source: int) -> None:
         if not ws.signal_waits:
@@ -298,6 +307,7 @@ class SignalEngine(NonblockingEngine):
         for src, value, req in ws.signal_waits:
             if src == source and board.reached(SignalChannel.NOTIFY, src, value):
                 if not req.done:
+                    self._notify_consumed(ws, src)
                     req.complete()
             else:
                 live.append((src, value, req))

@@ -1,0 +1,71 @@
+"""Chaos survival: persistent collectives and the KV service must
+deliver the fault-free answer under an injected-fault fabric — the
+reliability layer hides drops/duplicates/delays from the epoch
+protocols, so the plans' answers (and the service's tables) cannot
+change."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MPIRuntime
+from repro.apps import KvServiceConfig, reference_kvservice, run_kvservice
+from repro.coll import plan_allreduce, plan_alltoallv
+from repro.faults import FaultPlan
+from repro.mpi import collectives
+
+_I8 = np.int64
+COUNTS = ((1, 2, 0), (3, 0, 2), (0, 4, 2))
+
+
+def _coll_app(proc):
+    a2a = yield from plan_alltoallv(proc, COUNTS)
+    rounds = []
+    for k in range(3):
+        send = [np.arange(COUNTS[proc.rank][j], dtype=_I8)
+                + 100 * proc.rank + 10 * j + k for j in range(3)]
+        a2a.start(send)
+        got = yield from a2a.wait()
+        ref = yield from collectives.alltoallv(proc, send, COUNTS)
+        for src in range(3):
+            np.testing.assert_array_equal(got[src], ref[src])
+        rounds.append(np.concatenate(got) if any(b.size for b in got)
+                      else np.zeros(0, _I8))
+    yield from a2a.finish()
+
+    ar = yield from plan_allreduce(proc, 4, op="sum")
+    ar.start(np.arange(4, dtype=_I8) * (proc.rank + 1))
+    reduced = yield from ar.wait()
+    yield from ar.finish()
+    yield from proc.barrier()
+    return np.concatenate(rounds), reduced
+
+
+@given(fault_seed=st.integers(0, 2**20),
+       engine=st.sampled_from(["mvapich", "nonblocking", "signal"]))
+@settings(max_examples=8, deadline=None)
+def test_collectives_survive_light_chaos(fault_seed, engine):
+    """Faulty-fabric runs produce exactly the fault-free answer (the
+    in-app cross-check against the two-sided reference also runs on the
+    chaotic fabric)."""
+    clean = MPIRuntime(3, engine=engine).run(_coll_app)
+    plan = FaultPlan.light_chaos(seed=fault_seed)
+    faulty = MPIRuntime(3, engine=engine, fault_plan=plan).run(_coll_app)
+    for (cr, ca), (fr, fa) in zip(clean, faulty):
+        np.testing.assert_array_equal(cr, fr)
+        np.testing.assert_array_equal(ca, fa)
+
+
+@pytest.mark.parametrize("engine,nonblocking", [
+    ("mvapich", False), ("nonblocking", True), ("signal", True),
+])
+def test_kvservice_survives_light_chaos(engine, nonblocking):
+    cfg = KvServiceConfig(
+        nranks=3, keys_per_shard=8, requests_per_rank=24, rebalance_every=8,
+        engine=engine, nonblocking=nonblocking,
+        fault_plan=FaultPlan.light_chaos(seed=2026),
+    )
+    res = run_kvservice(cfg)
+    assert res.tables == reference_kvservice(cfg)
+    assert res.rebalances == 3

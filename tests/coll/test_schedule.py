@@ -1,0 +1,73 @@
+"""Unit tests for the compiled collective schedule."""
+
+import numpy as np
+import pytest
+
+from repro.coll import build_schedule, uniform_counts, validate_counts
+
+RAGGED = ((1, 2, 0), (3, 0, 2), (0, 4, 2))
+
+
+def test_validate_counts_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="3x3"):
+        validate_counts(((1, 2), (3, 4)), 3)
+    with pytest.raises(ValueError, match="non-negative"):
+        validate_counts(((0, -1, 0), (0, 0, 0), (0, 0, 0)), 3)
+
+
+def test_uniform_counts():
+    assert uniform_counts(3, 2) == ((2, 2, 2), (2, 2, 2), (2, 2, 2))
+
+
+def test_schedule_offsets_mirror():
+    """recv_offsets at the target equal put_offsets at the origin: for
+    every ordered pair the origin's placement lands exactly where the
+    target expects that source's block."""
+    n = len(RAGGED)
+    scheds = [build_schedule(n, r, RAGGED) for r in range(n)]
+    for i in range(n):
+        for j in range(n):
+            assert scheds[i].put_offsets[j] == scheds[j].recv_offsets[i]
+            assert scheds[i].send_counts[j] == RAGGED[i][j]
+            assert scheds[j].recv_counts[i] == RAGGED[i][j]
+
+
+def test_slot_sizing_is_per_rank():
+    """Windows are sized by the *target's* column sum; put_disp must use
+    the target's slot size, not the origin's."""
+    n = len(RAGGED)
+    cols = [sum(RAGGED[i][j] for i in range(n)) for j in range(n)]
+    s = build_schedule(n, 1, RAGGED)
+    assert s.slot_elems_by_rank == tuple(cols)
+    assert s.slot_elems == cols[1]
+    for j in range(n):
+        assert s.slot_bytes_of(j) == max(cols[j], 1) * 8
+        # Odd invocations land in the second slot of the target.
+        assert (s.put_disp(j, 1) - s.put_disp(j, 0)) == s.slot_bytes_of(j)
+    assert s.window_bytes == 2 * s.slot_bytes
+
+
+def test_peers_skip_self_and_zero_pairs():
+    s = build_schedule(3, 0, RAGGED)
+    assert s.send_peers == (1,)        # counts[0] = (1, 2, 0): self and 0-count skipped
+    assert s.recv_peers == (1,)        # column 0 = (1, 3, 0)
+
+
+def test_zero_traffic_window_still_allocates():
+    s = build_schedule(2, 0, ((0, 0), (0, 0)))
+    assert s.slot_elems == 0
+    assert s.window_bytes == 2 * 8     # padded to one element per slot
+    assert s.send_peers == s.recv_peers == ()
+
+
+def test_single_rank():
+    s = build_schedule(1, 0, ((5,),))
+    assert s.send_peers == () and s.recv_peers == ()
+    assert s.recv_offsets == (0,) and s.put_offsets == (0,)
+    assert s.slot_elems == 5
+
+
+def test_dtype_flows_through():
+    s = build_schedule(2, 0, ((1, 1), (1, 1)), dtype=np.float64)
+    assert s.dtype == np.dtype(np.float64)
+    assert s.itemsize == 8

@@ -129,7 +129,7 @@ class TestCliRunner:
 
         expected = sorted(
             [f"fig{n:02d}" for n in range(2, 12)]
-            + ["protocol_cost", "fig12_collapse"]
+            + ["protocol_cost", "coll_overlap", "fig12_collapse"]
         )
         assert sorted(ALL) == expected
         assert all(callable(fn) for fn in ALL.values())

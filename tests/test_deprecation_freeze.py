@@ -1,0 +1,132 @@
+"""Deprecation freeze (see the removal schedule in ``docs/API.md``).
+
+Two invariants, both enforced by re-parsing the shipped sources:
+
+1. the deprecated shims still exist and still warn — downstream code
+   keeps working until the scheduled removal;
+2. nothing inside ``src/`` *uses* a deprecated spelling — the shims are
+   for downstream only, so the tree stays trivially removable.
+"""
+
+import ast
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import MPIRuntime
+from repro.mpi.info import Info, LEGACY_INFO_KEYS
+from repro.rma.engine import registry
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+LEGACY_ENGINE_ALIASES = set(registry.LEGACY_ENGINE_NAMES)
+
+
+def _sources():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        yield rel, ast.parse(path.read_text(), filename=str(path))
+
+
+# ---------------------------------------------------------------------------
+# 2. the sources are clean
+# ---------------------------------------------------------------------------
+
+def test_no_window_test_calls_in_src():
+    """``<win>.test()`` — the deprecated epoch-probe spelling — appears
+    nowhere in src.  (``Request.test()`` is fine: only receivers that
+    look like windows count.)"""
+    offenders = []
+    for rel, tree in _sources():
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "test"):
+                continue
+            recv = node.func.value
+            name = recv.id if isinstance(recv, ast.Name) else (
+                recv.attr if isinstance(recv, ast.Attribute) else "")
+            if "win" in name.lower():
+                offenders.append(f"{rel}:{node.lineno}")
+    assert not offenders, f"deprecated Window.test() calls: {offenders}"
+
+
+def test_no_legacy_engine_aliases_in_src():
+    """No ``engine="new"/"baseline"/"counter-signal"`` call sites; the
+    alias strings exist only in the registry's own table."""
+    offenders = []
+    for rel, tree in _sources():
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if (kw.arg == "engine"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value in LEGACY_ENGINE_ALIASES):
+                    offenders.append(f"{rel}:{node.lineno} engine={kw.value.value!r}")
+    assert not offenders, f"legacy engine aliases used in src: {offenders}"
+
+
+def test_no_legacy_info_keys_in_src():
+    """The old underscore / ``MPI_WIN_*`` info spellings appear only in
+    the one old→new table (``repro/mpi/info.py``)."""
+    legacy = set(LEGACY_INFO_KEYS)
+    offenders = []
+    for rel, tree in _sources():
+        if rel == "mpi/info.py":
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and node.value in legacy:
+                offenders.append(f"{rel}:{node.lineno} {node.value!r}")
+    assert not offenders, f"legacy info keys used in src: {offenders}"
+
+
+# ---------------------------------------------------------------------------
+# 1. the shims still exist and still warn
+# ---------------------------------------------------------------------------
+
+def test_window_test_shim_still_warns():
+    def app(proc):
+        win = yield from proc.win_allocate(8)
+        yield from proc.barrier()
+        if proc.rank == 0:
+            yield from win.post((1,))
+            with pytest.warns(DeprecationWarning, match="test_epoch"):
+                while not win.test():
+                    yield from proc.compute(1.0)
+        else:
+            yield from win.start((0,))
+            win.put(np.ones(1, dtype=np.int64), 0, 0)
+            yield from win.complete()
+        yield from proc.barrier()
+        return 0
+
+    MPIRuntime(2, engine="nonblocking").run(app)
+
+
+@pytest.mark.parametrize("alias,canonical", sorted(registry.LEGACY_ENGINE_NAMES.items()))
+def test_engine_aliases_still_resolve_and_warn(alias, canonical):
+    registry._warned_legacy.discard(alias)  # warn-once: reset for the assert
+    with pytest.warns(DeprecationWarning, match=canonical):
+        assert registry.canonical_engine(alias) == canonical
+
+
+@pytest.mark.parametrize("legacy,canonical", sorted(LEGACY_INFO_KEYS.items()))
+def test_info_keys_still_canonicalize_and_warn(legacy, canonical):
+    import repro.mpi.info as info_mod
+
+    info_mod._warned_legacy.discard(legacy)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        info = Info({legacy: 1})
+    assert info[canonical] == "1"
+    assert canonical in info
+
+
+def test_alias_tables_match_documented_schedule():
+    """The API.md schedule rows and the code tables cannot drift."""
+    api = (SRC.parent.parent / "docs" / "API.md").read_text()
+    assert "## Deprecation policy & removal schedule" in api
+    for alias in LEGACY_ENGINE_ALIASES:
+        assert f'`"{alias}"`' in api, f"API.md schedule missing engine alias {alias}"
+    assert "LEGACY_INFO_KEYS" in api
+    assert "Window.test()" in api

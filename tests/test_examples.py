@@ -25,6 +25,7 @@ CASES = {
     "fault_tolerance_demo.py": ["6", "10"],
     "stencil2d_gats.py": ["2", "2", "8", "4"],
     "observability_demo.py": ["3", "2"],
+    "kv_service_demo.py": ["4", "60"],
 }
 
 
